@@ -1,0 +1,41 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one paper artifact (table or figure) via the
+harnesses in :mod:`repro.experiments`, asserts the paper's qualitative
+claims on the result, and archives the paper-shaped text report under
+``benchmarks/results/`` so EXPERIMENTS.md can quote it.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_SIZE=full`` to use the paper's full dataset
+dimensions (slow: gigabyte-scale fields).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_size() -> str:
+    """Dataset size preset for the whole benchmark session."""
+    return os.environ.get("REPRO_BENCH_SIZE", "small")
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Callable writing an artifact's text report to benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(artifact: str, text: str) -> None:
+        (RESULTS_DIR / f"{artifact}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

@@ -1,0 +1,102 @@
+"""Ablation bench: PCA in other transform domains (paper Section III-B2
+and future work).
+
+The paper conjectures that "PCA in other transform domains (e.g.,
+wavelet transforms) should also work if the coefficients show normality
+[and] high information preservation".  This ablation swaps stage 1b's
+DCT for the Haar and CDF 5/3 wavelets and for *no transform at all*,
+holding the rest of the pipeline fixed (uncentered PCA, k at five
+nines, DPZ-l quantizer geometry), and compares the k needed and the
+resulting reconstruction PSNR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import psnr
+from repro.core.decompose import decompose, reassemble
+from repro.datasets.registry import get_dataset
+from repro.experiments.common import format_table
+from repro.transforms.dct import dct1d, idct1d
+from repro.transforms.pca import PCA
+from repro.transforms.wavelet import multilevel_forward, multilevel_inverse
+
+
+@dataclass
+class AblationPoint:
+    transform: str
+    k: int
+    tve: float
+    psnr: float
+
+
+def _wavelet_fwd(blocks: np.ndarray, kind: str) -> tuple[np.ndarray, list]:
+    bands = multilevel_forward(blocks, levels=3, wavelet=kind)
+    sizes = [b.shape[-1] for b in bands]
+    return np.concatenate(bands, axis=-1), sizes
+
+
+def _wavelet_inv(coeffs: np.ndarray, sizes: list, kind: str) -> np.ndarray:
+    bands = []
+    start = 0
+    for s in sizes:
+        bands.append(coeffs[..., start : start + s])
+        start += s
+    return multilevel_inverse(bands, wavelet=kind)
+
+
+def _run_variant(data, transform: str) -> AblationPoint:
+    lo, hi = float(data.min()), float(data.max())
+    norm = (data.astype(np.float64) - lo) / (hi - lo) - 0.5
+    blocks, plan = decompose(norm)
+    sizes = None
+    if transform == "dct":
+        coeffs = dct1d(blocks, axis=1)
+    elif transform in ("haar", "cdf53"):
+        coeffs, sizes = _wavelet_fwd(blocks, transform)
+    else:  # identity
+        coeffs = blocks
+    pca = PCA(center=False).fit(coeffs.T)
+    k = pca.components_for_tve(1 - 1e-5)
+    scores = pca.transform(coeffs.T, k=k)
+    feats = pca.inverse_transform(scores).T
+    if transform == "dct":
+        rec_blocks = idct1d(feats, axis=1)
+    elif transform in ("haar", "cdf53"):
+        rec_blocks = _wavelet_inv(feats, sizes, transform)
+    else:
+        rec_blocks = feats
+    recon = (reassemble(rec_blocks, plan) + 0.5) * (hi - lo) + lo
+    return AblationPoint(transform=transform, k=k,
+                         tve=float(pca.tve_curve()[k - 1]),
+                         psnr=psnr(data, recon.astype(np.float32)))
+
+
+def test_ablation_transform_domain(benchmark, bench_size, save_report):
+    data = get_dataset("FLDSC", bench_size)
+
+    def run_all():
+        return [_run_variant(data, t)
+                for t in ("identity", "dct", "haar", "cdf53")]
+
+    points = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    by = {p.transform: p for p in points}
+
+    # All transform-domain variants must reconstruct sensibly.
+    for p in points:
+        assert p.psnr > 40.0, f"{p.transform}: PSNR {p.psnr:.1f}"
+    # The orthonormal-transform variants span the same feature subspace
+    # family; k should be in the same ballpark as identity (Eq. 6 says
+    # DCT is exactly equal; wavelets approximately).
+    assert abs(by["dct"].k - by["identity"].k) <= max(
+        3, by["identity"].k // 3)
+
+    rows = [[p.transform, str(p.k), f"{p.tve:.7f}", f"{p.psnr:7.2f}"]
+            for p in points]
+    save_report("ablation_transforms", format_table(
+        ["stage-1 transform", "k @ 5-nines", "TVE@k", "PSNR"],
+        rows, title="Ablation -- PCA in different transform domains "
+                    "(FLDSC)"))

@@ -1,0 +1,20 @@
+"""Bench: Fig. 1 -- FLDSC distribution before/after block DCT."""
+
+from __future__ import annotations
+
+from repro.experiments import fig1
+
+
+def test_fig1_dct_energy_concentration(benchmark, bench_size, save_report):
+    res = benchmark.pedantic(
+        lambda: fig1.run("FLDSC", size=bench_size), rounds=1, iterations=1
+    )
+    # Paper claim: the transform concentrates energy -- a tiny fraction
+    # of coefficients carries 99% of the energy, far fewer than the raw
+    # values need.
+    assert res.frac_coeffs_for_99pct_energy < 0.05
+    assert res.frac_coeffs_for_99pct_energy < \
+        res.frac_values_for_99pct_energy / 5
+    # The coefficient histogram is peaked: its modal bin dominates.
+    assert res.coeff_hist.max() > 0.8 * res.coeff_hist.sum()
+    save_report("fig1", fig1.format_report(res))

@@ -1,0 +1,19 @@
+"""Bench: Fig. 2 -- PCA component representativeness on FLDSC."""
+
+from __future__ import annotations
+
+from repro.experiments import fig2
+
+
+def test_fig2_component_spread_collapses(benchmark, bench_size, save_report):
+    res = benchmark.pedantic(
+        lambda: fig2.run("FLDSC", size=bench_size, ranks=(1, 2, 30)),
+        rounds=1, iterations=1,
+    )
+    # Paper claim: PC1 captures the overall trend; deep components are
+    # far less representative.
+    assert res.score_std[1] > res.score_std[2]
+    assert res.score_std[1] > 20 * res.score_std[30]
+    # Eigenvalues sorted descending by construction.
+    assert res.eigenvalues[0] >= res.eigenvalues[1]
+    save_report("fig2", fig2.format_report(res))

@@ -1,0 +1,27 @@
+"""Bench: Fig. 3 -- information preservation & PSNR vs #features."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig3
+
+
+def test_fig3_information_curves(benchmark, bench_size, save_report):
+    res = benchmark.pedantic(
+        lambda: fig3.run("FLDSC", size=bench_size, n_eval=10),
+        rounds=1, iterations=1,
+    )
+    # Paper claim: ~1% of features contain >90% of the information for
+    # both retrieval methods.
+    assert res.features_for_info(0.90, "dct") <= 0.02
+    assert res.features_for_info(0.90, "pca") <= 0.02
+    # Paper claim: PCA reaches a given (high) PSNR with fewer features
+    # than DCT on this dataset.
+    target = min(75.0, float(min(res.psnr_dct[-1], res.psnr_pca[-1])) - 1)
+    f_dct = res.features_for_psnr(target, "dct")
+    f_pca = res.features_for_psnr(target, "pca")
+    assert f_pca <= f_dct or np.isnan(f_dct)
+    # Information curves are monotone in kept features.
+    assert np.all(np.diff(res.tve_pca) >= -1e-9)
+    save_report("fig3", fig3.format_report(res))

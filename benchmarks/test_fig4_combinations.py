@@ -1,0 +1,23 @@
+"""Bench: Fig. 4 -- error of transform combinations at fixed 5x."""
+
+from __future__ import annotations
+
+from repro.experiments import fig4
+
+
+def test_fig4_combination_ordering(benchmark, bench_size, save_report):
+    res = benchmark.pedantic(
+        lambda: fig4.run("FLDSC", size=bench_size, ratio=5.0),
+        rounds=1, iterations=1,
+    )
+    order = res.ordering()
+    # Paper claim 1: DCT-on-PCA (selection in two stages) is the worst.
+    assert order[-1] == "dct_on_pca"
+    # Paper claim 2: PCA-on-DCT sits in the best group.  (It is exactly
+    # the same subspace as spatial PCA by Eq. 6, so "best" here means
+    # within 5% MSE of the front-runner.)
+    best_mse = res.errors[order[0]].mse
+    assert res.errors["pca_on_dct"].mse <= best_mse * 1.05
+    # And it clearly beats the two-stage combination.
+    assert res.errors["pca_on_dct"].mse < res.errors["dct_on_pca"].mse
+    save_report("fig4", fig4.format_report(res))

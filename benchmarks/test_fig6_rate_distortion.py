@@ -1,0 +1,73 @@
+"""Bench: Fig. 6 -- rate-distortion, DPZ-l/DPZ-s vs SZ vs ZFP.
+
+One benchmark per dataset so the timing table mirrors the figure's
+panels; a final aggregate test checks the cross-dataset claims.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig6
+from repro.experiments.common import RD_DATASETS
+
+_RESULTS: dict[str, fig6.Fig6Result] = {}
+
+#: Thinned sweeps keep each panel's runtime in seconds at small size.
+_NINES = (3, 5, 7)
+_SZ = (1e-2, 1e-3, 1e-4)
+_ZFP = (2.0, 4.0, 8.0, 16.0)
+
+
+@pytest.mark.parametrize("dataset", RD_DATASETS)
+def test_fig6_panel(dataset, benchmark, bench_size, save_report):
+    res = benchmark.pedantic(
+        lambda: fig6.run(dataset, size=bench_size, nines=_NINES,
+                         sz_eps=_SZ, zfp_rates=_ZFP),
+        rounds=1, iterations=1,
+    )
+    _RESULTS[dataset] = res
+    for comp in ("DPZ-l", "DPZ-s", "SZ", "ZFP"):
+        assert res.curves[comp], f"no points for {comp}"
+    # DPZ-s PSNR climbs monotonically with TVE (up to measurement noise).
+    dpz_s = [p.psnr for p in res.curves["DPZ-s"]]
+    assert dpz_s[-1] >= dpz_s[0]
+    save_report(f"fig6_{dataset}", fig6.format_report(res))
+
+
+def test_fig6_paper_claims(benchmark, save_report):
+    """Cross-panel claims from Section V-C1."""
+    # The analysis itself is instant; the benchmark fixture wrapper is
+    # what lets this run under --benchmark-only alongside the panels.
+    benchmark.pedantic(lambda: len(_RESULTS), rounds=1, iterations=1)
+    assert len(_RESULTS) == len(RD_DATASETS), "panels must run first"
+
+    def best_cr_at(res, lo, hi):
+        pts = [p for c in ("DPZ-l", "DPZ-s") for p in res.curves[c]
+               if lo <= p.psnr <= hi]
+        return max((p.cr for p in pts), default=0.0)
+
+    def baseline_cr_at(res, lo, hi):
+        pts = [p for c in ("SZ", "ZFP") for p in res.curves[c]
+               if lo <= p.psnr <= hi]
+        return max((p.cr for p in pts), default=np.inf)
+
+    # Claim: DPZ outperforms SZ and ZFP at medium accuracy (30-70 dB)
+    # on most of the 2-D/3-D datasets.
+    wins = 0
+    panels = [n for n in RD_DATASETS if not n.startswith("HACC")]
+    for name in panels:
+        res = _RESULTS[name]
+        if best_cr_at(res, 30, 70) > baseline_cr_at(res, 30, 70):
+            wins += 1
+    assert wins >= len(panels) - 1, f"DPZ won only {wins}/{len(panels)}"
+
+    # Claim: DPZ-l saturates in PSNR while DPZ-s keeps climbing.
+    for name in panels:
+        res = _RESULTS[name]
+        top_l = max(p.psnr for p in res.curves["DPZ-l"])
+        top_s = max(p.psnr for p in res.curves["DPZ-s"])
+        assert top_s >= top_l - 1.0
+
+    save_report("fig6_all", fig6.format_report(list(_RESULTS.values())))

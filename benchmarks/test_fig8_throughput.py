@@ -1,0 +1,28 @@
+"""Bench: Fig. 8 -- compression/decompression time vs CR."""
+
+from __future__ import annotations
+
+from repro.experiments import fig8
+
+
+def test_fig8_throughput(benchmark, bench_size, save_report):
+    points = benchmark.pedantic(
+        lambda: fig8.run("Isotropic", size=bench_size),
+        rounds=1, iterations=1,
+    )
+    by_comp: dict[str, list] = {}
+    for p in points:
+        by_comp.setdefault(p.compressor, []).append(p)
+
+    # Every compressor produced a sweep with sane timings.
+    for comp, pts in by_comp.items():
+        assert all(p.compress_seconds > 0 for p in pts)
+        assert all(p.decompress_seconds > 0 for p in pts)
+
+    # Paper shape: DPZ decompression is much faster than its
+    # compression (inverse projection is one matmul, no eigenanalysis).
+    for scheme in ("DPZ-l", "DPZ-s"):
+        for p in by_comp[scheme]:
+            assert p.decompress_seconds < p.compress_seconds
+
+    save_report("fig8", fig8.format_report(points))

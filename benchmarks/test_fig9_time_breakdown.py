@@ -1,0 +1,24 @@
+"""Bench: Fig. 9 -- DPZ per-stage compression-time breakdown."""
+
+from __future__ import annotations
+
+from repro.experiments import fig9
+from repro.experiments.common import TABLE_DATASETS
+
+
+def test_fig9_stage_times(benchmark, bench_size, save_report):
+    results = benchmark.pedantic(
+        lambda: fig9.run(datasets=TABLE_DATASETS, size=bench_size,
+                         scheme="l", nines=5),
+        rounds=1, iterations=1,
+    )
+    assert len(results) == len(TABLE_DATASETS)
+    for r in results:
+        # Paper claim: stage 2 (PCA) and stage 3 (quantize+encode)
+        # dominate the compression time.
+        heavy = (r.fraction("pca") + r.fraction("quantize")
+                 + r.fraction("encode"))
+        light = r.fraction("decompose")
+        assert heavy > 0.5, f"{r.dataset}: heavy stages only {heavy:.0%}"
+        assert light < 0.2
+    save_report("fig9", fig9.format_report(results))

@@ -1,0 +1,23 @@
+"""Bench: Table I -- dataset inventory generation."""
+
+from __future__ import annotations
+
+from repro.datasets.registry import clear_cache
+from repro.experiments import table1
+
+
+def test_table1_inventory(benchmark, bench_size, save_report):
+    def gen():
+        clear_cache()
+        return table1.run(size=bench_size)
+
+    rows = benchmark.pedantic(gen, rounds=1, iterations=1)
+    assert len(rows) == 9
+    # Every field is single precision, as in the paper's Table I.
+    assert all(r.dtype == "float32" for r in rows)
+    # Bounded fields really are bounded.
+    bounded = {"CLDHGH", "CLDLOW", "FREQSH"}
+    for r in rows:
+        if r.name in bounded:
+            assert 0.0 <= r.value_range[0] and r.value_range[1] <= 1.0
+    save_report("table1", table1.format_report(rows))

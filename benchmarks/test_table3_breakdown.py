@@ -1,0 +1,37 @@
+"""Bench: Table III -- per-stage compression-ratio breakdown."""
+
+from __future__ import annotations
+
+from repro.experiments import table3
+from repro.experiments.common import NINES_SWEEP, TABLE_DATASETS
+
+
+def test_table3_breakdown(benchmark, bench_size, save_report):
+    cells = benchmark.pedantic(
+        lambda: table3.run(datasets=TABLE_DATASETS, size=bench_size,
+                           nines_sweep=NINES_SWEEP),
+        rounds=1, iterations=1,
+    )
+    by = {(c.dataset, c.scheme, c.nines): c for c in cells}
+
+    for name in TABLE_DATASETS:
+        # Stage 1&2 CR shrinks as TVE tightens (more components kept).
+        for scheme in ("l", "s"):
+            seq = [by[(name, scheme, n)].cr_stage12 for n in NINES_SWEEP]
+            assert all(a >= b - 1e-9 for a, b in zip(seq, seq[1:]))
+        # DPZ-s stage 3 ~2x (32->16 bit); paper: "close to 2X".
+        for n in NINES_SWEEP:
+            assert 1.8 <= by[(name, "s", n)].cr_stage3 <= 2.2
+        # DPZ-l stage 3 in the paper's 2-4x band at tight TVE.
+        assert 2.0 <= by[(name, "l", NINES_SWEEP[-1])].cr_stage3 <= 4.2
+        # zlib add-on contributes >= 1x (never expands) and <= ~10x.
+        for scheme in ("l", "s"):
+            for n in NINES_SWEEP:
+                assert 0.95 <= by[(name, scheme, n)].cr_zlib <= 12.0
+
+    # Cross-dataset ordering at loose TVE: climate fields beat HACC-vx.
+    assert by[("CLDHGH", "l", 3)].cr_stage12 > \
+        by[("HACC-vx", "l", 3)].cr_stage12
+    assert by[("PHIS", "l", 3)].cr_stage12 > \
+        by[("HACC-vx", "l", 3)].cr_stage12
+    save_report("table3", table3.format_report(cells))

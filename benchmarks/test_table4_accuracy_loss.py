@@ -1,0 +1,32 @@
+"""Bench: Table IV -- accuracy loss between stages (delta PSNR)."""
+
+from __future__ import annotations
+
+from repro.experiments import table4
+from repro.experiments.common import NINES_SWEEP, TABLE_DATASETS
+
+
+def test_table4_delta_psnr(benchmark, bench_size, save_report):
+    cells = benchmark.pedantic(
+        lambda: table4.run(datasets=TABLE_DATASETS, size=bench_size,
+                           nines_sweep=NINES_SWEEP),
+        rounds=1, iterations=1,
+    )
+    by = {(c.dataset, c.scheme, c.nines): c for c in cells}
+
+    for name in TABLE_DATASETS:
+        for scheme in ("l", "s"):
+            # Quantization never improves accuracy.
+            for n in NINES_SWEEP:
+                assert by[(name, scheme, n)].delta >= -0.01
+            # Paper: the delta grows as TVE tightens (truncation error
+            # shrinks below the quantization floor).
+            loose = by[(name, scheme, NINES_SWEEP[0])].delta
+            tight = by[(name, scheme, NINES_SWEEP[-1])].delta
+            assert tight >= loose - 0.5
+        # Paper: DPZ-l (coarse quantizer) loses much more at tight TVE
+        # than DPZ-s.
+        assert by[(name, "l", NINES_SWEEP[-1])].delta >= \
+            by[(name, "s", NINES_SWEEP[-1])].delta - 0.1
+
+    save_report("table4", table4.format_report(cells))

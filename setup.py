@@ -1,0 +1,23 @@
+"""Legacy setup shim for offline environments lacking the wheel package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel; when the
+`wheel` package is unavailable, `python setup.py develop` (or
+`pip install -e . --no-use-pep517`) uses this shim instead.  Metadata
+mirrors pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DPZ: information-retrieval-based lossy compression for "
+        "scientific data (CLUSTER 2021 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    entry_points={"console_scripts": ["dpz = repro.cli:main"]},
+)

@@ -1,0 +1,70 @@
+"""repro: a full reproduction of DPZ (CLUSTER 2021).
+
+DPZ is a lossy compressor for scientific floating-point data built on
+multi-stage information retrieval: block decomposition, per-block
+DCT-II, PCA in the DCT domain with knee-point / TVE component
+selection, symmetric uniform quantization, and a zlib add-on.  This
+package implements DPZ and everything its evaluation depends on -- the
+SZ-style and ZFP-style baselines, entropy-coding and transform
+substrates, synthetic stand-ins for the paper's datasets, and the
+experiment harnesses regenerating every table and figure.
+
+Quick start
+-----------
+>>> import numpy as np, repro
+>>> field = repro.datasets.fldsc()             # CESM-like 2-D field
+>>> blob = repro.dpz_compress(field, scheme="s", tve_nines=5)
+>>> recon = repro.dpz_decompress(blob)
+>>> repro.analysis.psnr(field, recon)          # doctest: +SKIP
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+"""
+
+from repro import analysis, baselines, codecs, core, datasets, transforms
+from repro.archive import FieldArchive
+from repro.api import dpz_compress, dpz_decompress, dpz_probe, scheme_config
+from repro.baselines import (
+    sz_compress,
+    sz_decompress,
+    zfp_compress,
+    zfp_decompress,
+)
+from repro.core import DPZ_L, DPZ_S, DPZCompressor, DPZConfig
+from repro.errors import (
+    CodecError,
+    ConfigError,
+    DataShapeError,
+    FormatError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "dpz_compress",
+    "dpz_decompress",
+    "dpz_probe",
+    "scheme_config",
+    "DPZCompressor",
+    "DPZConfig",
+    "DPZ_L",
+    "DPZ_S",
+    "sz_compress",
+    "sz_decompress",
+    "zfp_compress",
+    "zfp_decompress",
+    "FieldArchive",
+    "analysis",
+    "baselines",
+    "codecs",
+    "core",
+    "datasets",
+    "transforms",
+    "ReproError",
+    "CodecError",
+    "FormatError",
+    "ConfigError",
+    "DataShapeError",
+    "__version__",
+]

@@ -1,0 +1,55 @@
+"""Analysis substrate: compression-quality metrics and IR measures.
+
+* :mod:`repro.analysis.metrics` -- PSNR, MSE, relative errors, bit-rate
+  and compression-ratio conversions (the paper's evaluation metrics).
+* :mod:`repro.analysis.information` -- ECR (Eq. 1), TVE (Eq. 2) and
+  Shannon entropy.
+* :mod:`repro.analysis.vif` -- variance inflation factor, the paper's
+  compressibility indicator (Section IV-D2, Fig. 10).
+* :mod:`repro.analysis.knee` -- Kneedle-style knee-point detection with
+  1-D and polynomial spline fitting (Alg. 1, Method 1).
+* :mod:`repro.analysis.ratedistortion` -- sweep driver producing the
+  (bit-rate, PSNR) series of Fig. 6.
+"""
+
+from repro.analysis.information import ecr_curve, shannon_entropy, tve_curve
+from repro.analysis.knee import KneeResult, detect_knee
+from repro.analysis.metrics import (
+    bitrate_from_cr,
+    compression_ratio,
+    cr_from_bitrate,
+    max_abs_error,
+    mean_relative_error,
+    mse,
+    nrmse,
+    psnr,
+)
+from repro.analysis.ratedistortion import RDPoint, rate_distortion_sweep
+from repro.analysis.spectrum import (
+    radial_power_spectrum,
+    spectral_distortion,
+    spectral_slope,
+)
+from repro.analysis.vif import variance_inflation_factors
+
+__all__ = [
+    "psnr",
+    "mse",
+    "nrmse",
+    "max_abs_error",
+    "mean_relative_error",
+    "compression_ratio",
+    "bitrate_from_cr",
+    "cr_from_bitrate",
+    "ecr_curve",
+    "tve_curve",
+    "shannon_entropy",
+    "variance_inflation_factors",
+    "detect_knee",
+    "KneeResult",
+    "RDPoint",
+    "rate_distortion_sweep",
+    "radial_power_spectrum",
+    "spectral_slope",
+    "spectral_distortion",
+]

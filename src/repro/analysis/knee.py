@@ -1,0 +1,165 @@
+"""Knee-point detection on cumulative information curves (Alg. 1, Method 1).
+
+DPZ defines the knee as "the point of maximum curvature of the fitted
+cumulative total variance explained curve" -- beyond it, extra
+components buy diminishing information per bit.  Following the paper
+(and its citation of Satopaa et al.'s *Kneedle*), the procedure is:
+
+1. fit the discrete TVE curve with either 1-D (piecewise-linear)
+   interpolation or polynomial interpolation (``sf`` in Alg. 1);
+2. normalize the fitted curve to the unit square;
+3. evaluate the signed curvature
+   ``K(x) = f''(x) / (1 + f'(x)^2)^(3/2)``;
+4. return the first local maximum of ``|K|`` as the knee.
+
+The two fitting methods trade off as the paper reports (Table II):
+polynomial fitting smooths the curve, pushing the detected knee to a
+larger ``k`` -- higher accuracy, lower compression ratio.
+
+Implementation note: the curvature formula is only meaningful on a
+*smooth* fit.  A piecewise-linear (``'1d'``) interpolation has zero
+curvature everywhere except delta spikes at the joints, so for that
+method we use Kneedle's equivalent difference-curve criterion --
+``argmax(y(x) - x)`` on the unit square, i.e. the point where the
+normalized curve is farthest above the diagonal, which coincides with
+the maximum-curvature point for smooth concave curves.  The ``'polyn'``
+method evaluates the analytic curvature of the fitted polynomial, as
+Alg. 1 writes it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.interpolate import interp1d
+
+from repro.errors import ConfigError, DataShapeError
+
+__all__ = ["KneeResult", "detect_knee", "FIT_METHODS"]
+
+FIT_METHODS = ("1d", "polyn")
+
+#: Dense-grid resolution used to evaluate the fitted spline.
+_GRID = 512
+
+#: Default polynomial degree for the ``polyn`` fit; chosen to track the
+#: saturating-exponential shape of TVE curves without ringing.
+_POLY_DEGREE = 7
+
+
+@dataclass(frozen=True)
+class KneeResult:
+    """Outcome of knee detection.
+
+    Attributes
+    ----------
+    k:
+        1-based number of features to keep (the knee's abscissa mapped
+        back to the discrete curve and rounded up).
+    x, y:
+        Knee location on the normalized unit-square curve.
+    curvature:
+        Curvature value at the knee.
+    method:
+        The fitting method that produced it (``'1d'`` or ``'polyn'``).
+    """
+
+    k: int
+    x: float
+    y: float
+    curvature: float
+    method: str
+
+
+def _fit_curve(xs: np.ndarray, ys: np.ndarray, method: str,
+               degree: int) -> tuple[np.ndarray, np.ndarray]:
+    grid = np.linspace(0.0, 1.0, _GRID)
+    if method == "1d":
+        f = interp1d(xs, ys, kind="linear", assume_sorted=True)
+        return grid, f(grid)
+    coeffs = np.polyfit(xs, ys, deg=min(degree, max(1, xs.size - 1)))
+    fitted = np.polyval(coeffs, grid)
+    # Keep the fit inside the unit square and monotone enough for
+    # curvature to be meaningful.
+    return grid, np.clip(fitted, 0.0, 1.0)
+
+
+def detect_knee(curve: np.ndarray, *, method: str = "1d",
+                degree: int = _POLY_DEGREE) -> KneeResult:
+    """Find the knee of a cumulative curve ``curve[k-1] = value at k``.
+
+    Parameters
+    ----------
+    curve:
+        Nondecreasing cumulative curve (e.g. TVE from
+        :meth:`repro.transforms.PCA.tve_curve` or an ECR curve).
+    method:
+        ``'1d'`` piecewise-linear fit (aggressive, earlier knee) or
+        ``'polyn'`` polynomial fit (smoother, later knee).
+    degree:
+        Polynomial degree for ``'polyn'``.
+
+    Returns
+    -------
+    :class:`KneeResult` with the selected 1-based ``k``.
+
+    Notes
+    -----
+    Degenerate inputs fall back gracefully: a flat curve (already
+    saturated at k=1) returns ``k=1``; a linear ramp (no curvature)
+    returns the midpoint.
+    """
+    if method not in FIT_METHODS:
+        raise ConfigError(f"unknown fitting method {method!r}; use one of "
+                          f"{FIT_METHODS}")
+    y_raw = np.asarray(curve, dtype=np.float64).reshape(-1)
+    m = y_raw.size
+    if m < 2:
+        if m == 0:
+            raise DataShapeError("cannot detect a knee on an empty curve")
+        return KneeResult(k=1, x=0.0, y=1.0, curvature=0.0, method=method)
+
+    # Normalize to the unit square (Alg. 1 step 4).
+    xs = np.linspace(0.0, 1.0, m)
+    lo, hi = float(y_raw.min()), float(y_raw.max())
+    if hi - lo < 1e-15:
+        return KneeResult(k=1, x=0.0, y=1.0, curvature=0.0, method=method)
+    ys = (y_raw - lo) / (hi - lo)
+
+    grid, fitted = _fit_curve(xs, ys, method, degree)
+    if method == "1d":
+        # Kneedle difference curve: farthest point above the diagonal.
+        diff = fitted - grid
+        idx = int(np.argmax(diff))
+        curvature_at = float(diff[idx])
+    else:
+        step = grid[1] - grid[0]
+        d1 = np.gradient(fitted, step)
+        d2 = np.gradient(d1, step)
+        curvature = np.abs(d2) / np.power(1.0 + d1 * d1, 1.5)
+        # First local maximum of curvature (Alg. 1 step 6), ignoring
+        # the two boundary samples whose second derivative is one-sided.
+        interior = curvature[1:-1]
+        local_max = np.flatnonzero(
+            (interior >= np.concatenate(([interior[0]], interior[:-1]))) &
+            (interior > np.concatenate((interior[1:], [interior[-1]])))
+        )
+        if local_max.size:
+            idx = int(local_max[0]) + 1
+        else:
+            idx = int(np.argmax(curvature))
+        curvature_at = float(curvature[idx])
+        # A degenerate (near-linear) curve has no real knee: its unit-
+        # square curvature stays small everywhere and the "first local
+        # maximum" is numerical noise near a boundary.  Fall back to
+        # the difference-curve criterion, which degrades gracefully.
+        if curvature_at < 2.0:
+            idx = int(np.argmax(fitted - grid))
+            curvature_at = float(curvature[idx])
+    x_knee = float(grid[idx])
+    # Map back to a 1-based discrete k (round up: keep at least the knee).
+    k = int(np.ceil(x_knee * (m - 1))) + 1
+    k = max(1, min(k, m))
+    return KneeResult(k=k, x=x_knee, y=float(fitted[idx]),
+                      curvature=curvature_at, method=method)

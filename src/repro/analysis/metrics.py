@@ -1,0 +1,116 @@
+"""Compression quality and size metrics.
+
+These are the quantities the paper's evaluation reports:
+
+* **PSNR** (Section III-A4): ``20 log10(range) - 10 log10(MSE)`` in dB.
+* **mean relative error** (theta in Table II): mean absolute error
+  divided by the data range.
+* **compression ratio** (CR): original bytes / compressed bytes.
+* **bit-rate** (Section V-B): bits per value after compression,
+  ``bits_per_value(dtype) / CR``.
+
+All error metrics take (original, reconstructed) in that order and are
+symmetric except where range normalization makes order matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataShapeError
+
+__all__ = [
+    "mse",
+    "psnr",
+    "nrmse",
+    "max_abs_error",
+    "mean_relative_error",
+    "compression_ratio",
+    "bitrate_from_cr",
+    "cr_from_bitrate",
+    "value_range",
+]
+
+
+def _pair(original: np.ndarray, reconstructed: np.ndarray) -> tuple[np.ndarray,
+                                                                    np.ndarray]:
+    a = np.asarray(original, dtype=np.float64)
+    b = np.asarray(reconstructed, dtype=np.float64)
+    if a.shape != b.shape:
+        raise DataShapeError(
+            f"shape mismatch: original {a.shape} vs reconstructed {b.shape}"
+        )
+    return a, b
+
+
+def value_range(x: np.ndarray) -> float:
+    """Peak-to-peak range of the data (PSNR's "data range")."""
+    x = np.asarray(x, dtype=np.float64)
+    if x.size == 0:
+        raise DataShapeError("cannot take the range of an empty array")
+    return float(x.max() - x.min())
+
+
+def mse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean squared error."""
+    a, b = _pair(original, reconstructed)
+    return float(np.mean((a - b) ** 2))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB.
+
+    Returns ``inf`` for an exact reconstruction.  A constant original
+    (zero range) with any error yields ``-inf``.
+    """
+    err = mse(original, reconstructed)
+    rng = value_range(original)
+    if err == 0.0:
+        return float("inf")
+    if rng == 0.0:
+        return float("-inf")
+    return float(20.0 * np.log10(rng) - 10.0 * np.log10(err))
+
+
+def nrmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-squared error normalized by the data range."""
+    rng = value_range(original)
+    if rng == 0.0:
+        return 0.0 if mse(original, reconstructed) == 0.0 else float("inf")
+    return float(np.sqrt(mse(original, reconstructed)) / rng)
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """L-infinity error; what SZ's error bound constrains."""
+    a, b = _pair(original, reconstructed)
+    return float(np.max(np.abs(a - b))) if a.size else 0.0
+
+
+def mean_relative_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean absolute error over the data range (Table II's mean theta)."""
+    a, b = _pair(original, reconstructed)
+    rng = value_range(a)
+    if rng == 0.0:
+        return 0.0 if np.array_equal(a, b) else float("inf")
+    return float(np.mean(np.abs(a - b)) / rng)
+
+
+def compression_ratio(original_nbytes: int, compressed_nbytes: int) -> float:
+    """Original size over compressed size."""
+    if compressed_nbytes <= 0:
+        raise DataShapeError("compressed size must be positive")
+    return original_nbytes / compressed_nbytes
+
+
+def bitrate_from_cr(cr: float, bits_per_value: int = 32) -> float:
+    """Average bits per datapoint at compression ratio ``cr``."""
+    if cr <= 0:
+        raise DataShapeError("compression ratio must be positive")
+    return bits_per_value / cr
+
+
+def cr_from_bitrate(bitrate: float, bits_per_value: int = 32) -> float:
+    """Inverse of :func:`bitrate_from_cr`."""
+    if bitrate <= 0:
+        raise DataShapeError("bit-rate must be positive")
+    return bits_per_value / bitrate

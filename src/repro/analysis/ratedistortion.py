@@ -1,0 +1,78 @@
+"""Rate-distortion sweep driver (produces the Fig. 6 series).
+
+A *rate-distortion curve* plots reconstruction quality (PSNR, dB)
+against bit-rate (bits per value).  Each compressor contributes one
+curve per dataset; "upper-left is better".  This module runs any
+compressor conforming to the tiny protocol below over a parameter
+sweep and collects the points.
+
+Compressor protocol
+-------------------
+A callable ``run(data, param) -> (compressed_nbytes, reconstructed)``.
+Adapters for DPZ, SZ and ZFP live in :mod:`repro.experiments.common`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.analysis.metrics import bitrate_from_cr, compression_ratio, psnr
+
+__all__ = ["RDPoint", "rate_distortion_sweep", "pareto_front"]
+
+RunFn = Callable[[np.ndarray, object], tuple[int, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class RDPoint:
+    """One operating point of a compressor on a dataset."""
+
+    param: object
+    compressed_nbytes: int
+    cr: float
+    bitrate: float
+    psnr: float
+
+    def row(self) -> str:
+        """Fixed-width textual row for harness output."""
+        return (f"param={self.param!s:>14}  CR={self.cr:9.2f}  "
+                f"bitrate={self.bitrate:7.4f}  PSNR={self.psnr:8.2f} dB")
+
+
+def rate_distortion_sweep(data: np.ndarray, run: RunFn,
+                          params: Iterable[object], *,
+                          bits_per_value: int = 32) -> list[RDPoint]:
+    """Evaluate ``run`` at every parameter and return RD points.
+
+    ``bits_per_value`` should match the nominal dtype of the dataset
+    (the paper's datasets are 32-bit floats).
+    """
+    original_nbytes = data.size * (bits_per_value // 8)
+    points: list[RDPoint] = []
+    for p in params:
+        nbytes, recon = run(data, p)
+        cr = compression_ratio(original_nbytes, nbytes)
+        points.append(RDPoint(
+            param=p,
+            compressed_nbytes=nbytes,
+            cr=cr,
+            bitrate=bitrate_from_cr(cr, bits_per_value),
+            psnr=psnr(data, recon),
+        ))
+    return points
+
+
+def pareto_front(points: Sequence[RDPoint]) -> list[RDPoint]:
+    """Non-dominated subset: no other point has both lower bit-rate and
+    higher PSNR.  Sorted by bit-rate ascending."""
+    ordered = sorted(points, key=lambda p: (p.bitrate, -p.psnr))
+    front: list[RDPoint] = []
+    best = float("-inf")
+    for p in ordered:
+        if p.psnr > best:
+            front.append(p)
+            best = p.psnr
+    return front

@@ -1,0 +1,84 @@
+"""One-call convenience API.
+
+For scripts and notebooks that just want bytes in, array out::
+
+    from repro import dpz_compress, dpz_decompress
+    blob = dpz_compress(field, scheme="s", tve_nines=5)
+    recon = dpz_decompress(blob)
+
+Everything here delegates to :class:`repro.core.DPZCompressor`; use
+that class directly for stats, sampling probes, or custom configs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.compressor import DPZCompressor
+from repro.core.config import DPZ_L, DPZ_S, DPZConfig
+from repro.core.sampling import SamplingReport
+from repro.errors import ConfigError
+
+__all__ = ["dpz_compress", "dpz_decompress", "dpz_probe", "scheme_config"]
+
+
+def scheme_config(scheme: str = "l", *, tve_nines: int | None = None,
+                  knee: bool = False, knee_fit: str = "1d",
+                  use_sampling: bool = False) -> DPZConfig:
+    """Build a config from the paper's scheme vocabulary.
+
+    Parameters
+    ----------
+    scheme:
+        ``'l'`` (loose: P=1e-3, 1-byte) or ``'s'`` (strict: P=1e-4,
+        2-byte).
+    tve_nines:
+        Select ``k`` at this many nines of TVE (Method 2); the paper
+        sweeps 3..8.  Ignored when ``knee`` is set.
+    knee:
+        Use knee-point detection (Method 1) instead of a TVE threshold.
+    knee_fit:
+        ``'1d'`` or ``'polyn'`` spline fit for the knee.
+    use_sampling:
+        Enable the Alg. 2 sampling strategy for k selection.
+    """
+    base = {"l": DPZ_L, "s": DPZ_S}.get(scheme.lower())
+    if base is None:
+        raise ConfigError(f"unknown scheme {scheme!r}; use 'l' or 's'")
+    if knee:
+        cfg = base.with_knee(knee_fit)
+    elif tve_nines is not None:
+        cfg = base.with_tve_nines(tve_nines)
+    else:
+        cfg = base
+    if use_sampling:
+        from dataclasses import replace
+        cfg = replace(cfg, use_sampling=True)
+    return cfg
+
+
+def dpz_compress(data: np.ndarray, scheme: str = "l", *,
+                 tve_nines: int | None = None, knee: bool = False,
+                 knee_fit: str = "1d", use_sampling: bool = False,
+                 config: DPZConfig | None = None) -> bytes:
+    """Compress ``data`` with DPZ; returns self-describing bytes.
+
+    Either pass a full ``config`` or use the scheme shorthand (see
+    :func:`scheme_config`).
+    """
+    cfg = config or scheme_config(scheme, tve_nines=tve_nines, knee=knee,
+                                  knee_fit=knee_fit,
+                                  use_sampling=use_sampling)
+    return DPZCompressor(cfg).compress(data)
+
+
+def dpz_decompress(blob: bytes) -> np.ndarray:
+    """Decompress DPZ bytes back to an array (original shape/dtype)."""
+    return DPZCompressor.decompress(blob)
+
+
+def dpz_probe(data: np.ndarray, scheme: str = "l", *,
+              tve_nines: int | None = None) -> SamplingReport:
+    """Estimate compressibility without compressing (Alg. 2)."""
+    cfg = scheme_config(scheme, tve_nines=tve_nines)
+    return DPZCompressor(cfg).probe(data)

@@ -1,0 +1,215 @@
+"""Multi-field archives: bundle many named fields into one artifact.
+
+Scientific outputs rarely travel alone -- a CESM history file carries
+dozens of variables, an HACC snapshot several particle attributes.
+:class:`FieldArchive` bundles any number of named arrays, each
+compressed with its own codec and settings, into a single
+self-describing byte stream / file:
+
+>>> from repro.archive import FieldArchive
+>>> ar = FieldArchive()
+>>> ar.add("CLDHGH", cloud, codec="dpz", scheme="s", tve_nines=5)
+>>> ar.add("vx", velocities, codec="sz", rel_eps=1e-4)
+>>> ar.save("snapshot.dpza")
+...
+>>> ar = FieldArchive.load("snapshot.dpza")
+>>> ar.names()
+['CLDHGH', 'vx']
+>>> recon = ar.get("CLDHGH")
+
+Codecs: ``dpz`` (default), ``sz``, ``zfp``, ``mgard``, ``dctz``,
+``tucker``, plus ``raw`` (lossless float32/64 + zlib) for fields that
+must not lose a bit.  Per-field keyword arguments are forwarded to the
+codec's one-call API.  The CLI exposes this as ``dpz pack`` /
+``dpz unpack`` / ``dpz list``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.api import dpz_compress, dpz_decompress
+from repro.baselines.dctz import dctz_compress, dctz_decompress
+from repro.baselines.mgard import mgard_compress, mgard_decompress
+from repro.baselines.sz import sz_compress, sz_decompress
+from repro.baselines.tucker import tucker_compress, tucker_decompress
+from repro.baselines.zfp import zfp_compress, zfp_decompress
+from repro.codecs.container import pack_sections, unpack_sections
+from repro.codecs.varint import decode_uvarint, encode_uvarint
+from repro.codecs.zlibc import zlib_compress, zlib_decompress
+from repro.errors import ConfigError, FormatError
+
+__all__ = ["FieldArchive", "CODECS"]
+
+_MAGIC = b"DPZA"
+_VERSION = 1
+
+_RAW_DTYPES = {"f4": np.float32, "f8": np.float64}
+
+
+def _raw_compress(data: np.ndarray, **_kw) -> bytes:
+    """Lossless fallback codec: dtype tag + shape + zlib payload."""
+    data = np.asarray(data)
+    if data.dtype == np.float32:
+        tag = b"f4"
+    elif data.dtype == np.float64:
+        tag = b"f8"
+    else:
+        data = data.astype(np.float64)
+        tag = b"f8"
+    head = bytearray(tag)
+    head += encode_uvarint(data.ndim)
+    for n in data.shape:
+        head += encode_uvarint(n)
+    return bytes(head) + zlib_compress(np.ascontiguousarray(data))
+
+
+def _raw_decompress(blob: bytes) -> np.ndarray:
+    tag = blob[:2].decode()
+    if tag not in _RAW_DTYPES:
+        raise FormatError(f"unknown raw dtype tag {tag!r}")
+    ndim, pos = decode_uvarint(blob, 2)
+    shape = []
+    for _ in range(ndim):
+        n, pos = decode_uvarint(blob, pos)
+        shape.append(n)
+    data = np.frombuffer(zlib_decompress(blob[pos:]),
+                         dtype=_RAW_DTYPES[tag])
+    return data.reshape(shape).copy()
+
+
+#: codec name -> (compress(data, **kw) -> bytes, decompress(bytes) -> array)
+CODECS = {
+    "dpz": (dpz_compress, dpz_decompress),
+    "sz": (sz_compress, sz_decompress),
+    "zfp": (zfp_compress, zfp_decompress),
+    "mgard": (mgard_compress, mgard_decompress),
+    "dctz": (dctz_compress, dctz_decompress),
+    "tucker": (tucker_compress, tucker_decompress),
+    "raw": (_raw_compress, _raw_decompress),
+}
+
+
+@dataclass
+class _Entry:
+    name: str
+    codec: str
+    original_nbytes: int
+    payload: bytes
+
+
+class FieldArchive:
+    """An ordered bundle of independently compressed named fields."""
+
+    def __init__(self) -> None:
+        self._entries: dict[str, _Entry] = {}
+
+    # -- building ---------------------------------------------------------
+
+    def add(self, name: str, data: np.ndarray, codec: str = "dpz",
+            **codec_kwargs) -> None:
+        """Compress ``data`` with ``codec`` and store it under ``name``.
+
+        Re-adding an existing name replaces it.  Keyword arguments go to
+        the codec's one-call API (e.g. ``scheme=, tve_nines=`` for dpz;
+        ``eps=``/``rel_eps=`` for sz/mgard; ``rate=`` for zfp).
+        """
+        if not name or "\x00" in name:
+            raise ConfigError(f"invalid field name {name!r}")
+        if codec not in CODECS:
+            raise ConfigError(
+                f"unknown codec {codec!r}; use one of {sorted(CODECS)}"
+            )
+        compress, _ = CODECS[codec]
+        data = np.asarray(data)
+        self._entries[name] = _Entry(
+            name=name, codec=codec, original_nbytes=int(data.nbytes),
+            payload=compress(data, **codec_kwargs),
+        )
+
+    # -- reading ----------------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Field names in insertion order."""
+        return list(self._entries)
+
+    def get(self, name: str) -> np.ndarray:
+        """Decompress and return one field."""
+        entry = self._require(name)
+        _, decompress = CODECS[entry.codec]
+        return decompress(entry.payload)
+
+    def info(self, name: str) -> dict:
+        """Metadata for one field (codec, sizes, CR) without decoding."""
+        entry = self._require(name)
+        return {
+            "name": entry.name,
+            "codec": entry.codec,
+            "original_nbytes": entry.original_nbytes,
+            "compressed_nbytes": len(entry.payload),
+            "cr": entry.original_nbytes / max(len(entry.payload), 1),
+        }
+
+    def total_cr(self) -> float:
+        """Aggregate compression ratio over all fields."""
+        orig = sum(e.original_nbytes for e in self._entries.values())
+        comp = sum(len(e.payload) for e in self._entries.values())
+        return orig / max(comp, 1)
+
+    def _require(self, name: str) -> _Entry:
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise ConfigError(
+                f"no field {name!r} in archive; have {self.names()}"
+            ) from None
+
+    # -- serialization ------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize the whole archive."""
+        sections: list[bytes] = []
+        for entry in self._entries.values():
+            head = bytearray()
+            name_b = entry.name.encode()
+            head += encode_uvarint(len(name_b))
+            head += name_b
+            codec_b = entry.codec.encode()
+            head += encode_uvarint(len(codec_b))
+            head += codec_b
+            head += encode_uvarint(entry.original_nbytes)
+            sections.append(bytes(head) + entry.payload)
+        return pack_sections(_MAGIC, _VERSION, sections)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "FieldArchive":
+        """Parse :meth:`to_bytes` output."""
+        archive = cls()
+        for sec in unpack_sections(blob, _MAGIC, _VERSION):
+            nlen, pos = decode_uvarint(sec, 0)
+            name = sec[pos : pos + nlen].decode()
+            pos += nlen
+            clen, pos = decode_uvarint(sec, pos)
+            codec = sec[pos : pos + clen].decode()
+            pos += clen
+            orig, pos = decode_uvarint(sec, pos)
+            if codec not in CODECS:
+                raise FormatError(f"archive uses unknown codec {codec!r}")
+            archive._entries[name] = _Entry(
+                name=name, codec=codec, original_nbytes=orig,
+                payload=sec[pos:],
+            )
+        return archive
+
+    def save(self, path) -> None:
+        """Write the archive to a file."""
+        with open(path, "wb") as fh:
+            fh.write(self.to_bytes())
+
+    @classmethod
+    def load(cls, path) -> "FieldArchive":
+        """Read an archive from a file."""
+        with open(path, "rb") as fh:
+            return cls.from_bytes(fh.read())

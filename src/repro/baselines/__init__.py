@@ -1,0 +1,57 @@
+"""Baseline compressors the paper compares DPZ against.
+
+Both baselines are full, from-scratch Python implementations of the
+respective compressor *families* (see DESIGN.md for the fidelity
+notes):
+
+* :mod:`repro.baselines.sz` -- SZ-style error-bounded prediction-based
+  compression (Lorenzo + per-block regression predictors, linear-scaling
+  quantization, canonical Huffman, zlib).  Hard contract:
+  ``max |x - x_hat| <= eps``.
+* :mod:`repro.baselines.zfp` -- ZFP-style fixed-rate / fixed-precision /
+  fixed-accuracy transform coding (4^d blocks, block-floating-point,
+  lifted decorrelating transform, negabinary, embedded bit-plane coding
+  with group testing).
+* :mod:`repro.baselines.dctz` -- DCTZ-style block-DCT + quantization
+  (DPZ's predecessor; also the no-PCA ablation of DPZ).
+* :mod:`repro.baselines.tucker` -- TTHRESH-family Tucker/HOSVD
+  truncation compression (extended comparator for 3-D volumes).
+* :mod:`repro.baselines.mgard` -- MGARD-family multigrid
+  interpolation-residual compression with a strict pointwise bound.
+"""
+
+from repro.baselines.dctz import (
+    DCTZCompressor,
+    dctz_compress,
+    dctz_decompress,
+)
+from repro.baselines.tucker import (
+    TuckerCompressor,
+    tucker_compress,
+    tucker_decompress,
+)
+from repro.baselines.mgard import (
+    MGARDCompressor,
+    mgard_compress,
+    mgard_decompress,
+)
+from repro.baselines.sz import SZCompressor, sz_compress, sz_decompress
+from repro.baselines.zfp import ZFPCompressor, zfp_compress, zfp_decompress
+
+__all__ = [
+    "SZCompressor",
+    "sz_compress",
+    "sz_decompress",
+    "ZFPCompressor",
+    "zfp_compress",
+    "zfp_decompress",
+    "DCTZCompressor",
+    "dctz_compress",
+    "dctz_decompress",
+    "TuckerCompressor",
+    "tucker_compress",
+    "tucker_decompress",
+    "MGARDCompressor",
+    "mgard_compress",
+    "mgard_decompress",
+]

@@ -1,0 +1,187 @@
+"""DCTZ-style compressor: block DCT + symmetric quantization, no PCA.
+
+DCTZ (Zhang et al., MSST'19) is DPZ's predecessor by the same group:
+it normalizes the input, applies a blockwise DCT, quantizes the
+coefficients with the same symmetric equal-width bin-center quantizer
+DPZ later reused for its stage 3, and finishes with zlib.  DPZ's
+contribution over DCTZ is exactly the k-PCA stage in between -- so
+this implementation doubles as the **ablation** isolating that stage's
+value (``benchmarks/test_ablation_pca_stage.py``).
+
+Pipeline::
+
+    data -> unit-range normalization
+         -> fixed-size 1-D blocks (default 64), orthonormal DCT-II each
+         -> symmetric quantizer (bound P, B bins, escape for outliers)
+         -> zlib add-on -> container
+
+Like DPZ (and unlike SZ), the error bound ``P`` applies to transform
+coefficients, so the data-domain error is controlled in an L2 sense
+(energy), not pointwise.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.container import pack_sections, unpack_sections
+from repro.codecs.varint import decode_uvarint, encode_uvarint
+from repro.codecs.zlibc import zlib_compress, zlib_decompress
+from repro.core.quantize import (
+    QuantizedScores,
+    dequantize_scores,
+    quantize_scores,
+)
+from repro.errors import ConfigError, DataShapeError, FormatError
+from repro.transforms.dct import dct1d, idct1d
+
+__all__ = ["DCTZCompressor", "dctz_compress", "dctz_decompress"]
+
+_MAGIC = b"DCZ1"
+_VERSION = 1
+_DTYPES = {"f4": np.float32, "f8": np.float64}
+
+
+@dataclass(frozen=True)
+class DCTZCompressor:
+    """Configured DCTZ-style compressor.
+
+    Parameters
+    ----------
+    p:
+        Quantizer error bound on the normalized-domain DCT
+        coefficients (DPZ's loose scheme value by default).
+    index_bytes:
+        1 or 2 (bin count ``B = 2**(8*index_bytes) - 1``).
+    block_size:
+        1-D DCT block length (DCTZ's default regime is 64).
+    zlib_level:
+        Lossless add-on level.
+    """
+
+    p: float = 1e-3
+    index_bytes: int = 1
+    block_size: int = 64
+    zlib_level: int = 6
+
+    def __post_init__(self) -> None:
+        if self.p <= 0:
+            raise ConfigError(f"p must be positive, got {self.p}")
+        if self.index_bytes not in (1, 2):
+            raise ConfigError("index_bytes must be 1 or 2")
+        if self.block_size < 4:
+            raise ConfigError("block_size must be >= 4")
+        if not 0 <= self.zlib_level <= 9:
+            raise ConfigError("zlib_level must be in [0, 9]")
+
+    @property
+    def n_bins(self) -> int:
+        """Quantizer bin count (one escape code reserved)."""
+        return (1 << (8 * self.index_bytes)) - 1
+
+    # -- compression -------------------------------------------------------
+
+    def compress(self, data: np.ndarray) -> bytes:
+        """Compress an arbitrary-dimensional float array."""
+        data = np.asarray(data)
+        if data.dtype == np.float32:
+            dtype_tag = "f4"
+        elif data.dtype == np.float64:
+            dtype_tag = "f8"
+        else:
+            data = data.astype(np.float64)
+            dtype_tag = "f8"
+        if data.size == 0:
+            raise DataShapeError("cannot compress an empty array")
+
+        dmin = float(data.min())
+        rng = float(data.max()) - dmin
+        if rng == 0.0:
+            rng = 1.0
+        flat = (data.reshape(-1).astype(np.float64) - dmin) / rng - 0.5
+        bs = self.block_size
+        pad = (-flat.size) % bs
+        if pad:
+            flat = np.concatenate([flat, np.full(pad, flat[-1])])
+        blocks = flat.reshape(-1, bs)
+        coeffs = dct1d(blocks, axis=1)
+        q = quantize_scores(coeffs, self.p, self.n_bins)
+
+        meta = bytearray()
+        meta += dtype_tag.encode()
+        meta += struct.pack("<d", self.p)
+        meta += struct.pack("<d", dmin)
+        meta += struct.pack("<d", rng)
+        meta += encode_uvarint(self.n_bins)
+        meta += encode_uvarint(self.index_bytes)
+        meta += encode_uvarint(bs)
+        meta += encode_uvarint(data.ndim)
+        for n in data.shape:
+            meta += encode_uvarint(n)
+        meta += encode_uvarint(int(q.outliers.size))
+
+        idx = zlib_compress(np.ascontiguousarray(q.indices),
+                            self.zlib_level)
+        outl = zlib_compress(np.ascontiguousarray(q.outliers),
+                             self.zlib_level)
+        return pack_sections(_MAGIC, _VERSION, [bytes(meta), idx, outl])
+
+    # -- decompression -----------------------------------------------------
+
+    @staticmethod
+    def decompress(blob: bytes) -> np.ndarray:
+        """Decompress a container produced by :meth:`compress`."""
+        meta, idx, outl = unpack_sections(blob, _MAGIC, _VERSION)
+        dtype_tag = meta[:2].decode()
+        if dtype_tag not in _DTYPES:
+            raise FormatError(f"unknown dtype tag {dtype_tag!r}")
+        pos = 2
+        (p,) = struct.unpack_from("<d", meta, pos)
+        pos += 8
+        (dmin,) = struct.unpack_from("<d", meta, pos)
+        pos += 8
+        (rng,) = struct.unpack_from("<d", meta, pos)
+        pos += 8
+        n_bins, pos = decode_uvarint(meta, pos)
+        index_bytes, pos = decode_uvarint(meta, pos)
+        bs, pos = decode_uvarint(meta, pos)
+        ndim, pos = decode_uvarint(meta, pos)
+        shape = []
+        for _ in range(ndim):
+            n, pos = decode_uvarint(meta, pos)
+            shape.append(n)
+        n_outliers, pos = decode_uvarint(meta, pos)
+
+        idx_dtype = np.uint8 if index_bytes == 1 else np.uint16
+        indices = np.frombuffer(zlib_decompress(idx), dtype=idx_dtype)
+        outliers = np.frombuffer(zlib_decompress(outl), dtype=np.float32)
+        if outliers.size != n_outliers:
+            raise FormatError("outlier section size mismatch")
+        total = int(np.prod(shape))
+        padded = total + ((-total) % bs)
+        if indices.size != padded:
+            raise FormatError(
+                f"index count {indices.size} != padded size {padded}"
+            )
+        q = QuantizedScores(indices=indices.copy(), outliers=outliers.copy(),
+                            p=p, n_bins=n_bins,
+                            shape=(padded // bs, bs))
+        coeffs = dequantize_scores(q)
+        flat = idct1d(coeffs, axis=1).reshape(-1)[:total]
+        out = (flat + 0.5) * rng + dmin
+        return out.reshape(shape).astype(_DTYPES[dtype_tag])
+
+
+def dctz_compress(data: np.ndarray, p: float = 1e-3, *,
+                  index_bytes: int = 1, block_size: int = 64) -> bytes:
+    """One-call DCTZ compression; see :class:`DCTZCompressor`."""
+    return DCTZCompressor(p=p, index_bytes=index_bytes,
+                          block_size=block_size).compress(data)
+
+
+def dctz_decompress(blob: bytes) -> np.ndarray:
+    """One-call DCTZ decompression."""
+    return DCTZCompressor.decompress(blob)

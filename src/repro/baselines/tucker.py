@@ -1,0 +1,251 @@
+"""TTHRESH-family baseline: Tucker (HOSVD) truncation compression.
+
+The paper's related work describes TTHRESH as "a tensor
+decomposition-based compressor ... designed for high dimensional visual
+data, which could achieve a high compression rate with smooth visual
+degradation".  This module implements the family's core mechanism as an
+extended comparator for the 3-D datasets:
+
+1. **HOSVD**: factor matrices ``U_i`` from the SVD of each mode
+   unfolding; core ``C = X x_1 U1^T x_2 U2^T x_3 U3^T``.
+2. **Rank truncation**: per mode, keep the smallest rank whose singular
+   values carry a target fraction of the energy (the tensor analogue of
+   DPZ's TVE selection).
+3. **Core quantization**: the truncated core is quantized with the same
+   symmetric escape-coded quantizer as DPZ's stage 3 (scaled to the
+   core's magnitude), factors are stored float32; zlib everywhere.
+
+Reconstruction is ``C x_1 U1 x_2 U2 x_3 U3``.  Compared to real
+TTHRESH this swaps its adaptive bit-plane core coding for the simpler
+quantizer, which shifts absolute ratios but keeps the family's
+signature behaviour: excellent on smooth/low-Tucker-rank volumes and
+graceful, global degradation as the energy target loosens.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.container import pack_sections, unpack_sections
+from repro.codecs.varint import decode_uvarint, encode_uvarint
+from repro.codecs.zlibc import zlib_compress, zlib_decompress
+from repro.core.quantize import (
+    QuantizedScores,
+    dequantize_scores,
+    quantize_scores,
+)
+from repro.errors import ConfigError, DataShapeError, FormatError
+
+__all__ = ["TuckerCompressor", "tucker_compress", "tucker_decompress",
+           "hosvd", "mode_product"]
+
+_MAGIC = b"TKR1"
+_VERSION = 1
+_DTYPES = {"f4": np.float32, "f8": np.float64}
+
+
+def _unfold(tensor: np.ndarray, mode: int) -> np.ndarray:
+    """Mode-``mode`` unfolding: ``(n_mode, prod(other dims))``."""
+    return np.moveaxis(tensor, mode, 0).reshape(tensor.shape[mode], -1)
+
+
+def mode_product(tensor: np.ndarray, matrix: np.ndarray,
+                 mode: int) -> np.ndarray:
+    """n-mode product ``tensor x_mode matrix``.
+
+    ``matrix`` is ``(r, n_mode)``; the result replaces that mode's
+    extent with ``r``.
+    """
+    moved = np.moveaxis(tensor, mode, 0)
+    shape = moved.shape
+    out = matrix @ moved.reshape(shape[0], -1)
+    return np.moveaxis(out.reshape((matrix.shape[0],) + shape[1:]), 0, mode)
+
+
+def hosvd(tensor: np.ndarray) -> tuple[np.ndarray, list[np.ndarray],
+                                       list[np.ndarray]]:
+    """Full higher-order SVD.
+
+    Returns ``(core, factors, singular_values)`` with
+    ``factors[i]`` of shape ``(n_i, n_i)`` (orthonormal columns) and
+    ``tensor == core x_1 U1 ... x_d Ud`` to fp tolerance.
+    """
+    factors: list[np.ndarray] = []
+    svals: list[np.ndarray] = []
+    for mode in range(tensor.ndim):
+        u, s, _ = np.linalg.svd(_unfold(tensor, mode), full_matrices=False)
+        factors.append(u)
+        svals.append(s)
+    core = tensor
+    for mode, u in enumerate(factors):
+        core = mode_product(core, u.T, mode)
+    return core, factors, svals
+
+
+def _ranks_for_energy(svals: list[np.ndarray],
+                      target: float) -> list[int]:
+    """Per-mode smallest rank with cumulative s^2 >= target."""
+    ranks = []
+    for s in svals:
+        energy = s.astype(np.float64) ** 2
+        total = energy.sum()
+        if total == 0:
+            ranks.append(1)
+            continue
+        curve = np.cumsum(energy) / total
+        ranks.append(int(np.searchsorted(curve, target - 1e-12)) + 1)
+    return ranks
+
+
+@dataclass(frozen=True)
+class TuckerCompressor:
+    """Configured Tucker-truncation compressor.
+
+    Parameters
+    ----------
+    target:
+        Per-mode energy fraction to preserve (0 < target <= 1); the
+        tensor analogue of DPZ's TVE knob.
+    p:
+        Core quantizer error bound, relative to the core's largest
+        magnitude.
+    index_bytes:
+        1 or 2 byte bin indices for the core quantizer.
+    """
+
+    target: float = 0.9999
+    p: float = 1e-4
+    index_bytes: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target <= 1.0:
+            raise ConfigError(f"target must be in (0, 1], got {self.target}")
+        if self.p <= 0:
+            raise ConfigError(f"p must be positive, got {self.p}")
+        if self.index_bytes not in (1, 2):
+            raise ConfigError("index_bytes must be 1 or 2")
+
+    @property
+    def n_bins(self) -> int:
+        """Core quantizer bin count."""
+        return (1 << (8 * self.index_bytes)) - 1
+
+    # -- compression -------------------------------------------------------
+
+    def compress(self, data: np.ndarray) -> bytes:
+        """Compress a 2-D or 3-D float array."""
+        data = np.asarray(data)
+        if data.dtype == np.float32:
+            dtype_tag = "f4"
+        elif data.dtype == np.float64:
+            dtype_tag = "f8"
+        else:
+            data = data.astype(np.float64)
+            dtype_tag = "f8"
+        if data.ndim not in (2, 3):
+            raise DataShapeError(
+                f"Tucker compression supports 2-D/3-D, got {data.ndim}-D"
+            )
+        if min(data.shape) < 2:
+            raise DataShapeError("every mode needs extent >= 2")
+
+        work = data.astype(np.float64)
+        _, factors, svals = hosvd(work)
+        ranks = _ranks_for_energy(svals, self.target)
+        trunc = [u[:, :r].astype(np.float32) for u, r in zip(factors,
+                                                             ranks)]
+        core = work
+        for mode, u in enumerate(trunc):
+            core = mode_product(core, u.astype(np.float64).T, mode)
+
+        peak = float(np.max(np.abs(core))) if core.size else 1.0
+        scale = peak if peak > 0 else 1.0
+        q = quantize_scores(core / scale, self.p, self.n_bins)
+
+        meta = bytearray()
+        meta += dtype_tag.encode()
+        meta += struct.pack("<d", self.p)
+        meta += struct.pack("<d", scale)
+        meta += encode_uvarint(self.n_bins)
+        meta += encode_uvarint(self.index_bytes)
+        meta += encode_uvarint(data.ndim)
+        for n in data.shape:
+            meta += encode_uvarint(n)
+        for r in ranks:
+            meta += encode_uvarint(r)
+        meta += encode_uvarint(int(q.outliers.size))
+
+        fbytes = b"".join(u.tobytes() for u in trunc)
+        sections = [
+            bytes(meta),
+            zlib_compress(fbytes),
+            zlib_compress(np.ascontiguousarray(q.indices)),
+            zlib_compress(np.ascontiguousarray(q.outliers)),
+        ]
+        return pack_sections(_MAGIC, _VERSION, sections)
+
+    # -- decompression -----------------------------------------------------
+
+    @staticmethod
+    def decompress(blob: bytes) -> np.ndarray:
+        """Decompress a container produced by :meth:`compress`."""
+        meta, fsec, isec, osec = unpack_sections(blob, _MAGIC, _VERSION)
+        dtype_tag = meta[:2].decode()
+        if dtype_tag not in _DTYPES:
+            raise FormatError(f"unknown dtype tag {dtype_tag!r}")
+        pos = 2
+        (p,) = struct.unpack_from("<d", meta, pos)
+        pos += 8
+        (scale,) = struct.unpack_from("<d", meta, pos)
+        pos += 8
+        n_bins, pos = decode_uvarint(meta, pos)
+        index_bytes, pos = decode_uvarint(meta, pos)
+        ndim, pos = decode_uvarint(meta, pos)
+        shape = []
+        for _ in range(ndim):
+            n, pos = decode_uvarint(meta, pos)
+            shape.append(n)
+        ranks = []
+        for _ in range(ndim):
+            r, pos = decode_uvarint(meta, pos)
+            ranks.append(r)
+        n_outliers, pos = decode_uvarint(meta, pos)
+
+        raw = zlib_decompress(fsec)
+        factors = []
+        off = 0
+        for n, r in zip(shape, ranks):
+            count = n * r
+            u = np.frombuffer(raw, dtype=np.float32, count=count,
+                              offset=off).reshape(n, r)
+            factors.append(u.astype(np.float64))
+            off += count * 4
+        idx_dtype = np.uint8 if index_bytes == 1 else np.uint16
+        indices = np.frombuffer(zlib_decompress(isec), dtype=idx_dtype)
+        outliers = np.frombuffer(zlib_decompress(osec), dtype=np.float32)
+        if outliers.size != n_outliers:
+            raise FormatError("outlier section size mismatch")
+        if indices.size != int(np.prod(ranks)):
+            raise FormatError("core size mismatch")
+        q = QuantizedScores(indices=indices.copy(), outliers=outliers.copy(),
+                            p=p, n_bins=n_bins, shape=tuple(ranks))
+        core = dequantize_scores(q) * scale
+        out = core
+        for mode, u in enumerate(factors):
+            out = mode_product(out, u, mode)
+        return out.astype(_DTYPES[dtype_tag])
+
+
+def tucker_compress(data: np.ndarray, target: float = 0.9999, *,
+                    p: float = 1e-4, index_bytes: int = 2) -> bytes:
+    """One-call Tucker compression; see :class:`TuckerCompressor`."""
+    return TuckerCompressor(target=target, p=p,
+                            index_bytes=index_bytes).compress(data)
+
+
+def tucker_decompress(blob: bytes) -> np.ndarray:
+    """One-call Tucker decompression."""
+    return TuckerCompressor.decompress(blob)

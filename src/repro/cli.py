@@ -1,0 +1,302 @@
+"""Command-line interface: ``dpz`` (or ``python -m repro``).
+
+Subcommands
+-----------
+compress
+    ``dpz compress IN OUT [--scheme l|s] [--nines N | --knee] ...``
+    Input is ``.npy`` or raw ``.f32`` (pass ``--shape``).
+decompress
+    ``dpz decompress IN OUT`` -- output format chosen by extension.
+probe
+    ``dpz probe IN`` -- run the sampling strategy (Alg. 2) and print
+    the estimated k, VIF summary and preliminary CR range.
+info
+    ``dpz info IN`` -- show a compressed container's metadata.
+datasets
+    ``dpz datasets`` -- list the built-in synthetic datasets (Table I).
+bench
+    ``dpz bench ARTIFACT`` -- run one paper-artifact harness (e.g.
+    ``table3``, ``fig6``, ``fig10``) and print its report.
+pack / unpack / list
+    Multi-field archives: ``dpz pack out.dpza NAME=FILE ...
+    [--codec dpz] [--nines N]``, ``dpz unpack in.dpza NAME out.npy``,
+    ``dpz list in.dpza``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.analysis.metrics import compression_ratio
+from repro.api import dpz_decompress, dpz_probe, scheme_config
+from repro.core.compressor import DPZCompressor
+from repro.core.stream import deserialize
+from repro.datasets.io import load_field, save_field
+from repro.datasets.registry import all_dataset_names, get_spec
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    ap = argparse.ArgumentParser(
+        prog="dpz",
+        description="DPZ lossy compressor for scientific data "
+                    "(CLUSTER 2021 reproduction)",
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    def add_input(p, out: bool = True):
+        p.add_argument("input", help="input file (.npy or raw .f32)")
+        if out:
+            p.add_argument("output", help="output file")
+        p.add_argument("--shape", type=int, nargs="+", default=None,
+                       help="shape for raw float32 inputs, e.g. "
+                            "--shape 1800 3600")
+
+    pc = sub.add_parser("compress", help="compress a dataset")
+    add_input(pc)
+    pc.add_argument("--scheme", choices=["l", "s"], default="l",
+                    help="DPZ-l (P=1e-3, 1-byte) or DPZ-s (P=1e-4, 2-byte)")
+    group = pc.add_mutually_exclusive_group()
+    group.add_argument("--nines", type=int, default=None,
+                       help="TVE threshold as a number of nines (3..8)")
+    group.add_argument("--knee", action="store_true",
+                       help="select k by knee-point detection")
+    pc.add_argument("--knee-fit", choices=["1d", "polyn"], default="1d")
+    pc.add_argument("--sampling", action="store_true",
+                    help="estimate k via the sampling strategy (Alg. 2)")
+    pc.add_argument("--stats", action="store_true",
+                    help="print per-stage timing and size breakdown")
+
+    pd = sub.add_parser("decompress", help="decompress a DPZ container")
+    pd.add_argument("input")
+    pd.add_argument("output")
+
+    pp = sub.add_parser("probe", help="estimate compressibility (Alg. 2)")
+    add_input(pp, out=False)
+    pp.add_argument("--scheme", choices=["l", "s"], default="l")
+    pp.add_argument("--nines", type=int, default=5)
+
+    pi = sub.add_parser("info", help="describe a DPZ container")
+    pi.add_argument("input")
+
+    sub.add_parser("datasets", help="list built-in synthetic datasets")
+
+    pb = sub.add_parser("bench",
+                        help="run one paper-artifact harness and print "
+                             "its report")
+    pb.add_argument("artifact", choices=sorted(_ARTIFACTS) + ["all"],
+                    help="which table/figure to regenerate ('all' runs "
+                         "every harness in sequence)")
+    pb.add_argument("--size", choices=["small", "full"], default="small",
+                    help="dataset size preset")
+
+    pk = sub.add_parser("pack", help="bundle fields into an archive")
+    pk.add_argument("output", help="archive file (.dpza)")
+    pk.add_argument("fields", nargs="+", metavar="NAME=FILE",
+                    help="named inputs, e.g. CLDHGH=cloud.npy")
+    pk.add_argument("--codec", default="dpz",
+                    help="codec for every field (dpz/sz/zfp/mgard/dctz/"
+                         "tucker/raw)")
+    pk.add_argument("--scheme", choices=["l", "s"], default="l",
+                    help="DPZ scheme (dpz codec only)")
+    pk.add_argument("--nines", type=int, default=None,
+                    help="DPZ TVE nines (dpz codec only)")
+    pk.add_argument("--rel-eps", type=float, default=1e-4,
+                    help="relative bound (sz/mgard codecs)")
+    pk.add_argument("--rate", type=float, default=8.0,
+                    help="bits per value (zfp codec)")
+
+    pu = sub.add_parser("unpack", help="extract one field from an archive")
+    pu.add_argument("input")
+    pu.add_argument("name")
+    pu.add_argument("output", help="output file (.npy or raw .f32)")
+
+    pl = sub.add_parser("list", help="list an archive's contents")
+    pl.add_argument("input")
+    return ap
+
+
+def _load(args) -> np.ndarray:
+    shape = tuple(args.shape) if args.shape else None
+    return load_field(args.input, shape)
+
+
+def _cmd_compress(args) -> int:
+    data = _load(args)
+    cfg = scheme_config(args.scheme, tve_nines=args.nines, knee=args.knee,
+                        knee_fit=args.knee_fit, use_sampling=args.sampling)
+    comp = DPZCompressor(cfg)
+    blob, stats = comp.compress_with_stats(data)
+    with open(args.output, "wb") as fh:
+        fh.write(blob)
+    cr = compression_ratio(data.nbytes, len(blob))
+    print(f"compressed {data.nbytes} -> {len(blob)} bytes "
+          f"(CR {cr:.2f}x, k={stats.k}/{stats.m_blocks}, "
+          f"TVE@k={stats.tve_at_k:.8f})")
+    if args.stats:
+        for stage, secs in stats.times.items():
+            print(f"  {stage:<10s} {secs*1e3:9.2f} ms")
+        print(f"  stage1&2 CR {stats.cr_stage12:.3f}  "
+              f"stage3 CR {stats.cr_stage3:.3f}  "
+              f"zlib CR {stats.cr_zlib:.3f}")
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    data = dpz_decompress(blob)
+    save_field(args.output, data)
+    print(f"decompressed to {args.output}: shape {data.shape}, "
+          f"dtype {data.dtype}")
+    return 0
+
+
+def _cmd_probe(args) -> int:
+    data = _load(args)
+    report = dpz_probe(data, args.scheme, tve_nines=args.nines)
+    print(f"estimated k:        {report.k_estimate} "
+          f"(subsets: {list(report.subset_ks)})")
+    print(f"VIF mean/median:    {report.vif_mean:.2f} / "
+          f"{report.vif_median:.2f}")
+    print(f"low linearity:      {report.low_linearity} "
+          f"(cutoff 5.0 -> {'standardize' if report.low_linearity else 'no scaling'})")
+    print(f"preliminary CR:     {report.cr_low:.2f}x .. {report.cr_high:.2f}x")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    with open(args.input, "rb") as fh:
+        blob = fh.read()
+    a = deserialize(blob)
+    print(f"shape:        {a.shape}  dtype {a.dtype_tag}")
+    print(f"blocks:       M={a.m_blocks} x N={a.n_points}")
+    print(f"components:   k={a.k}  (ratio {a.k / a.m_blocks:.4f})")
+    print(f"quantizer:    P={a.p:g}, {a.n_bins} bins, "
+          f"{a.index_bytes}-byte indices")
+    print(f"outliers:     {a.outliers.size} "
+          f"({100.0 * a.outliers.size / max(a.indices.size, 1):.2f}% of scores)")
+    print(f"standardized: {a.standardized}")
+    print(f"container:    {len(blob)} bytes "
+          f"(CR {int(np.prod(a.shape)) * (4 if a.dtype_tag == 'f4' else 8) / len(blob):.2f}x)")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    print(f"{'name':10s} {'source':16s} {'dims':>6s} {'small':>16s} "
+          f"{'full':>16s}  description")
+    for name in all_dataset_names():
+        spec = get_spec(name)
+        print(f"{spec.name:10s} {spec.source:16s} {spec.ndim:>5d}D "
+              f"{str(spec.small_shape):>16s} {str(spec.full_shape):>16s}  "
+              f"{spec.description}")
+    return 0
+
+
+#: Artifact name -> experiment module (lazy import targets).
+_ARTIFACTS = {
+    "table1": "table1", "table2": "table2", "table3": "table3",
+    "table4": "table4", "fig1": "fig1", "fig2": "fig2", "fig3": "fig3",
+    "fig4": "fig4", "fig6": "fig6", "fig7": "fig7", "fig8": "fig8",
+    "fig9": "fig9", "fig10": "fig10", "sampling": "sampling_eval",
+}
+
+
+def _run_artifact(artifact: str, size: str) -> None:
+    import importlib
+
+    mod = importlib.import_module(
+        f"repro.experiments.{_ARTIFACTS[artifact]}"
+    )
+    if artifact == "fig6":
+        result = mod.run_all(size=size)
+    else:
+        result = mod.run(size=size)
+    print(mod.format_report(result))
+
+
+def _cmd_bench(args) -> int:
+    artifacts = (sorted(_ARTIFACTS) if args.artifact == "all"
+                 else [args.artifact])
+    for i, artifact in enumerate(artifacts):
+        if i:
+            print()
+        _run_artifact(artifact, args.size)
+    return 0
+
+
+def _cmd_pack(args) -> int:
+    from repro.archive import FieldArchive
+
+    kw: dict = {}
+    if args.codec == "dpz":
+        kw["scheme"] = args.scheme
+        if args.nines is not None:
+            kw["tve_nines"] = args.nines
+    elif args.codec in ("sz", "mgard"):
+        kw["rel_eps"] = args.rel_eps
+    elif args.codec == "zfp":
+        kw["rate"] = args.rate
+    archive = FieldArchive()
+    for spec in args.fields:
+        if "=" not in spec:
+            raise SystemExit(f"field spec must be NAME=FILE, got {spec!r}")
+        name, path = spec.split("=", 1)
+        archive.add(name, load_field(path), codec=args.codec, **kw)
+    archive.save(args.output)
+    print(f"packed {len(archive.names())} fields "
+          f"(total CR {archive.total_cr():.2f}x) -> {args.output}")
+    return 0
+
+
+def _cmd_unpack(args) -> int:
+    from repro.archive import FieldArchive
+
+    archive = FieldArchive.load(args.input)
+    data = archive.get(args.name)
+    save_field(args.output, data)
+    print(f"extracted {args.name}: shape {data.shape}, dtype {data.dtype}")
+    return 0
+
+
+def _cmd_list(args) -> int:
+    from repro.archive import FieldArchive
+
+    archive = FieldArchive.load(args.input)
+    print(f"{'field':16s} {'codec':8s} {'original':>12s} "
+          f"{'compressed':>12s} {'CR':>8s}")
+    for name in archive.names():
+        info = archive.info(name)
+        print(f"{info['name']:16s} {info['codec']:8s} "
+              f"{info['original_nbytes']:>12d} "
+              f"{info['compressed_nbytes']:>12d} {info['cr']:>8.2f}")
+    print(f"total CR {archive.total_cr():.2f}x")
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "probe": _cmd_probe,
+    "info": _cmd_info,
+    "datasets": _cmd_datasets,
+    "bench": _cmd_bench,
+    "pack": _cmd_pack,
+    "unpack": _cmd_unpack,
+    "list": _cmd_list,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,178 @@
+"""MSB-first bit-level I/O over byte buffers.
+
+The ZFP-style coder and the Huffman codec both need to emit and consume
+streams whose symbols are not byte aligned.  :class:`BitWriter` and
+:class:`BitReader` provide that, with two performance-minded paths:
+
+* scalar ``write``/``read`` of up to 64 bits at a time, and
+* vectorized ``write_bits_array``/``read_bits_array`` that move whole
+  NumPy arrays of fixed-width fields through the stream in one shot
+  (used for bit-plane coding, where a plane is one bit per value).
+
+Bit order is MSB-first within each byte: the first bit written becomes
+the highest bit of the first byte.  This matches the conventional
+"network" bit order and makes the streams easy to inspect in hex dumps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = ["BitWriter", "BitReader"]
+
+_BYTE_WEIGHTS = (1 << np.arange(7, -1, -1)).astype(np.uint8)
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and renders them as :class:`bytes`.
+
+    The writer buffers whole bits in a growable ``uint8`` array holding
+    one bit per element (simple and fast to extend with NumPy), and
+    packs to bytes only once in :meth:`getvalue`.
+
+    Example
+    -------
+    >>> w = BitWriter()
+    >>> w.write(0b101, 3)
+    >>> w.write(0b1, 1)
+    >>> w.getvalue()
+    b'\\xb0'
+    """
+
+    __slots__ = ("_chunks", "_nbits")
+
+    def __init__(self) -> None:
+        self._chunks: list[np.ndarray] = []
+        self._nbits = 0
+
+    def __len__(self) -> int:
+        """Number of bits written so far."""
+        return self._nbits
+
+    def write(self, value: int, nbits: int) -> None:
+        """Append the ``nbits`` low-order bits of ``value``, MSB first.
+
+        ``value`` must be a non-negative integer that fits in ``nbits``
+        bits; ``nbits`` may be 0 (a no-op).
+        """
+        if nbits < 0:
+            raise CodecError(f"negative bit count: {nbits}")
+        if nbits == 0:
+            return
+        value = int(value)
+        if value < 0 or (nbits < 64 and value >> nbits):
+            raise CodecError(f"value {value} does not fit in {nbits} bits")
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        bits = ((value >> shifts) & 1).astype(np.uint8)
+        self._chunks.append(bits)
+        self._nbits += nbits
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (0 or 1)."""
+        self.write(bit & 1, 1)
+
+    def write_bits_array(self, values: np.ndarray, nbits: int) -> None:
+        """Append every element of ``values`` as an ``nbits``-wide field.
+
+        Vectorized: the whole array is expanded to a bit matrix at once.
+        ``values`` must be an unsigned (or non-negative) integer array.
+        """
+        values = np.ascontiguousarray(values).astype(np.uint64, copy=False)
+        if nbits == 0 or values.size == 0:
+            return
+        if nbits < 64 and np.any(values >> np.uint64(nbits)):
+            raise CodecError(f"some values do not fit in {nbits} bits")
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        bits = ((values.reshape(-1, 1) >> shifts) & np.uint64(1)).astype(np.uint8)
+        self._chunks.append(bits.reshape(-1))
+        self._nbits += nbits * values.size
+
+    def write_bitplane(self, plane: np.ndarray) -> None:
+        """Append a raw 0/1 plane (one bit per element, in array order)."""
+        plane = np.ascontiguousarray(plane, dtype=np.uint8).reshape(-1)
+        self._chunks.append(plane & 1)
+        self._nbits += plane.size
+
+    def getvalue(self) -> bytes:
+        """Pack all written bits into bytes (zero-padded at the tail)."""
+        if not self._chunks:
+            return b""
+        bits = np.concatenate(self._chunks)
+        return np.packbits(bits).tobytes()
+
+
+class BitReader:
+    """Reads bits MSB-first from a byte buffer produced by :class:`BitWriter`.
+
+    Raises :class:`~repro.errors.CodecError` on attempts to read past
+    the end of the buffer.
+    """
+
+    __slots__ = ("_bits", "_pos")
+
+    def __init__(self, data: bytes | bytearray | memoryview | np.ndarray) -> None:
+        buf = np.frombuffer(bytes(data), dtype=np.uint8)
+        self._bits = np.unpackbits(buf)
+        self._pos = 0
+
+    def __len__(self) -> int:
+        """Total number of bits in the underlying buffer."""
+        return int(self._bits.size)
+
+    @property
+    def position(self) -> int:
+        """Current read offset in bits."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return int(self._bits.size) - self._pos
+
+    def _take(self, nbits: int) -> np.ndarray:
+        if nbits < 0:
+            raise CodecError(f"negative bit count: {nbits}")
+        end = self._pos + nbits
+        if end > self._bits.size:
+            raise CodecError(
+                f"bitstream underrun: need {nbits} bits at offset "
+                f"{self._pos}, only {self.remaining} remain"
+            )
+        out = self._bits[self._pos : end]
+        self._pos = end
+        return out
+
+    def read(self, nbits: int) -> int:
+        """Read ``nbits`` bits and return them as an unsigned integer."""
+        if nbits == 0:
+            return 0
+        bits = self._take(nbits).astype(np.uint64)
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        return int((bits << shifts).sum())
+
+    def read_bit(self) -> int:
+        """Read a single bit."""
+        return int(self._take(1)[0])
+
+    def read_bits_array(self, count: int, nbits: int) -> np.ndarray:
+        """Read ``count`` consecutive ``nbits``-wide fields as ``uint64``.
+
+        Inverse of :meth:`BitWriter.write_bits_array`.
+        """
+        if count == 0 or nbits == 0:
+            return np.zeros(count, dtype=np.uint64)
+        bits = self._take(count * nbits).astype(np.uint64).reshape(count, nbits)
+        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
+        return (bits << shifts).sum(axis=1)
+
+    def read_bitplane(self, count: int) -> np.ndarray:
+        """Read ``count`` raw bits as a ``uint8`` 0/1 array."""
+        return self._take(count).copy()
+
+    def align_to_byte(self) -> None:
+        """Skip forward to the next byte boundary (at most 7 bits)."""
+        rem = self._pos % 8
+        if rem:
+            self._take(8 - rem)

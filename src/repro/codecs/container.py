@@ -1,0 +1,51 @@
+"""Generic positional-section container format.
+
+Every serialized artifact in this project (DPZ, SZ-style, ZFP-style
+containers) shares one trivial frame: ``magic || uvarint(version) ||
+uvarint(n_sections) || (uvarint(len) || bytes)*``.  Sections are opaque
+byte strings whose meaning is positional and defined by each format
+module.  Keeping the frame shared means one set of corruption checks
+(magic, version, truncation) protects every format.
+"""
+
+from __future__ import annotations
+
+from repro.codecs.varint import decode_uvarint, encode_uvarint
+from repro.errors import FormatError
+
+__all__ = ["pack_sections", "unpack_sections"]
+
+
+def pack_sections(magic: bytes, version: int,
+                  sections: list[bytes]) -> bytes:
+    """Serialize sections behind a magic/version header."""
+    out = bytearray(magic)
+    out += encode_uvarint(version)
+    out += encode_uvarint(len(sections))
+    for sec in sections:
+        out += encode_uvarint(len(sec))
+        out += sec
+    return bytes(out)
+
+
+def unpack_sections(data: bytes, magic: bytes,
+                    expect_version: int) -> list[bytes]:
+    """Parse :func:`pack_sections` output, validating magic and version."""
+    if data[: len(magic)] != magic:
+        raise FormatError(
+            f"bad magic: expected {magic!r}, got {data[:len(magic)]!r}"
+        )
+    version, pos = decode_uvarint(data, len(magic))
+    if version != expect_version:
+        raise FormatError(
+            f"unsupported version {version} (want {expect_version})"
+        )
+    n, pos = decode_uvarint(data, pos)
+    sections: list[bytes] = []
+    for _ in range(n):
+        ln, pos = decode_uvarint(data, pos)
+        if pos + ln > len(data):
+            raise FormatError("truncated section")
+        sections.append(data[pos : pos + ln])
+        pos += ln
+    return sections

@@ -1,0 +1,47 @@
+"""Negabinary (base -2) integer mapping.
+
+ZFP encodes signed transform coefficients in *negabinary* so that small
+magnitudes -- positive or negative -- have their significant bits
+concentrated in the low-order positions, which is what makes bit-plane
+coding (most-significant plane first) effective on signed data without
+a separate sign plane.
+
+The mapping used here is the standard two's-complement-to-negabinary
+bit trick (also the one the reference zfp implementation uses)::
+
+    nb(x)   = (x + mask) XOR mask        with mask = 0xAAAA...AAAA
+    x(nb)   = (nb XOR mask) - mask
+
+where the XOR/add are performed in wrapping unsigned arithmetic.  The
+mask has every odd-position bit set, i.e. the bits whose place value is
+negative in base -2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["int_to_negabinary", "negabinary_to_int", "NB_MASK64"]
+
+#: Alternating-bit mask: bits at odd positions (place value negative in
+#: base -2) set, for 64-bit words.
+NB_MASK64 = np.uint64(0xAAAAAAAAAAAAAAAA)
+
+
+def int_to_negabinary(values: np.ndarray) -> np.ndarray:
+    """Map signed int64 values to their uint64 negabinary representation.
+
+    Vectorized; the result can be bit-plane coded directly.  Inverse is
+    :func:`negabinary_to_int`.
+    """
+    arr = np.asarray(values).astype(np.int64, copy=False)
+    u = arr.astype(np.uint64)
+    with np.errstate(over="ignore"):
+        return (u + NB_MASK64) ^ NB_MASK64
+
+
+def negabinary_to_int(values: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`int_to_negabinary` (uint64 -> int64)."""
+    u = np.asarray(values).astype(np.uint64, copy=False)
+    with np.errstate(over="ignore"):
+        return ((u ^ NB_MASK64) - NB_MASK64).astype(np.int64)

@@ -1,0 +1,61 @@
+"""Run-length coding over small-alphabet symbol arrays.
+
+Quantizer index planes are frequently dominated by a single symbol
+(the zero bin), so a simple (symbol, run-length) scheme in front of
+zlib is a cheap win.  Runs are stored as ``(uvarint symbol, uvarint
+length)`` pairs; the decoder therefore needs no alphabet metadata.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codecs.varint import decode_uvarint, encode_uvarint
+from repro.errors import CodecError
+
+__all__ = ["rle_encode", "rle_decode"]
+
+
+def rle_encode(values: np.ndarray) -> bytes:
+    """Run-length encode a 1-D non-negative integer array.
+
+    Returns a self-describing byte string: a uvarint element count, then
+    (symbol, run) uvarint pairs.
+    """
+    arr = np.asarray(values).reshape(-1)
+    if arr.size and arr.min() < 0:
+        raise CodecError("rle_encode requires non-negative symbols")
+    out = bytearray(encode_uvarint(arr.size))
+    if arr.size == 0:
+        return bytes(out)
+    # Boundaries of equal-value runs.
+    change = np.flatnonzero(np.diff(arr)) + 1
+    starts = np.concatenate(([0], change))
+    ends = np.concatenate((change, [arr.size]))
+    for s, e in zip(starts, ends):
+        out += encode_uvarint(int(arr[s]))
+        out += encode_uvarint(int(e - s))
+    return bytes(out)
+
+
+def rle_decode(data: bytes, dtype=np.int64) -> np.ndarray:
+    """Inverse of :func:`rle_encode`."""
+    total, pos = decode_uvarint(data, 0)
+    symbols: list[int] = []
+    runs: list[int] = []
+    decoded = 0
+    while decoded < total:
+        sym, pos = decode_uvarint(data, pos)
+        run, pos = decode_uvarint(data, pos)
+        if run == 0:
+            raise CodecError("zero-length run in RLE stream")
+        symbols.append(sym)
+        runs.append(run)
+        decoded += run
+    if decoded != total:
+        raise CodecError(
+            f"RLE stream inconsistent: runs sum to {decoded}, header says {total}"
+        )
+    if total == 0:
+        return np.zeros(0, dtype=dtype)
+    return np.repeat(np.asarray(symbols, dtype=dtype), np.asarray(runs))

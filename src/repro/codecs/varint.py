@@ -1,0 +1,85 @@
+"""LEB128 varints and zigzag signed-integer mapping.
+
+Container headers throughout this project store lengths and counts as
+unsigned LEB128 varints so small values cost one byte while 64-bit
+values remain representable.  Signed quantities are first mapped to
+unsigned via the zigzag transform (0, -1, 1, -2, ... -> 0, 1, 2, 3, ...),
+the same scheme protobuf uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CodecError
+
+__all__ = [
+    "encode_uvarint",
+    "decode_uvarint",
+    "zigzag_encode",
+    "zigzag_decode",
+]
+
+
+def encode_uvarint(value: int) -> bytes:
+    """Encode a non-negative integer as LEB128 bytes."""
+    value = int(value)
+    if value < 0:
+        raise CodecError(f"uvarint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_uvarint(data: bytes | memoryview, offset: int = 0) -> tuple[int, int]:
+    """Decode a LEB128 varint starting at ``offset``.
+
+    Returns ``(value, next_offset)``.  Raises
+    :class:`~repro.errors.CodecError` if the buffer ends mid-varint or
+    the encoding exceeds 10 bytes (more than 64 bits of payload).
+    """
+    value = 0
+    shift = 0
+    pos = offset
+    view = memoryview(data)
+    while True:
+        if pos >= len(view):
+            raise CodecError("truncated uvarint")
+        byte = view[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+        if shift > 63:
+            raise CodecError("uvarint too long (exceeds 64 bits)")
+
+
+def zigzag_encode(values: np.ndarray | int) -> np.ndarray | int:
+    """Map signed integers to unsigned: 0,-1,1,-2,... -> 0,1,2,3,...
+
+    Accepts a scalar or an integer array; arrays are mapped elementwise
+    to ``uint64``.
+    """
+    if np.isscalar(values):
+        v = int(values)
+        return (v << 1) ^ (v >> 63) if v >= 0 else ((-v) << 1) - 1
+    arr = np.asarray(values).astype(np.int64, copy=False)
+    return ((arr.astype(np.uint64) << np.uint64(1))
+            ^ (arr >> np.int64(63)).astype(np.uint64))
+
+
+def zigzag_decode(values: np.ndarray | int) -> np.ndarray | int:
+    """Inverse of :func:`zigzag_encode`."""
+    if np.isscalar(values):
+        v = int(values)
+        return (v >> 1) ^ -(v & 1)
+    arr = np.asarray(values).astype(np.uint64, copy=False)
+    return ((arr >> np.uint64(1)).astype(np.int64)
+            ^ -(arr & np.uint64(1)).astype(np.int64))

@@ -1,0 +1,130 @@
+"""Stage 1a: block decomposition of arbitrary-dimensional data.
+
+The paper (Section IV-A) flattens the input in its original order and
+rearranges it into an ``M x N`` matrix -- ``M`` 1-D blocks of ``N``
+datapoints each -- chosen so that:
+
+* ``M < N`` (PCA needs more samples than features);
+* ``M`` is as large as possible under that constraint ("the larger the
+  M, the higher the compression ratios"), i.e. ``N / M`` is the
+  smallest workable ratio;
+* consecutive blocks are consecutive runs of the flattened data, so
+  block adjacency preserves spatial locality (what makes neighboring
+  block-features collinear and PCA effective).
+
+Concretely we search for the smallest integer ratio ``d >= 2`` with
+``total = d * M**2`` for integer ``M`` -- reproducing the paper's
+examples exactly (128^3 -> M=1024, N=2048 with d=2; an 1800x3600 CESM
+field -> M=1800, N=3600).  When no ratio up to ``max_ratio`` divides
+the size that way, the data is padded (edge-replicated) up to the next
+size that factors with ``d = 2``; the original length is recorded so
+reassembly is exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataShapeError
+
+__all__ = ["DecompositionPlan", "plan_decomposition", "decompose",
+           "reassemble"]
+
+
+@dataclass(frozen=True)
+class DecompositionPlan:
+    """Geometry of a block decomposition.
+
+    ``m_blocks * n_points >= total_values``; the excess (if any) is
+    padding appended after the real data.
+    """
+
+    shape: tuple[int, ...]
+    total_values: int
+    m_blocks: int
+    n_points: int
+
+    @property
+    def padded_total(self) -> int:
+        """Flattened length after padding."""
+        return self.m_blocks * self.n_points
+
+    @property
+    def pad(self) -> int:
+        """Number of padding values appended."""
+        return self.padded_total - self.total_values
+
+    @property
+    def ratio(self) -> int:
+        """The N/M ratio of the plan."""
+        return self.n_points // self.m_blocks
+
+
+def _square_factor(total: int, max_ratio: int) -> tuple[int, int] | None:
+    """Find the smallest d in [2, max_ratio] with total = d * M^2."""
+    for d in range(2, max_ratio + 1):
+        if total % d:
+            continue
+        m = math.isqrt(total // d)
+        if m * m * d == total and m >= 2:
+            return m, m * d
+    return None
+
+
+def plan_decomposition(shape: tuple[int, ...],
+                       max_ratio: int = 8) -> DecompositionPlan:
+    """Choose (M, N) for data of the given shape.
+
+    Tries the paper's exact rule first (smallest ratio ``d >= 2`` such
+    that the size is ``d * M**2``); pads up to the next ``2 * M**2``
+    size otherwise.
+    """
+    if not shape or any(n < 1 for n in shape):
+        raise DataShapeError(f"invalid data shape {shape}")
+    total = int(np.prod(shape))
+    if total < 8:
+        raise DataShapeError(
+            f"data too small to decompose ({total} values; need >= 8)"
+        )
+    found = _square_factor(total, max_ratio)
+    if found is not None:
+        m, n = found
+        return DecompositionPlan(shape=tuple(shape), total_values=total,
+                                 m_blocks=m, n_points=n)
+    # Pad to the next size of the form 2 * M^2.
+    m = math.isqrt((total + 1) // 2)
+    if 2 * m * m < total:
+        m += 1
+    return DecompositionPlan(shape=tuple(shape), total_values=total,
+                             m_blocks=m, n_points=2 * m)
+
+
+def decompose(data: np.ndarray,
+              max_ratio: int = 8) -> tuple[np.ndarray, DecompositionPlan]:
+    """Flatten ``data`` and rearrange into an ``(M, N)`` block matrix.
+
+    Row ``i`` of the result is the ``i``-th block: the contiguous run
+    ``flat[i*N : (i+1)*N]`` of the C-order flattening.  Padding (when
+    the plan requires it) replicates the final value.
+    """
+    data = np.asarray(data)
+    plan = plan_decomposition(data.shape, max_ratio)
+    flat = data.reshape(-1).astype(np.float64)
+    if plan.pad:
+        flat = np.concatenate([flat, np.full(plan.pad, flat[-1])])
+    return flat.reshape(plan.m_blocks, plan.n_points), plan
+
+
+def reassemble(blocks: np.ndarray, plan: DecompositionPlan) -> np.ndarray:
+    """Invert :func:`decompose` (drops padding, restores shape)."""
+    blocks = np.asarray(blocks)
+    if blocks.shape != (plan.m_blocks, plan.n_points):
+        raise DataShapeError(
+            f"block matrix shape {blocks.shape} does not match plan "
+            f"({plan.m_blocks}, {plan.n_points})"
+        )
+    flat = blocks.reshape(-1)[: plan.total_values]
+    return flat.reshape(plan.shape)

@@ -1,0 +1,127 @@
+"""Stage-1b transform registry and pre-PCA coefficient truncation.
+
+Two of the paper's stated extensions live here:
+
+* **Transform choice** (Section III-B2: "PCA in other transform domains
+  (e.g., wavelet transforms) should also work"): stage 1b can run the
+  orthonormal DCT-II (the paper's choice), a multi-level Haar or
+  CDF 5/3 lifting wavelet, or no transform at all.  The transform id is
+  recorded in the container so decompression is self-describing.
+* **Pre-PCA coefficient truncation** (Section VII future work: "analyze
+  the effect of DCT coefficients truncation before applying PCA"):
+  optionally zero all transform coefficients whose magnitude falls
+  below a fraction of the largest, before the eigenanalysis.  On
+  energy-compacted coefficients this denoises the feature covariance
+  and can reduce ``k`` at a given TVE; the ablation bench measures the
+  trade.
+
+Transforms operate blockwise on the ``(M, N)`` block matrix along axis
+1 and must be losslessly invertible (exactly, or to fp tolerance) --
+all compression decisions stay in stages 2-3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.parallel import ParallelConfig, chunk_slices, parallel_map
+from repro.transforms.dct import dct1d, idct1d
+from repro.transforms.wavelet import multilevel_forward, multilevel_inverse
+
+__all__ = ["TRANSFORMS", "forward_transform", "inverse_transform",
+           "truncate_coefficients"]
+
+#: Stage-1b transform ids, in container-encoding order.
+TRANSFORMS = ("dct", "haar", "cdf53", "identity")
+
+#: Wavelet decomposition depth for the multi-level transforms.
+_WAVELET_LEVELS = 3
+
+_MIN_ROWS_PER_CHUNK = 64
+
+
+def _wavelet_band_sizes(n: int, kind: str) -> list[int]:
+    """Band lengths produced by the multi-level forward transform."""
+    probe = multilevel_forward(np.zeros((1, n)), _WAVELET_LEVELS,
+                               wavelet=kind)
+    return [b.shape[-1] for b in probe]
+
+
+def _wavelet_fwd(blocks: np.ndarray, kind: str) -> np.ndarray:
+    bands = multilevel_forward(blocks, _WAVELET_LEVELS, wavelet=kind)
+    return np.concatenate(bands, axis=-1)
+
+
+def _wavelet_inv(coeffs: np.ndarray, kind: str) -> np.ndarray:
+    # Band sizes are a pure function of the length, so the inverse
+    # needs no side information.
+    total = coeffs.shape[-1]
+    sizes = _wavelet_band_sizes(total, kind)
+    bands = []
+    start = 0
+    for s in sizes:
+        bands.append(coeffs[..., start : start + s])
+        start += s
+    return multilevel_inverse(bands, wavelet=kind)
+
+
+def _run_chunked(blocks: np.ndarray, fn, n_jobs: int) -> np.ndarray:
+    blocks = np.asarray(blocks, dtype=np.float64)
+    m = blocks.shape[0]
+    if n_jobs == 1 or m < 2 * _MIN_ROWS_PER_CHUNK:
+        return fn(blocks)
+    slices = chunk_slices(m, max(1, m // _MIN_ROWS_PER_CHUNK))
+    chunks = parallel_map(lambda sl: fn(blocks[sl]), slices,
+                          config=ParallelConfig(n_jobs=n_jobs or None,
+                                                min_chunk=2))
+    return np.concatenate(chunks, axis=0)
+
+
+def forward_transform(blocks: np.ndarray, transform: str = "dct",
+                      n_jobs: int = 1) -> np.ndarray:
+    """Apply the configured stage-1b transform to every block (row)."""
+    if transform == "dct":
+        return _run_chunked(blocks, lambda b: dct1d(b, axis=1), n_jobs)
+    if transform in ("haar", "cdf53"):
+        return _run_chunked(blocks, lambda b: _wavelet_fwd(b, transform),
+                            n_jobs)
+    if transform == "identity":
+        return np.asarray(blocks, dtype=np.float64)
+    raise ConfigError(f"unknown stage-1 transform {transform!r}; "
+                      f"use one of {TRANSFORMS}")
+
+
+def inverse_transform(coeffs: np.ndarray, transform: str = "dct",
+                      n_jobs: int = 1) -> np.ndarray:
+    """Invert :func:`forward_transform`."""
+    if transform == "dct":
+        return _run_chunked(coeffs, lambda c: idct1d(c, axis=1), n_jobs)
+    if transform in ("haar", "cdf53"):
+        return _run_chunked(coeffs, lambda c: _wavelet_inv(c, transform),
+                            n_jobs)
+    if transform == "identity":
+        return np.asarray(coeffs, dtype=np.float64)
+    raise ConfigError(f"unknown stage-1 transform {transform!r}; "
+                      f"use one of {TRANSFORMS}")
+
+
+def truncate_coefficients(coeffs: np.ndarray,
+                          rel_threshold: float) -> tuple[np.ndarray, float]:
+    """Zero coefficients below ``rel_threshold * max|coeff|``.
+
+    Returns the truncated matrix and the fraction of coefficients
+    zeroed.  ``rel_threshold <= 0`` is a no-op.
+    """
+    if rel_threshold <= 0:
+        return coeffs, 0.0
+    if rel_threshold >= 1:
+        raise ConfigError(
+            f"truncation threshold must be in (0, 1), got {rel_threshold}"
+        )
+    peak = float(np.max(np.abs(coeffs))) if coeffs.size else 0.0
+    if peak == 0.0:
+        return coeffs, 0.0
+    mask = np.abs(coeffs) >= rel_threshold * peak
+    zeroed = 1.0 - float(mask.mean())
+    return np.where(mask, coeffs, 0.0), zeroed

@@ -1,0 +1,102 @@
+"""Stage 2: k-PCA selection in the DCT domain (paper Alg. 1).
+
+The DCT-domain block matrix is treated as ``N`` samples of ``M``
+features (features = blocks, as Section IV-A arranges with ``M < N``).
+PCA is fitted over those features -- which, per the Eq. 3-6 proof, is
+exactly PCA of the original data expressed in the DCT basis -- and the
+component count ``k`` is chosen by one of:
+
+* **knee-point detection** (Method 1): maximum curvature of the fitted
+  cumulative-TVE curve; aggressive, parameter-free;
+* **explained variance variation** (Method 2): smallest ``k`` reaching
+  a TVE threshold ("two-nine" ... "eight-nine");
+* **fixed** ``k``: supplied externally, e.g. by the sampling strategy
+  (Alg. 2), skipping the threshold search.
+
+Standardization is applied only when requested (paper: only for
+low-linearity data, since DCT-domain block features share a unit norm
+and rescaling would redistribute variance weight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.knee import detect_knee
+from repro.errors import ConfigError
+from repro.transforms.pca import PCA
+
+__all__ = ["KPCAResult", "fit_kpca"]
+
+
+@dataclass
+class KPCAResult:
+    """Fitted stage-2 state: the projection and everything needed to
+    invert it.
+
+    Attributes
+    ----------
+    pca:
+        The fitted :class:`~repro.transforms.pca.PCA` (full spectrum).
+    k:
+        Selected component count.
+    scores:
+        ``(N, k)`` projection of the data onto the kept components.
+    tve_at_k:
+        Cumulative variance explained by the kept components.
+    """
+
+    pca: PCA
+    k: int
+    scores: np.ndarray
+    tve_at_k: float
+
+    def reconstruct(self, scores: np.ndarray | None = None) -> np.ndarray:
+        """Map (possibly quantized) scores back to the DCT block domain.
+
+        Returns the ``(N, M)`` feature matrix; transpose to get the
+        ``(M, N)`` block matrix.
+        """
+        y = self.scores if scores is None else scores
+        return self.pca.inverse_transform(y)
+
+
+def fit_kpca(features: np.ndarray, *, k_mode: str = "tve",
+             tve: float = 0.999, knee_fit: str = "1d",
+             fixed_k: int | None = None,
+             standardize: bool = False,
+             center: bool = False) -> KPCAResult:
+    """Fit PCA over DCT-domain features and select ``k`` (Alg. 1).
+
+    Parameters
+    ----------
+    features:
+        ``(N, M)`` matrix: N datapoint-samples of M block-features
+        (i.e. the transposed block matrix).
+    k_mode, tve, knee_fit, fixed_k:
+        Selection policy; see module docstring.
+    standardize:
+        Scale features to unit variance before the eigenanalysis.
+    center:
+        Mean-center features first.  DPZ leaves this off (the default
+        here) so component scores stay symmetric about zero, which is
+        what stage 3's symmetric quantizer assumes; see
+        :class:`repro.transforms.pca.PCA` for the discussion.
+    """
+    pca = PCA(standardize=standardize, center=center).fit(features)
+    curve = pca.tve_curve()
+    if k_mode == "tve":
+        k = pca.components_for_tve(tve)
+    elif k_mode == "knee":
+        k = detect_knee(curve, method=knee_fit).k
+    elif k_mode == "fixed":
+        if fixed_k is None:
+            raise ConfigError("k_mode='fixed' requires fixed_k")
+        k = max(1, min(int(fixed_k), curve.size))
+    else:
+        raise ConfigError(f"unknown k_mode {k_mode!r}")
+    scores = pca.transform(features, k=k)
+    return KPCAResult(pca=pca, k=k, scores=scores,
+                      tve_at_k=float(curve[k - 1]))

@@ -1,0 +1,116 @@
+"""Stage 3: symmetric uniform quantization of k-PCA scores.
+
+Because PCA-on-DCT scores are near-normal and symmetric about zero
+(paper Section IV-C), DPZ quantizes them with a uniform quantizer whose
+geometry is:
+
+* bounding range symmetric about zero, each half spanning ``P * B``;
+* ``B`` equal bins of width ``2P``;
+* in-range values are replaced by their bin index (reconstructed at the
+  bin center, so the approximation error is at most ``P``);
+* out-of-range values are escaped and "saved as is".
+
+With 1-byte indexing ``B = 255`` (code 255 is the escape); with 2-byte
+indexing ``B = 65535`` (code 65535 escapes).  ``B`` odd means the
+middle bin is centered exactly on zero, which is where the score mass
+concentrates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError, DataShapeError
+
+__all__ = ["QuantizedScores", "quantize_scores", "dequantize_scores"]
+
+
+@dataclass
+class QuantizedScores:
+    """Stage-3 output.
+
+    Attributes
+    ----------
+    indices:
+        Flat array of bin indices (uint8/uint16); the escape code
+        ``n_bins`` marks out-of-range positions.
+    outliers:
+        Out-of-range values verbatim, in stream order.
+    p:
+        Error bound used.
+    n_bins:
+        Bin count ``B``.
+    shape:
+        Original score-matrix shape (restored on dequantize).
+    """
+
+    indices: np.ndarray
+    outliers: np.ndarray
+    p: float
+    n_bins: int
+    shape: tuple[int, ...]
+
+    @property
+    def escape_code(self) -> int:
+        """Index value marking an out-of-range score."""
+        return self.n_bins
+
+    @property
+    def outlier_fraction(self) -> float:
+        """Fraction of scores stored verbatim."""
+        return self.outliers.size / max(self.indices.size, 1)
+
+
+def _index_dtype(n_bins: int):
+    if n_bins <= 255:
+        return np.uint8
+    if n_bins <= 65535:
+        return np.uint16
+    raise ConfigError(f"n_bins {n_bins} exceeds 2-byte indexing")
+
+
+def quantize_scores(scores: np.ndarray, p: float, n_bins: int, *,
+                    outlier_dtype=np.float32) -> QuantizedScores:
+    """Quantize a score array (paper stage 3).
+
+    Guarantees ``|value - dequantized| <= p`` for every in-range value;
+    out-of-range values round-trip at ``outlier_dtype`` precision
+    (bit-exact if the scores already fit that dtype, or with
+    ``outlier_dtype=np.float64``).
+    """
+    if p <= 0:
+        raise ConfigError(f"error bound p must be positive, got {p}")
+    if n_bins < 1:
+        raise ConfigError(f"n_bins must be >= 1, got {n_bins}")
+    scores = np.asarray(scores, dtype=np.float64)
+    flat = scores.reshape(-1)
+    half = p * n_bins
+    in_range = np.abs(flat) <= half
+    dtype = _index_dtype(n_bins)
+    idx = np.floor((flat + half) / (2.0 * p)).astype(np.int64)
+    np.clip(idx, 0, n_bins - 1, out=idx)
+    codes = np.where(in_range, idx, n_bins).astype(dtype)
+    outliers = flat[~in_range].astype(outlier_dtype)
+    return QuantizedScores(indices=codes, outliers=outliers, p=p,
+                           n_bins=n_bins, shape=tuple(scores.shape))
+
+
+def dequantize_scores(q: QuantizedScores) -> np.ndarray:
+    """Reconstruct scores from stage-3 output (bin centers + outliers)."""
+    idx = q.indices.astype(np.int64)
+    half = q.p * q.n_bins
+    values = -half + (2.0 * idx + 1.0) * q.p
+    escaped = idx == q.escape_code
+    n_escaped = int(escaped.sum())
+    if n_escaped != q.outliers.size:
+        raise DataShapeError(
+            f"outlier stream length {q.outliers.size} does not match "
+            f"{n_escaped} escape codes"
+        )
+    out = values
+    if n_escaped:
+        out = values.copy()
+        out[escaped] = q.outliers.astype(np.float64)
+    return out.reshape(q.shape)

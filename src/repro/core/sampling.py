@@ -1,0 +1,236 @@
+"""Sampling strategy: k estimation and compressibility probe (Alg. 2).
+
+A full PCA over all ``N`` samples costs ``O(min(M, N)^3)`` plus the
+covariance build; Alg. 2 avoids it by estimating ``k`` from a few
+sample subsets and gauging compressibility from a cheap VIF probe:
+
+1. draw a ``SR``-rate row sample and compute feature VIFs; a mean VIF
+   below the cutoff (5) flags low linearity -> standardize in stage 2;
+2. split the ``N`` samples into ``S`` subsets; pick ``T`` of them --
+   the first, middle and last by default, which the paper found best
+   on high-linearity data thanks to the decomposition's locality;
+3. fit PCA on each picked subset, read off its ``k`` at the requested
+   TVE, and average into the seed estimate ``k_seed``;
+4. **refine** the seed with a truncated Lanczos eigendecomposition of
+   the full second-moment matrix: starting from ``k_seed``, grow ``k``
+   until the cumulative eigenvalue mass (checked against the matrix
+   trace, which is exact and cheap) reaches the TVE target.  Subset
+   spectra are noise-inflated whenever the subset has fewer samples
+   than features -- the refinement keeps Alg. 2's cost profile (never
+   a dense ``O(M^3)`` eigendecomposition) while making the estimate,
+   and hence the CR prediction, accurate;
+5. estimate the final compression ratio as the product of per-stage
+   factors: ``CR_p = (M / k_e) * CR'_stage3 * CR'_zlib`` with the
+   empirical stage-3 and zlib factors of Section IV-D2.
+
+.. note::
+   The paper writes ``CR_stage1&2 = k_e / M``, i.e. the *size* ratio;
+   as a compression factor that is ``M / k_e``, which is what the
+   product formula needs and what this module uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse.linalg
+
+from repro.analysis.vif import VIF_CUTOFF, variance_inflation_factors
+from repro.errors import DataShapeError
+from repro.transforms.pca import PCA
+
+__all__ = ["SamplingReport", "sampling_probe", "linearity_probe",
+           "STAGE3_CR_RANGE", "ZLIB_CR_ESTIMATE"]
+
+#: Empirical stage-3 reduction factor range (paper Section IV-D2):
+#: ~2x for 2-byte indexing up to ~2.5x+ with 1-byte indexing.
+STAGE3_CR_RANGE = (1.9, 2.5)
+
+#: Empirical zlib add-on factor (paper: "around 1.25X in general").
+ZLIB_CR_ESTIMATE = 1.25
+
+#: Cap on features used in the VIF probe (correlation-matrix inverse
+#: cost grows cubically with the feature count).
+_VIF_MAX_FEATURES = 256
+
+
+@dataclass(frozen=True)
+class SamplingReport:
+    """Everything Alg. 2 estimates before compression.
+
+    Attributes
+    ----------
+    k_estimate:
+        ``k_e``: the refined component-count estimate (see module docs).
+    k_seed:
+        The raw averaged subset-PCA estimate the refinement started from.
+    subset_ks:
+        The per-subset ``k`` values that were averaged.
+    vif_mean, vif_median:
+        Summary of the sampled feature VIFs.
+    low_linearity:
+        True when the VIF probe falls below the cutoff of 5 ->
+        standardization recommended, low expected compressibility.
+    cr_low, cr_high:
+        Preliminary compression-ratio range ``CR_p``.
+    """
+
+    k_estimate: int
+    k_seed: int
+    subset_ks: tuple[int, ...]
+    vif_mean: float
+    vif_median: float
+    low_linearity: bool
+    cr_low: float
+    cr_high: float
+
+    @property
+    def cr_range(self) -> tuple[float, float]:
+        """Preliminary CR as a (low, high) pair."""
+        return (self.cr_low, self.cr_high)
+
+
+def _pick_subsets(s: int, t: int) -> list[int]:
+    """Subset indices to sample: first, middle, last, then spread."""
+    if t >= s:
+        return list(range(s))
+    picks = [0, s // 2, s - 1]
+    if t <= 3:
+        return sorted(set(picks[:t])) if t < 3 else sorted(set(picks))
+    extra = [i for i in np.linspace(0, s - 1, t).astype(int)
+             if i not in picks]
+    for e in extra:
+        if len(picks) >= t:
+            break
+        picks.append(int(e))
+    return sorted(set(picks))[:t]
+
+
+def linearity_probe(features: np.ndarray, *, sampling_rate: float = 0.01,
+                    rng: np.random.Generator | None = None
+                    ) -> tuple[float, float, bool]:
+    """Steps 1-2 of Alg. 2 alone: the VIF compressibility check.
+
+    Returns ``(vif_mean, vif_median, low_linearity)``.  This is what
+    ``standardize='auto'`` needs -- it costs one small correlation-matrix
+    inverse, far less than the full :func:`sampling_probe`.
+    """
+    X = np.asarray(features, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataShapeError("linearity_probe expects an (N, M) matrix")
+    _, m = X.shape
+    rng = rng or np.random.default_rng(0)
+    n_feat = int(np.clip(round(m * sampling_rate), 3, _VIF_MAX_FEATURES))
+    vifs = variance_inflation_factors(X, max_features=n_feat, rng=rng)
+    vif_mean = float(np.mean(vifs))
+    return vif_mean, float(np.median(vifs)), vif_mean < VIF_CUTOFF
+
+
+def sampling_probe(features: np.ndarray, *, tve: float = 0.999,
+                   subsets: int = 10, picks: int = 3,
+                   sampling_rate: float = 0.01,
+                   orig_nbytes: int | None = None,
+                   cov: np.ndarray | None = None,
+                   rng: np.random.Generator | None = None) -> SamplingReport:
+    """Run Alg. 2 on an ``(N, M)`` feature matrix.
+
+    ``features`` is the *normalized* DCT-domain block matrix transposed
+    (samples in rows), exactly what stage 2 would consume.
+    ``orig_nbytes`` is the original array's byte size (defaults to
+    ``N * M * 4``, the float32 convention); it anchors the CR
+    prediction, which -- unlike the paper's bare product formula --
+    also charges the PCA basis/mean storage, the overhead that
+    dominates the container at small ``k``.
+    """
+    X = np.asarray(features, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataShapeError("sampling_probe expects an (N, M) matrix")
+    n, m = X.shape
+    if n < subsets * 3:
+        raise DataShapeError(
+            f"too few samples ({n}) for {subsets} subsets"
+        )
+    rng = rng or np.random.default_rng(0)
+
+    # Step 1-2: VIF compressibility probe on an SR-rate *feature* sample
+    # (all datapoints kept so the feature correlations are well
+    # estimated; sampling rows instead would leave the correlation
+    # matrix rank-deficient whenever M approaches N).
+    vif_mean, vif_median, low_linearity = linearity_probe(
+        X, sampling_rate=sampling_rate, rng=rng)
+
+    # Steps 3-4a: subset PCAs -> k at the requested TVE -> averaged seed.
+    bounds = np.linspace(0, n, subsets + 1).astype(int)
+    ks: list[int] = []
+    for idx in _pick_subsets(subsets, picks):
+        sub = X[bounds[idx] : bounds[idx + 1]]
+        # center=False to match stage 2's uncentered PCA.
+        pca = PCA(standardize=low_linearity, center=False).fit(sub)
+        ks.append(pca.components_for_tve(tve))
+    k_seed = max(1, int(round(float(np.mean(ks)))))
+
+    # Step 4b: refine with truncated eigsh against the exact trace.
+    # A caller that already built the second-moment matrix (the
+    # compressor shares it with the projection fit) passes it in; it is
+    # only usable on the non-standardized path.
+    k_e = _refine_k(X, k_seed, tve, standardize=low_linearity,
+                    cov=None if low_linearity else cov)
+
+    # Step 5: preliminary CR range.  Score bytes shrink by the stage-3
+    # and zlib factors; basis/mean bytes shrink only modestly under
+    # zlib.  (The paper's product formula omits the basis term.)
+    if orig_nbytes is None:
+        orig_nbytes = n * m * 4
+    score_bytes = n * k_e * 4.0
+    basis_bytes = (k_e * m * 4.0 + m * 8.0) / 1.3
+    bytes_high = score_bytes / (STAGE3_CR_RANGE[0] * ZLIB_CR_ESTIMATE) \
+        + basis_bytes
+    bytes_low = score_bytes / (STAGE3_CR_RANGE[1] * ZLIB_CR_ESTIMATE * 1.6) \
+        + basis_bytes * 0.5
+    cr_low = orig_nbytes / bytes_high
+    cr_high = orig_nbytes / bytes_low
+    return SamplingReport(
+        k_estimate=k_e, k_seed=k_seed, subset_ks=tuple(ks),
+        vif_mean=vif_mean, vif_median=vif_median,
+        low_linearity=low_linearity, cr_low=cr_low, cr_high=cr_high,
+    )
+
+
+def _refine_k(X: np.ndarray, k_seed: int, tve: float, *,
+              standardize: bool,
+              cov: np.ndarray | None = None) -> int:
+    """Grow a truncated eigendecomposition until TVE is reached.
+
+    Uses the exact trace of the second-moment matrix as the TVE
+    denominator, so a *partial* spectrum suffices to certify the
+    threshold; cost stays ``O(M^2 k)`` instead of ``O(M^3)``.
+    """
+    n, m = X.shape
+    if cov is None:
+        work = X
+        if standardize:
+            scale = np.sqrt((X * X).sum(axis=0) / (n - 1))
+            scale[scale == 0] = 1.0
+            work = X / scale
+        cov = (work.T @ work) / (n - 1)
+    total = float(np.trace(cov))
+    if total <= 0:
+        return 1
+    k = int(np.clip(k_seed, 1, m - 2))
+    while True:
+        # Lanczos only pays off for a small leading slice of a large
+        # spectrum; otherwise the dense path is faster and exact.
+        if k >= m - 2 or k > m // 4 or m <= 256:
+            eigvals = np.sort(np.linalg.eigvalsh(cov))[::-1]
+            curve = np.cumsum(np.maximum(eigvals, 0.0)) / total
+            hits = np.flatnonzero(curve >= tve - 1e-12)
+            return int(hits[0]) + 1 if hits.size else m
+        eigvals = scipy.sparse.linalg.eigsh(cov, k=k, which="LA",
+                                            return_eigenvectors=False)
+        eigvals = np.sort(np.maximum(eigvals, 0.0))[::-1]
+        curve = np.cumsum(eigvals) / total
+        hits = np.flatnonzero(curve >= tve - 1e-12)
+        if hits.size:
+            return int(hits[0]) + 1
+        k = min(m - 2, max(k + 4, int(k * 1.6)))

@@ -1,0 +1,246 @@
+"""DPZ container format: serialization of the compressed artifact.
+
+A DPZ archive holds everything :meth:`DPZCompressor.decompress` needs:
+
+========  =====================================================
+section    contents
+========  =====================================================
+0          metadata (geometry, k, quantizer params, flags)
+1          PCA components, float32, zlib-framed
+2          PCA mean (float64) and optional scale (float64), zlib
+3          quantizer bin indices (uint8/uint16), zlib
+4          out-of-range scores (float32/float64), zlib
+5          max-error correction positions (delta varints), zlib
+6          max-error correction lattice codes (int64), zlib
+========  =====================================================
+
+Sections 5-6 are empty unless the optional strict pointwise bound
+(``DPZConfig.max_error``) is enabled.
+
+The per-section byte sizes are what the stage-breakdown experiments
+(Tables III/IV) read off, so :func:`serialize` also returns them.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codecs.container import pack_sections, unpack_sections
+from repro.codecs.varint import decode_uvarint, encode_uvarint
+from repro.codecs.zlibc import zlib_compress, zlib_decompress
+from repro.core.encode import TRANSFORMS
+from repro.errors import FormatError
+
+__all__ = ["DPZArchive", "SectionSizes", "serialize", "deserialize"]
+
+_MAGIC = b"DPZ1"
+_VERSION = 1
+_DTYPES = {"f4": np.float32, "f8": np.float64}
+_DTYPE_TAGS = {np.dtype(np.float32): "f4", np.dtype(np.float64): "f8"}
+
+
+@dataclass
+class SectionSizes:
+    """Compressed byte size of each archive section."""
+
+    meta: int
+    components: int
+    mean_scale: int
+    indices: int
+    outliers: int
+    corrections: int = 0
+
+    @property
+    def total(self) -> int:
+        """Sum over sections (container framing adds a few more bytes)."""
+        return (self.meta + self.components + self.mean_scale
+                + self.indices + self.outliers + self.corrections)
+
+
+@dataclass
+class DPZArchive:
+    """In-memory form of a DPZ compressed artifact."""
+
+    shape: tuple[int, ...]
+    dtype_tag: str            # dtype of the original data ("f4"/"f8")
+    m_blocks: int
+    n_points: int
+    k: int
+    p: float
+    n_bins: int
+    index_bytes: int
+    standardized: bool
+    norm_offset: float        # data minimum (input normalization)
+    norm_scale: float         # data range (input normalization)
+    score_scale: float        # global score divisor applied before
+                              # quantization (1.0 unless standardized)
+    outlier_dtype_tag: str    # "f4"/"f8"
+    components: np.ndarray    # (k, M) float32
+    mean: np.ndarray          # (M,) float64
+    scale: np.ndarray | None  # (M,) float64 or None
+    indices: np.ndarray       # (N*k,) uint8/uint16
+    outliers: np.ndarray      # out-of-range scores
+    transform: str = "dct"    # stage-1b transform id
+    corr_bound: float = 0.0   # lattice bound of the correction pass
+    corr_indices: np.ndarray | None = None  # flat positions (int64)
+    corr_codes: np.ndarray | None = None    # lattice codes (int64)
+
+    @property
+    def original_dtype(self):
+        """NumPy dtype of the original data."""
+        return _DTYPES[self.dtype_tag]
+
+
+def serialize(archive: DPZArchive,
+              zlib_level: int = 6) -> tuple[bytes, SectionSizes]:
+    """Serialize an archive; returns ``(blob, per-section sizes)``."""
+    meta = bytearray()
+    meta += encode_uvarint(len(archive.shape))
+    for n in archive.shape:
+        meta += encode_uvarint(n)
+    meta += archive.dtype_tag.encode()
+    meta += encode_uvarint(archive.m_blocks)
+    meta += encode_uvarint(archive.n_points)
+    meta += encode_uvarint(archive.k)
+    meta += struct.pack("<d", archive.p)
+    meta += struct.pack("<d", archive.norm_offset)
+    meta += struct.pack("<d", archive.norm_scale)
+    meta += struct.pack("<d", archive.score_scale)
+    meta += encode_uvarint(archive.n_bins)
+    meta += encode_uvarint(archive.index_bytes)
+    meta += bytes([1 if archive.standardized else 0])
+    if archive.transform not in TRANSFORMS:
+        raise FormatError(f"unknown transform {archive.transform!r}")
+    meta += bytes([TRANSFORMS.index(archive.transform)])
+    meta += archive.outlier_dtype_tag.encode()
+    meta += encode_uvarint(int(archive.outliers.size))
+    n_corr = 0 if archive.corr_indices is None else archive.corr_indices.size
+    meta += struct.pack("<d", archive.corr_bound)
+    meta += encode_uvarint(int(n_corr))
+
+    comp = zlib_compress(
+        np.ascontiguousarray(archive.components, dtype=np.float32),
+        zlib_level,
+    )
+    ms = np.ascontiguousarray(archive.mean, dtype=np.float64).tobytes()
+    if archive.scale is not None:
+        ms += np.ascontiguousarray(archive.scale, dtype=np.float64).tobytes()
+    mean_scale = zlib_compress(ms, zlib_level)
+    idx = zlib_compress(np.ascontiguousarray(archive.indices), zlib_level)
+    out_dtype = _DTYPES[archive.outlier_dtype_tag]
+    outl = zlib_compress(
+        np.ascontiguousarray(archive.outliers, dtype=out_dtype), zlib_level
+    )
+
+    if archive.corr_indices is not None and archive.corr_indices.size:
+        deltas = np.diff(
+            np.asarray(archive.corr_indices, dtype=np.int64),
+            prepend=np.int64(0),
+        )
+        corr_pos = zlib_compress(deltas.tobytes(), zlib_level)
+        corr_val = zlib_compress(
+            np.asarray(archive.corr_codes, dtype=np.int64).tobytes(),
+            zlib_level,
+        )
+    else:
+        corr_pos = zlib_compress(b"", zlib_level)
+        corr_val = zlib_compress(b"", zlib_level)
+
+    sections = [bytes(meta), comp, mean_scale, idx, outl, corr_pos,
+                corr_val]
+    sizes = SectionSizes(meta=len(meta), components=len(comp),
+                         mean_scale=len(mean_scale), indices=len(idx),
+                         outliers=len(outl),
+                         corrections=len(corr_pos) + len(corr_val))
+    return pack_sections(_MAGIC, _VERSION, sections), sizes
+
+
+def deserialize(blob: bytes) -> DPZArchive:
+    """Parse a blob produced by :func:`serialize`."""
+    meta, comp, mean_scale, idx, outl, corr_pos, corr_val = \
+        unpack_sections(blob, _MAGIC, _VERSION)
+    ndim, pos = decode_uvarint(meta, 0)
+    shape = []
+    for _ in range(ndim):
+        n, pos = decode_uvarint(meta, pos)
+        shape.append(n)
+    dtype_tag = meta[pos : pos + 2].decode()
+    pos += 2
+    if dtype_tag not in _DTYPES:
+        raise FormatError(f"unknown dtype tag {dtype_tag!r}")
+    m_blocks, pos = decode_uvarint(meta, pos)
+    n_points, pos = decode_uvarint(meta, pos)
+    k, pos = decode_uvarint(meta, pos)
+    (p,) = struct.unpack_from("<d", meta, pos)
+    pos += 8
+    (norm_offset,) = struct.unpack_from("<d", meta, pos)
+    pos += 8
+    (norm_scale,) = struct.unpack_from("<d", meta, pos)
+    pos += 8
+    (score_scale,) = struct.unpack_from("<d", meta, pos)
+    pos += 8
+    n_bins, pos = decode_uvarint(meta, pos)
+    index_bytes, pos = decode_uvarint(meta, pos)
+    standardized = bool(meta[pos])
+    pos += 1
+    transform_id = meta[pos]
+    pos += 1
+    if transform_id >= len(TRANSFORMS):
+        raise FormatError(f"unknown transform id {transform_id}")
+    transform = TRANSFORMS[transform_id]
+    outlier_tag = meta[pos : pos + 2].decode()
+    pos += 2
+    if outlier_tag not in _DTYPES:
+        raise FormatError(f"unknown outlier dtype tag {outlier_tag!r}")
+    n_outliers, pos = decode_uvarint(meta, pos)
+    (corr_bound,) = struct.unpack_from("<d", meta, pos)
+    pos += 8
+    n_corr, pos = decode_uvarint(meta, pos)
+
+    components = np.frombuffer(zlib_decompress(comp), dtype=np.float32)
+    components = components.reshape(k, m_blocks).copy()
+    ms = np.frombuffer(zlib_decompress(mean_scale), dtype=np.float64)
+    if standardized:
+        if ms.size != 2 * m_blocks:
+            raise FormatError("mean/scale section size mismatch")
+        mean, scale = ms[:m_blocks].copy(), ms[m_blocks:].copy()
+    else:
+        if ms.size != m_blocks:
+            raise FormatError("mean section size mismatch")
+        mean, scale = ms.copy(), None
+    idx_dtype = np.uint8 if index_bytes == 1 else np.uint16
+    indices = np.frombuffer(zlib_decompress(idx), dtype=idx_dtype).copy()
+    if indices.size != n_points * k:
+        raise FormatError(
+            f"index section holds {indices.size} codes, expected "
+            f"{n_points * k}"
+        )
+    outliers = np.frombuffer(
+        zlib_decompress(outl), dtype=_DTYPES[outlier_tag]
+    ).copy()
+    if outliers.size != n_outliers:
+        raise FormatError("outlier section size mismatch")
+    if n_corr:
+        deltas = np.frombuffer(zlib_decompress(corr_pos), dtype=np.int64)
+        codes = np.frombuffer(zlib_decompress(corr_val), dtype=np.int64)
+        if deltas.size != n_corr or codes.size != n_corr:
+            raise FormatError("correction section size mismatch")
+        corr_indices = np.cumsum(deltas)
+        corr_codes = codes.copy()
+    else:
+        corr_indices = None
+        corr_codes = None
+    return DPZArchive(
+        shape=tuple(shape), dtype_tag=dtype_tag, m_blocks=m_blocks,
+        n_points=n_points, k=k, p=p, n_bins=n_bins,
+        index_bytes=index_bytes, standardized=standardized,
+        norm_offset=norm_offset, norm_scale=norm_scale,
+        score_scale=score_scale, transform=transform,
+        outlier_dtype_tag=outlier_tag, components=components, mean=mean,
+        scale=scale, indices=indices, outliers=outliers,
+        corr_bound=corr_bound, corr_indices=corr_indices,
+        corr_codes=corr_codes,
+    )

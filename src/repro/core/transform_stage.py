@@ -1,0 +1,35 @@
+"""Stage 1b: per-block orthonormal DCT-II over the block matrix.
+
+Each of the ``M`` rows of the block matrix is transformed
+independently (paper: "we apply DCT transform to each block"), which is
+embarrassingly parallel; with ``n_jobs > 1`` the rows are chunked over
+the thread pool (scipy's pocketfft releases the GIL).
+
+Because the transform is orthonormal along each row, the block matrix's
+Frobenius norm -- and hence the total energy reasoning of Section III
+-- is preserved exactly.
+
+These helpers are the DCT-specialized view of the general stage-1b
+transform registry in :mod:`repro.core.encode` (which also offers the
+wavelet and identity variants); analysis code that always means "the
+paper's DCT stage" imports from here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.encode import forward_transform, inverse_transform
+
+__all__ = ["forward_dct_blocks", "inverse_dct_blocks"]
+
+
+def forward_dct_blocks(blocks: np.ndarray, n_jobs: int = 1) -> np.ndarray:
+    """DCT-II of every block (row) of an ``(M, N)`` matrix."""
+    return forward_transform(blocks, "dct", n_jobs)
+
+
+def inverse_dct_blocks(coeffs: np.ndarray, n_jobs: int = 1) -> np.ndarray:
+    """Inverse DCT of every block; exact inverse of
+    :func:`forward_dct_blocks` up to floating point."""
+    return inverse_transform(coeffs, "dct", n_jobs)

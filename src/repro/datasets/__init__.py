@@ -1,0 +1,58 @@
+"""Synthetic scientific-dataset substrate.
+
+The paper evaluates on nine fields from three proprietary/huge dataset
+families (Table I).  None ship with this repo (multi-GB downloads), so
+each family has a from-scratch synthetic generator that reproduces the
+statistical properties the compressors are sensitive to -- smoothness,
+spectral decay, value bounds, and inter-block linearity (VIF).  See
+DESIGN.md Section 1 for the substitution rationale.
+
+* :mod:`repro.datasets.grf` -- the shared spectral-synthesis engine.
+* :mod:`repro.datasets.turbulence` -- JHTDB analogues (Isotropic, Channel).
+* :mod:`repro.datasets.climate` -- CESM-ATM analogues (CLDHGH, CLDLOW,
+  PHIS, FREQSH, FLDSC).
+* :mod:`repro.datasets.cosmology` -- HACC analogues (x, vx).
+* :mod:`repro.datasets.registry` -- the Table-I-style inventory keyed by
+  dataset name, with small/full size presets.
+* :mod:`repro.datasets.io` -- raw ``.f32`` / ``.npy`` load & save.
+"""
+
+from repro.datasets.climate import (
+    cldhgh,
+    cldlow,
+    fldsc,
+    freqsh,
+    phis,
+)
+from repro.datasets.cosmology import hacc_vx, hacc_x
+from repro.datasets.grf import gaussian_random_field, power_law_field
+from repro.datasets.io import load_f32, load_field, save_f32, save_field
+from repro.datasets.registry import (
+    DatasetSpec,
+    all_dataset_names,
+    get_dataset,
+    get_spec,
+)
+from repro.datasets.turbulence import channel, isotropic
+
+__all__ = [
+    "gaussian_random_field",
+    "power_law_field",
+    "isotropic",
+    "channel",
+    "cldhgh",
+    "cldlow",
+    "phis",
+    "freqsh",
+    "fldsc",
+    "hacc_x",
+    "hacc_vx",
+    "DatasetSpec",
+    "get_dataset",
+    "get_spec",
+    "all_dataset_names",
+    "load_f32",
+    "save_f32",
+    "load_field",
+    "save_field",
+]

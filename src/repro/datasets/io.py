@@ -1,0 +1,68 @@
+"""Raw binary dataset I/O in SDRBench conventions.
+
+SDRBench (and the paper's Table I datasets) distribute fields as
+headerless little-endian ``float32`` streams whose shape is implied by
+the file name.  :func:`load_f32` / :func:`save_f32` handle that format
+so users with the *real* JHTDB/CESM/HACC downloads can feed them to
+every harness in this repo; :func:`load_field` / :func:`save_field`
+additionally accept ``.npy`` for self-describing storage.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import DataShapeError, FormatError
+
+__all__ = ["load_f32", "save_f32", "load_field", "save_field"]
+
+
+def load_f32(path: str | os.PathLike,
+             shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Load a headerless little-endian float32 file.
+
+    ``shape=None`` returns the flat array; otherwise the element count
+    must match exactly.
+    """
+    data = np.fromfile(os.fspath(path), dtype="<f4")
+    if shape is None:
+        return data
+    expected = int(np.prod(shape))
+    if data.size != expected:
+        raise DataShapeError(
+            f"{path}: file holds {data.size} float32 values, "
+            f"shape {shape} needs {expected}"
+        )
+    return data.reshape(shape)
+
+
+def save_f32(path: str | os.PathLike, data: np.ndarray) -> None:
+    """Write an array as headerless little-endian float32 (C order)."""
+    np.ascontiguousarray(data, dtype="<f4").tofile(os.fspath(path))
+
+
+def load_field(path: str | os.PathLike,
+               shape: tuple[int, ...] | None = None) -> np.ndarray:
+    """Load ``.npy`` (self-describing) or raw ``.f32``/``.dat``/``.bin``."""
+    p = os.fspath(path)
+    ext = os.path.splitext(p)[1].lower()
+    if ext == ".npy":
+        return np.load(p)
+    if ext in (".f32", ".dat", ".bin", ""):
+        return load_f32(p, shape)
+    raise FormatError(f"unrecognized dataset extension {ext!r} for {p}")
+
+
+def save_field(path: str | os.PathLike, data: np.ndarray) -> None:
+    """Save to ``.npy`` or raw float32 depending on the extension."""
+    p = os.fspath(path)
+    ext = os.path.splitext(p)[1].lower()
+    if ext == ".npy":
+        np.save(p, data)
+        return
+    if ext in (".f32", ".dat", ".bin"):
+        save_f32(p, data)
+        return
+    raise FormatError(f"unrecognized dataset extension {ext!r} for {p}")

@@ -1,0 +1,139 @@
+"""Dataset registry mirroring the paper's Table I.
+
+Maps each of the paper's nine field names to its synthetic generator,
+dimensions, source family and description, with two size presets:
+
+* ``'small'`` -- laptop-instant sizes used by the default test and
+  benchmark runs (3-D: 64^3, 2-D: 450x900, 1-D: 2^18);
+* ``'full'`` -- the paper's actual dimensions (3-D: 128^3,
+  2-D: 1800x3600, 1-D: 2^21).
+
+Use :func:`get_dataset` by name, e.g. ``get_dataset("FLDSC")``.
+Generated arrays are cached per (name, size) within the process since
+several experiments revisit the same fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.datasets import climate, cosmology, turbulence
+from repro.errors import ConfigError
+
+__all__ = ["DatasetSpec", "get_spec", "get_dataset", "all_dataset_names",
+           "clear_cache", "SIZES"]
+
+SIZES = ("small", "full")
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One row of the Table-I-style inventory."""
+
+    name: str
+    source: str
+    kind: str          # "Turbulence simulation", "Climate simulation", ...
+    ndim: int
+    small_shape: tuple[int, ...]
+    full_shape: tuple[int, ...]
+    generator: Callable[..., np.ndarray]
+    description: str
+
+    def shape(self, size: str = "small") -> tuple[int, ...]:
+        """Shape for the requested size preset."""
+        if size not in SIZES:
+            raise ConfigError(f"unknown size preset {size!r}; use {SIZES}")
+        return self.small_shape if size == "small" else self.full_shape
+
+
+def _gen_1d(fn):
+    """Adapt an (n,)-signature generator to take a shape tuple."""
+    def wrapper(shape: tuple[int, ...]) -> np.ndarray:
+        return fn(n=shape[0])
+    return wrapper
+
+
+_REGISTRY: dict[str, DatasetSpec] = {}
+
+
+def _register(spec: DatasetSpec) -> None:
+    _REGISTRY[spec.name.upper()] = spec
+
+
+_register(DatasetSpec(
+    name="Isotropic", source="JHTDB", kind="Turbulence simulation", ndim=3,
+    small_shape=(64, 64, 64), full_shape=(128, 128, 128),
+    generator=lambda shape: turbulence.isotropic(shape),
+    description="Isotropic1024-coarse analogue: Kolmogorov-spectrum "
+                "velocity component on a periodic box.",
+))
+_register(DatasetSpec(
+    name="Channel", source="JHTDB", kind="Turbulence simulation", ndim=3,
+    small_shape=(64, 64, 64), full_shape=(128, 128, 128),
+    generator=lambda shape: turbulence.channel(shape),
+    description="Channel-flow analogue: log-law mean shear with "
+                "wall-damped anisotropic fluctuations.",
+))
+for _name, _fn, _desc in (
+    ("CLDHGH", climate.cldhgh, "High-cloud fraction: patchy, tropical."),
+    ("CLDLOW", climate.cldlow, "Low-cloud fraction: subtropical banks."),
+    ("PHIS", climate.phis, "Surface geopotential: oceans + rough orography."),
+    ("FREQSH", climate.freqsh, "Shallow-convection frequency: sparse."),
+    ("FLDSC", climate.fldsc, "Clear-sky downwelling flux: very smooth."),
+):
+    _register(DatasetSpec(
+        name=_name, source="CESM-ATM-Taylor", kind="Climate simulation",
+        ndim=2, small_shape=(450, 900), full_shape=(1800, 3600),
+        generator=(lambda shape, fn=_fn: fn(shape)),
+        description=_desc,
+    ))
+_register(DatasetSpec(
+    name="HACC-x", source="HACC", kind="Cosmology particle simulation",
+    ndim=1, small_shape=(2 ** 18,), full_shape=(2 ** 21,),
+    generator=_gen_1d(cosmology.hacc_x),
+    description="Particle x positions (Zel'dovich): quasi-linear ramp.",
+))
+_register(DatasetSpec(
+    name="HACC-vx", source="HACC", kind="Cosmology particle simulation",
+    ndim=1, small_shape=(2 ** 18,), full_shape=(2 ** 21,),
+    generator=_gen_1d(cosmology.hacc_vx),
+    description="Particle x velocities: dispersion-dominated, low VIF.",
+))
+
+_CACHE: dict[tuple[str, str], np.ndarray] = {}
+
+
+def all_dataset_names() -> list[str]:
+    """The nine field names in Table-I order."""
+    return [s.name for s in _REGISTRY.values()]
+
+
+def get_spec(name: str) -> DatasetSpec:
+    """Look up a dataset's registry entry (case-insensitive)."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown dataset {name!r}; known: {all_dataset_names()}"
+        ) from None
+
+
+def get_dataset(name: str, size: str = "small") -> np.ndarray:
+    """Generate (or fetch from cache) a dataset by Table-I name.
+
+    The returned array is the cached instance -- treat it as read-only,
+    or copy before mutating.
+    """
+    spec = get_spec(name)
+    key = (spec.name, size)
+    if key not in _CACHE:
+        _CACHE[key] = spec.generator(spec.shape(size))
+    return _CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached dataset instances (mainly for tests)."""
+    _CACHE.clear()

@@ -1,0 +1,110 @@
+"""JHTDB-analogue 3-D turbulence fields.
+
+Stand-ins for the Johns Hopkins Turbulence Database snapshots the paper
+uses ("Isotropic1024-coarse" and "Channel", Table I).  What DPZ/SZ/ZFP
+respond to in these data is the velocity field's spectral decay and the
+cross-block correlation structure, both of which the spectral synthesis
+reproduces directly:
+
+* :func:`isotropic` -- homogeneous isotropic turbulence.  The 3-D power
+  spectrum follows Kolmogorov's inertial-range law: the *energy*
+  spectrum ``E(k) ~ k^(-5/3)`` corresponds to a 3-D *power* spectral
+  density ``P(k) ~ E(k) / k^2 ~ k^(-11/3)``.
+* :func:`channel` -- wall-bounded channel flow: a mean streamwise shear
+  profile (log-law-like), turbulence intensity damped toward the walls,
+  and mild anisotropy (streamwise-elongated structures).
+
+Default grids are 64**3 so the full evaluation suite runs in seconds;
+pass ``shape=(128, 128, 128)`` for the paper-scale snapshot geometry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.grf import gaussian_random_field
+from repro.errors import DataShapeError
+
+__all__ = ["isotropic", "channel", "KOLMOGOROV_3D_SLOPE"]
+
+#: 3-D PSD slope matching the Kolmogorov -5/3 energy spectrum.
+KOLMOGOROV_3D_SLOPE = -11.0 / 3.0
+
+
+def _check3d(shape: tuple[int, ...]) -> None:
+    if len(shape) != 3 or min(shape) < 4:
+        raise DataShapeError(
+            f"turbulence fields are 3-D with every dim >= 4, got {shape}"
+        )
+
+
+def isotropic(shape: tuple[int, int, int] = (64, 64, 64), *,
+              seed: int = 1024,
+              dtype=np.float32) -> np.ndarray:
+    """One velocity component of isotropic turbulence on a periodic box.
+
+    Kolmogorov inertial-range spectrum with a von Karman large-scale
+    rolloff and a Gaussian dissipation-range cutoff (real DNS fields
+    are smooth below the Kolmogorov scale -- without the cutoff the
+    synthetic field carries far more fine-scale energy than JHTDB's
+    coarse snapshots and every compressor under-performs the paper's
+    numbers).  A faint white floor (~3e-4 of the rms) represents
+    single-precision storage noise and pins the deep TVE tail.
+    """
+    _check3d(shape)
+    rng = np.random.default_rng(seed)
+    k0 = 2.0 / max(shape)   # energy-containing scale: ~half the box
+    kd = 6.0 / max(shape)   # dissipation cutoff
+
+    def spectrum(k: np.ndarray) -> np.ndarray:
+        return (np.power(1.0 + (k / k0) ** 2, KOLMOGOROV_3D_SLOPE / 2.0)
+                * np.exp(-((k / kd) ** 2)))
+
+    field = gaussian_random_field(shape, spectrum, rng, mean=0.0, std=1.0)
+    field += 3e-4 * rng.normal(size=shape)
+    return field.astype(dtype)
+
+
+def channel(shape: tuple[int, int, int] = (64, 64, 64), *,
+            seed: int = 2048,
+            friction_velocity: float = 0.05,
+            dtype=np.float32) -> np.ndarray:
+    """Streamwise velocity of a turbulent channel flow.
+
+    Axis convention: ``(x streamwise, y wall-normal, z spanwise)`` with
+    walls at ``y = 0`` and ``y = ny - 1``.  The mean profile is a
+    log-law body with viscous-sublayer rolloff; fluctuations are an
+    anisotropic GRF (streamwise-elongated) modulated by a near-wall
+    intensity envelope peaking in the buffer layer.
+    """
+    _check3d(shape)
+    nx, ny, nz = shape
+    rng = np.random.default_rng(seed)
+
+    # Wall-normal coordinate in (0, 1], mirrored about the centerline.
+    y = (np.arange(ny) + 0.5) / ny
+    y_wall = np.minimum(y, 1.0 - y)  # distance to nearest wall, (0, 0.5]
+    kappa = 0.41
+    y_plus = y_wall * 360.0  # nominal Re_tau = 180 per half-height
+    mean_profile = friction_velocity * (
+        np.log1p(kappa * y_plus) / kappa
+        + 7.8 * (1.0 - np.exp(-y_plus / 11.0)
+                 - (y_plus / 11.0) * np.exp(-y_plus / 3.0))
+    )
+
+    def spectrum(k: np.ndarray) -> np.ndarray:
+        k0 = 2.0 / max(shape)
+        kd = 5.5 / max(shape)
+        return (np.power(1.0 + (k / k0) ** 2, KOLMOGOROV_3D_SLOPE / 2.0)
+                * np.exp(-((k / kd) ** 2)))
+
+    fluct = gaussian_random_field(shape, spectrum, rng, mean=0.0, std=1.0)
+    fluct += 3e-4 * rng.normal(size=shape)
+    # Streamwise elongation: smooth along x with a short moving blend.
+    fluct = 0.5 * (fluct + np.roll(fluct, 1, axis=0))
+    # Near-wall intensity envelope: zero at the wall, peak near y+ ~ 15.
+    intensity = (y_plus / 15.0) * np.exp(1.0 - y_plus / 15.0)
+    intensity = 0.3 + 0.7 * np.clip(intensity, 0.0, 1.0)
+    field = mean_profile[None, :, None] + \
+        2.5 * friction_velocity * intensity[None, :, None] * fluct
+    return field.astype(dtype)

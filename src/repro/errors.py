@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError`, so callers can catch one base class.  Individual
+subsystems raise more specific subclasses:
+
+* :class:`CodecError` -- malformed bitstreams, corrupt Huffman tables,
+  truncated payloads.
+* :class:`FormatError` -- unrecognised or corrupt container files
+  (bad magic, unsupported version, checksum mismatch).
+* :class:`ConfigError` -- invalid user-supplied configuration
+  (impossible error bounds, out-of-range quantizer widths, ...).
+* :class:`DataShapeError` -- input arrays whose shape/dtype the
+  algorithm cannot process.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every intentional error raised by :mod:`repro`."""
+
+
+class CodecError(ReproError):
+    """A low-level codec (Huffman, bit I/O, negabinary, ...) failed.
+
+    Typically indicates a truncated or corrupt encoded buffer, or an
+    attempt to decode with a mismatched table.
+    """
+
+
+class FormatError(ReproError):
+    """A serialized container is malformed.
+
+    Raised for bad magic bytes, unsupported format versions, section
+    length mismatches and checksum failures.
+    """
+
+
+class ConfigError(ReproError):
+    """User-supplied configuration is invalid or internally inconsistent."""
+
+
+class DataShapeError(ReproError):
+    """Input data has a shape, size or dtype the operation cannot handle."""

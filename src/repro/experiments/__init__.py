@@ -1,0 +1,33 @@
+"""Experiment harnesses: one module per paper table/figure.
+
+Each module exposes ``run(...)`` returning structured results and a
+``format_report(results)`` producing the paper-shaped text the
+benchmarks print.  The mapping to the paper:
+
+==================  ====================================================
+module               paper artifact
+==================  ====================================================
+``fig1``             Fig. 1: data vs DCT-coefficient distributions
+``fig2``             Fig. 2: block overlay + PCA component distributions
+``fig3``             Fig. 3: ECR/TVE CDF and PSNR vs #features
+``fig4``             Fig. 4: error maps of transform combinations at 5x
+``fig6``             Fig. 6: rate-distortion, DPZ vs SZ vs ZFP
+``fig7``             Fig. 7: CLDHGH visualization operating points
+``fig8``             Fig. 8: compression/decompression time vs CR
+``fig9``             Fig. 9: DPZ per-stage time breakdown
+``fig10``            Fig. 10: VIF distributions of sampling data
+``table1``           Table I: dataset inventory
+``table2``           Table II: knee-point compression (1d vs polyn)
+``table3``           Table III: per-stage CR breakdown
+``table4``           Table IV: delta-PSNR between stages
+``sampling_eval``    Section V-C6: CR_p hit-rate of the sampling strategy
+==================  ====================================================
+
+Fig. 5 is the framework diagram (no experiment).  CLDLOW is generated
+and registered but, as in the paper, reported only where it differs
+from CLDHGH.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

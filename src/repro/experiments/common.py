@@ -1,0 +1,86 @@
+"""Shared plumbing for the experiment harnesses.
+
+Provides compressor adapters with the uniform signature the
+rate-distortion driver expects (``run(data, param) ->
+(compressed_nbytes, reconstruction)``), the canonical dataset lists,
+and small text-table formatting helpers shared by every harness.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.baselines.sz import SZCompressor
+from repro.baselines.zfp import ZFPCompressor
+from repro.core.compressor import DPZCompressor
+from repro.core.config import DPZ_L, DPZ_S, DPZConfig
+
+__all__ = [
+    "run_dpz",
+    "run_sz",
+    "run_zfp",
+    "dpz_config",
+    "RD_DATASETS",
+    "TABLE_DATASETS",
+    "NINES_SWEEP",
+    "format_table",
+]
+
+#: The eight datasets Fig. 6 plots (CLDLOW omitted, as in the paper).
+RD_DATASETS = ("Isotropic", "Channel", "CLDHGH", "PHIS", "FREQSH",
+               "FLDSC", "HACC-x", "HACC-vx")
+
+#: The six datasets Tables II-IV report.
+TABLE_DATASETS = ("Isotropic", "Channel", "CLDHGH", "PHIS",
+                  "HACC-x", "HACC-vx")
+
+#: The TVE sweep of the breakdown tables ("three-nine" to "seven-nine").
+NINES_SWEEP = (3, 5, 7)
+
+
+def dpz_config(scheme: str, nines: int | None = None,
+               knee_fit: str | None = None) -> DPZConfig:
+    """Config for a paper scheme at a TVE level or in knee mode."""
+    base = DPZ_L if scheme == "l" else DPZ_S
+    if knee_fit is not None:
+        return base.with_knee(knee_fit)
+    return base.with_tve_nines(nines if nines is not None else 3)
+
+
+def run_dpz(data: np.ndarray, cfg: DPZConfig) -> tuple[int, np.ndarray]:
+    """Compress+decompress with DPZ; returns (bytes, reconstruction)."""
+    blob = DPZCompressor(cfg).compress(data)
+    return len(blob), DPZCompressor.decompress(blob)
+
+
+def run_sz(data: np.ndarray, rel_eps: float) -> tuple[int, np.ndarray]:
+    """Compress+decompress with the SZ baseline at a relative bound."""
+    comp = SZCompressor(rel_eps=rel_eps)
+    blob = comp.compress(data)
+    return len(blob), SZCompressor.decompress(blob)
+
+
+def run_zfp(data: np.ndarray, rate: float) -> tuple[int, np.ndarray]:
+    """Compress+decompress with the ZFP baseline at a fixed rate."""
+    comp = ZFPCompressor(rate=rate)
+    blob = comp.compress(data)
+    return len(blob), ZFPCompressor.decompress(blob)
+
+
+def format_table(header: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[str(h) for h in header]]
+    cells += [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

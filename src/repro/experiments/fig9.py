@@ -1,0 +1,66 @@
+"""Fig. 9: breakdown of DPZ compression time by stage.
+
+The paper's Figure 9 shows where DPZ's compression time goes per
+dataset; stage 2 (PCA) and stage 3 (quantization+encoding) dominate
+because both scale with the coefficient dimensions.  ``run`` reuses the
+compressor's built-in stage timers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compressor import DPZCompressor
+from repro.datasets.registry import get_dataset
+from repro.experiments.common import TABLE_DATASETS, dpz_config, format_table
+
+__all__ = ["StageTimes", "run", "format_report", "STAGE_ORDER"]
+
+STAGE_ORDER = ("decompose", "dct", "sampling", "pca", "quantize", "encode")
+
+
+@dataclass
+class StageTimes:
+    """Per-stage compression seconds for one dataset."""
+
+    dataset: str
+    scheme: str
+    times: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        """Total instrumented compression time."""
+        return sum(self.times.values())
+
+    def fraction(self, stage: str) -> float:
+        """Share of total time spent in one stage."""
+        return self.times.get(stage, 0.0) / max(self.total, 1e-12)
+
+
+def run(datasets: tuple[str, ...] = TABLE_DATASETS, size: str = "small",
+        scheme: str = "l", nines: int = 5) -> list[StageTimes]:
+    """Measure stage times for each dataset."""
+    out: list[StageTimes] = []
+    for name in datasets:
+        data = get_dataset(name, size)
+        comp = DPZCompressor(dpz_config(scheme, nines))
+        _, st = comp.compress_with_stats(data)
+        out.append(StageTimes(dataset=name, scheme=scheme,
+                              times=dict(st.times)))
+    return out
+
+
+def format_report(results: list[StageTimes]) -> str:
+    """Stage-time table (Fig. 9's bars, in ms)."""
+    rows = []
+    for r in results:
+        rows.append(
+            [r.dataset]
+            + [f"{r.times.get(s, 0.0) * 1e3:9.1f}" for s in STAGE_ORDER]
+            + [f"{r.total * 1e3:9.1f}"]
+        )
+    return format_table(
+        ["dataset"] + [f"{s} ms" for s in STAGE_ORDER] + ["total ms"],
+        rows,
+        title="Fig. 9 analogue -- DPZ compression time by stage",
+    )

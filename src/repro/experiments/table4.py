@@ -1,0 +1,76 @@
+"""Table IV: accuracy loss between stages (delta PSNR).
+
+The paper measures how much PSNR stage 3 (quantization) costs on top of
+stages 1&2 (k-PCA truncation) at each TVE level.  Expected shape: the
+delta *grows* as TVE tightens -- with more variance preserved, the
+truncation error shrinks below the quantization error, so quantization
+becomes the binding loss -- and it grows much faster for DPZ-l (coarser
+quantizer) than DPZ-s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compressor import DPZCompressor
+from repro.datasets.registry import get_dataset
+from repro.experiments.common import (
+    NINES_SWEEP,
+    TABLE_DATASETS,
+    dpz_config,
+    format_table,
+)
+
+__all__ = ["DeltaPSNRCell", "run", "format_report"]
+
+
+@dataclass
+class DeltaPSNRCell:
+    """One (dataset, scheme, TVE) entry of Table IV."""
+
+    dataset: str
+    scheme: str
+    nines: int
+    psnr_stage12: float
+    psnr_final: float
+
+    @property
+    def delta(self) -> float:
+        """PSNR lost to stage 3 (dB)."""
+        return self.psnr_stage12 - self.psnr_final
+
+
+def run(datasets: tuple[str, ...] = TABLE_DATASETS,
+        size: str = "small",
+        nines_sweep: tuple[int, ...] = NINES_SWEEP) -> list[DeltaPSNRCell]:
+    """Fill Table IV (requires the extra stage-PSNR reconstruction)."""
+    cells: list[DeltaPSNRCell] = []
+    for name in datasets:
+        data = get_dataset(name, size)
+        for scheme in ("l", "s"):
+            for nines in nines_sweep:
+                comp = DPZCompressor(dpz_config(scheme, nines))
+                _, st = comp.compress_with_stats(data, stage_psnr=True)
+                cells.append(DeltaPSNRCell(
+                    dataset=name, scheme=scheme, nines=nines,
+                    psnr_stage12=float(st.psnr_stage12),
+                    psnr_final=float(st.psnr_final),
+                ))
+    return cells
+
+
+def format_report(cells: list[DeltaPSNRCell]) -> str:
+    """Table IV layout: delta PSNR per (dataset, scheme, TVE)."""
+    rows = []
+    for c in cells:
+        rows.append([
+            c.dataset, f"DPZ-{c.scheme}", f"{c.nines}-nine",
+            f"{c.psnr_stage12:8.2f}", f"{c.psnr_final:8.2f}",
+            f"{c.delta:7.3f}",
+        ])
+    return format_table(
+        ["dataset", "scheme", "TVE", "PSNR s1&2", "PSNR final",
+         "delta dB"],
+        rows,
+        title="Table IV analogue -- accuracy loss between stages",
+    )

@@ -1,0 +1,41 @@
+"""Balanced chunking of block ranges for parallel stages.
+
+Splitting M blocks over W workers the naive way (ceil(M/W)-sized runs)
+can leave the last worker nearly idle; these helpers distribute the
+remainder one block at a time so chunk sizes differ by at most one.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+__all__ = ["chunk_ranges", "chunk_slices"]
+
+
+def chunk_ranges(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``<= chunks`` balanced [start, end) ranges.
+
+    Every range is non-empty; fewer than ``chunks`` ranges are returned
+    when ``total < chunks``.  Sizes differ by at most one, larger
+    chunks first.
+    """
+    if total < 0:
+        raise ConfigError(f"total must be >= 0, got {total}")
+    if chunks < 1:
+        raise ConfigError(f"chunks must be >= 1, got {chunks}")
+    if total == 0:
+        return []
+    chunks = min(chunks, total)
+    base, extra = divmod(total, chunks)
+    ranges: list[tuple[int, int]] = []
+    start = 0
+    for i in range(chunks):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+def chunk_slices(total: int, chunks: int) -> list[slice]:
+    """Same as :func:`chunk_ranges` but as :class:`slice` objects."""
+    return [slice(a, b) for a, b in chunk_ranges(total, chunks)]

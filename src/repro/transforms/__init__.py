@@ -1,0 +1,40 @@
+"""Transform substrate: DCT, PCA and wavelets, all with exact inverses.
+
+DPZ's stage 1 applies an orthonormal DCT-II per block
+(:mod:`repro.transforms.dct`); stage 2 projects the DCT-domain block
+matrix with PCA (:mod:`repro.transforms.pca`).  The lifting wavelets in
+:mod:`repro.transforms.wavelet` back the paper's "PCA in other
+transform domains" discussion, and :mod:`repro.transforms.orthogonal`
+holds the shared orthogonality checks used by tests and by the
+energy-conservation reasoning in DESIGN.md.
+"""
+
+from repro.transforms.dct import (
+    dct1d,
+    dct2d,
+    dct_matrix,
+    idct1d,
+    idct2d,
+)
+from repro.transforms.orthogonal import is_orthogonal
+from repro.transforms.pca import PCA
+from repro.transforms.wavelet import (
+    cdf53_forward,
+    cdf53_inverse,
+    haar_forward,
+    haar_inverse,
+)
+
+__all__ = [
+    "dct_matrix",
+    "dct1d",
+    "idct1d",
+    "dct2d",
+    "idct2d",
+    "PCA",
+    "is_orthogonal",
+    "haar_forward",
+    "haar_inverse",
+    "cdf53_forward",
+    "cdf53_inverse",
+]

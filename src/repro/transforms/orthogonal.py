@@ -1,0 +1,41 @@
+"""Orthogonality and energy-conservation checks.
+
+The correctness of DPZ's error accounting rests on every lossy-free
+stage being orthonormal (paper Section III-B2: "both DCT and PCA are
+orthogonal linear transformations").  These helpers make that property
+testable and are used both by the unit tests and by debug assertions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["is_orthogonal", "energy", "energy_ratio"]
+
+
+def is_orthogonal(mat: np.ndarray, atol: float = 1e-9) -> bool:
+    """True if ``mat @ mat.T`` is the identity within ``atol``.
+
+    For non-square (k, n) matrices with k < n this checks row
+    orthonormality (a partial isometry), which is the property PCA's
+    truncated component matrix actually has.
+    """
+    mat = np.asarray(mat, dtype=np.float64)
+    if mat.ndim != 2:
+        return False
+    gram = mat @ mat.T
+    return bool(np.allclose(gram, np.eye(mat.shape[0]), atol=atol))
+
+
+def energy(x: np.ndarray) -> float:
+    """Sum of squares of all elements (the paper's "energy")."""
+    x = np.asarray(x, dtype=np.float64)
+    return float(np.sum(x * x))
+
+
+def energy_ratio(transformed: np.ndarray, original: np.ndarray) -> float:
+    """``energy(transformed) / energy(original)``; 1.0 for orthonormal maps."""
+    denom = energy(original)
+    if denom == 0.0:
+        return 1.0 if energy(transformed) == 0.0 else np.inf
+    return energy(transformed) / denom

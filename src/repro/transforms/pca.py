@@ -1,0 +1,279 @@
+"""Principal component analysis with exact inverse transform.
+
+Implemented from scratch on top of :mod:`numpy.linalg` (scikit-learn is
+deliberately not a dependency).  Matches the paper's formulation
+(Section III-A2 and Eq. 3-6): eigenanalysis of the feature covariance
+matrix, projection ``y = D^T (x - mean)``, and inverse projection
+``x_hat = D y + mean``.
+
+Conventions
+-----------
+* Input matrices are ``(n_samples, n_features)``.
+* ``components_`` is ``(n_components, n_features)`` with orthonormal
+  rows (eigenvectors of the covariance matrix, descending eigenvalue),
+  mirroring the scikit-learn layout so downstream code reads familiarly.
+* Eigenvector sign is fixed deterministically (largest-magnitude entry
+  positive) so serialized bases are reproducible across runs/platforms.
+
+Two solvers are available:
+
+* ``'cov'`` -- build the f-by-f covariance matrix and call ``eigh``;
+  literal Eq. 3, preferred when ``n_features <= n_samples`` (DPZ always
+  arranges M < N, so this is the hot path).
+* ``'svd'`` -- thin SVD of the centered data; numerically gentler when
+  features outnumber samples.
+* ``'eigsh'`` -- truncated Lanczos eigendecomposition of the covariance
+  matrix (requires ``n_components``); this is the fast path DPZ's
+  sampling strategy unlocks -- once ``k`` is known a priori, only the
+  leading ``k`` directions are searched (paper Section IV-D1:
+  "the time complexity of k-PCA can be reduced").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse.linalg
+
+from repro.errors import ConfigError, DataShapeError
+
+__all__ = ["PCA"]
+
+
+def _fix_signs(components: np.ndarray) -> np.ndarray:
+    """Flip eigenvector signs so each row's largest-|.| entry is positive."""
+    idx = np.argmax(np.abs(components), axis=1)
+    signs = np.sign(components[np.arange(components.shape[0]), idx])
+    signs[signs == 0] = 1.0
+    return components * signs[:, None]
+
+
+class PCA:
+    """Principal component analysis with fit / transform / inverse.
+
+    Parameters
+    ----------
+    n_components:
+        Number of components to keep; ``None`` keeps all
+        ``min(n_samples, n_features)``.
+    solver:
+        ``'auto'`` (default), ``'cov'`` or ``'svd'``; see module docs.
+    standardize:
+        If True, features are scaled to unit variance before the
+        eigenanalysis (and un-scaled on inverse).  DPZ enables this only
+        for low-linearity data (VIF < 5); see paper Section IV-B.
+    center:
+        If False, features are *not* mean-subtracted and the
+        eigenanalysis runs on the second-moment matrix instead of the
+        covariance.  This is what DPZ's stage 2 uses: on DCT-domain
+        features the raw coefficients are already concentrated at zero,
+        and skipping the centering keeps the component scores symmetric
+        about zero (paper Section IV-C) rather than offset by the
+        projected mean -- which is what makes the symmetric stage-3
+        quantizer effective.  With ``center=False``, "variance" in all
+        attribute names reads as "second moment".
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    mean_ : (n_features,) feature means.
+    scale_ : (n_features,) divisors applied when ``standardize`` (else None).
+    components_ : (n_components, n_features) orthonormal rows.
+    explained_variance_ : (n_components,) eigenvalues, descending.
+    explained_variance_ratio_ : eigenvalues / total variance.
+    total_variance_ : scalar, sum over *all* feature variances.
+    """
+
+    def __init__(self, n_components: int | None = None, *,
+                 solver: str = "auto", standardize: bool = False,
+                 center: bool = True) -> None:
+        if solver not in ("auto", "cov", "svd", "eigsh"):
+            raise ConfigError(f"unknown PCA solver {solver!r}")
+        if solver == "eigsh" and n_components is None:
+            raise ConfigError("solver='eigsh' requires n_components")
+        if n_components is not None and n_components < 1:
+            raise ConfigError(f"n_components must be >= 1, got {n_components}")
+        self.n_components = n_components
+        self.solver = solver
+        self.standardize = standardize
+        self.center = center
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+        self.components_: np.ndarray | None = None
+        self.explained_variance_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+        self.total_variance_: float | None = None
+
+    # -- fitting ----------------------------------------------------------
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        """Estimate mean, (optional) scale, components and eigenvalues."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise DataShapeError(f"PCA expects a 2-D matrix, got {X.ndim}-D")
+        n, f = X.shape
+        if n < 2:
+            raise DataShapeError("PCA needs at least 2 samples")
+        self.mean_ = X.mean(axis=0) if self.center else np.zeros(f)
+        Xc = X - self.mean_ if self.center else X.astype(np.float64, copy=True)
+        if self.standardize:
+            # With centering this is the sample std; without, the RMS
+            # (second moment) -- the natural scale in either case.
+            std = np.sqrt((Xc * Xc).sum(axis=0) / (n - 1))
+            std[std == 0] = 1.0
+            self.scale_ = std
+            Xc = Xc / std
+        else:
+            self.scale_ = None
+
+        max_rank = min(n, f)
+        k = max_rank if self.n_components is None else min(self.n_components,
+                                                           max_rank)
+        solver = self.solver
+        if solver == "auto":
+            solver = "cov" if f <= n else "svd"
+
+        if solver == "eigsh":
+            cov = (Xc.T @ Xc) / (n - 1)
+            total = float(np.trace(cov))
+            if k >= f - 1 or k > f // 4 or f <= 256:
+                # Lanczos only pays off for a small leading slice of a
+                # large matrix; near-full spectra (or small matrices)
+                # are faster -- and numerically safer -- dense.
+                eigvals, eigvecs = np.linalg.eigh(cov)
+                order = np.argsort(eigvals)[::-1][:k]
+                eigvals = np.maximum(eigvals[order], 0.0)
+                components = eigvecs[:, order].T
+            else:
+                eigvals, eigvecs = scipy.sparse.linalg.eigsh(
+                    cov, k=k, which="LA"
+                )
+                order = np.argsort(eigvals)[::-1]
+                eigvals = np.maximum(eigvals[order], 0.0)
+                components = eigvecs[:, order].T
+        elif solver == "cov":
+            cov = (Xc.T @ Xc) / (n - 1)
+            eigvals, eigvecs = np.linalg.eigh(cov)
+            order = np.argsort(eigvals)[::-1]
+            eigvals = np.maximum(eigvals[order], 0.0)
+            components = eigvecs[:, order].T
+            total = float(np.trace(cov))
+        else:
+            _, s, vt = np.linalg.svd(Xc, full_matrices=False)
+            eigvals = (s ** 2) / (n - 1)
+            components = vt
+            total = float((Xc ** 2).sum() / (n - 1))
+
+        components = _fix_signs(np.ascontiguousarray(components[:k]))
+        self.components_ = components
+        self.explained_variance_ = eigvals[:k].copy()
+        self.total_variance_ = max(total, 0.0)
+        denom = self.total_variance_ if self.total_variance_ > 0 else 1.0
+        self.explained_variance_ratio_ = self.explained_variance_ / denom
+        return self
+
+    @classmethod
+    def from_covariance(cls, cov: np.ndarray, n_components: int, *,
+                        total_variance: float | None = None) -> "PCA":
+        """Build a fitted (uncentered, unscaled) PCA from a precomputed
+        second-moment/covariance matrix.
+
+        This is the fast path DPZ's sampling strategy uses: the
+        covariance is computed once and shared between the k-refinement
+        probe and the projection fit, and only the leading
+        ``n_components`` eigenpairs are solved for.
+        """
+        cov = np.asarray(cov, dtype=np.float64)
+        if cov.ndim != 2 or cov.shape[0] != cov.shape[1]:
+            raise DataShapeError("covariance must be square")
+        f = cov.shape[0]
+        k = min(int(n_components), f)
+        if k < 1:
+            raise ConfigError("n_components must be >= 1")
+        if k >= f - 1 or k > f // 4 or f <= 256:
+            eigvals, eigvecs = np.linalg.eigh(cov)
+            order = np.argsort(eigvals)[::-1][:k]
+        else:
+            eigvals, eigvecs = scipy.sparse.linalg.eigsh(cov, k=k,
+                                                         which="LA")
+            order = np.argsort(eigvals)[::-1]
+        eigvals = np.maximum(eigvals[order], 0.0)
+        components = _fix_signs(np.ascontiguousarray(eigvecs[:, order].T))
+
+        pca = cls(n_components=k, center=False)
+        pca.mean_ = np.zeros(f)
+        pca.scale_ = None
+        pca.components_ = components
+        pca.explained_variance_ = eigvals
+        total = float(np.trace(cov)) if total_variance is None \
+            else float(total_variance)
+        pca.total_variance_ = max(total, 0.0)
+        denom = pca.total_variance_ if pca.total_variance_ > 0 else 1.0
+        pca.explained_variance_ratio_ = pca.explained_variance_ / denom
+        return pca
+
+    def _require_fitted(self) -> None:
+        if self.components_ is None:
+            raise ConfigError("PCA instance is not fitted; call fit() first")
+
+    # -- projection -------------------------------------------------------
+
+    def transform(self, X: np.ndarray, k: int | None = None) -> np.ndarray:
+        """Project ``X`` onto the leading ``k`` components.
+
+        Returns an ``(n_samples, k)`` score matrix ``Y = Xc @ D`` where
+        ``D = components_[:k].T``.
+        """
+        self._require_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        Xc = X - self.mean_
+        if self.scale_ is not None:
+            Xc = Xc / self.scale_
+        comp = self.components_ if k is None else self.components_[:k]
+        return Xc @ comp.T
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Equivalent to ``fit(X).transform(X)``."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, Y: np.ndarray) -> np.ndarray:
+        """Map scores back to the original feature space.
+
+        ``Y`` may have fewer columns than ``n_components``; the missing
+        trailing components are treated as zero (truncation), which is
+        exactly DPZ's feature-discard step.
+        """
+        self._require_fitted()
+        Y = np.asarray(Y, dtype=np.float64)
+        k = Y.shape[-1]
+        if k > self.components_.shape[0]:
+            raise DataShapeError(
+                f"scores have {k} columns but PCA kept "
+                f"{self.components_.shape[0]} components"
+            )
+        X = Y @ self.components_[:k]
+        if self.scale_ is not None:
+            X = X * self.scale_
+        return X + self.mean_
+
+    # -- information-retrieval metrics -------------------------------------
+
+    def tve_curve(self) -> np.ndarray:
+        """Cumulative total variance explained, Eq. 2 of the paper.
+
+        ``tve_curve()[k-1]`` is TVE after keeping ``k`` components.
+        Nondecreasing; reaches ~1.0 at full rank.
+        """
+        self._require_fitted()
+        denom = self.total_variance_ if self.total_variance_ > 0 else 1.0
+        return np.cumsum(self.explained_variance_) / denom
+
+    def components_for_tve(self, tve: float) -> int:
+        """Smallest ``k`` with TVE(k) >= ``tve`` (Alg. 1, Method 2).
+
+        Falls back to all kept components when the threshold is never
+        reached (possible when ``n_components`` truncated the spectrum).
+        """
+        if not 0.0 < tve <= 1.0:
+            raise ConfigError(f"tve must be in (0, 1], got {tve}")
+        curve = self.tve_curve()
+        hits = np.flatnonzero(curve >= tve - 1e-12)
+        return int(hits[0]) + 1 if hits.size else int(curve.size)

@@ -1,0 +1,148 @@
+"""Lifting-scheme discrete wavelet transforms (Haar and CDF 5/3).
+
+The paper's Section III-B2 notes that "PCA in other transform domains
+(e.g., wavelet transforms) should also work if the coefficients show
+normality [and] high information preservation".  These two classic
+lifting wavelets back that extension (exercised by the ablation bench
+``benchmarks/test_ablation_transforms.py``):
+
+* **Haar** -- orthogonal (with the sqrt(2) normalization used here), so
+  the same energy-conservation reasoning as DCT applies.
+* **CDF 5/3 (LeGall)** -- the biorthogonal integer-friendly wavelet from
+  JPEG 2000 lossless; not orthogonal, but perfectly invertible by
+  construction of the lifting steps.
+
+Both operate along the last axis, handle odd lengths (trailing sample
+carried in the approximation band), and support multi-level transforms
+via repeated application to the approximation band.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataShapeError
+
+__all__ = ["haar_forward", "haar_inverse", "cdf53_forward", "cdf53_inverse",
+           "multilevel_forward", "multilevel_inverse"]
+
+_SQRT2 = np.sqrt(2.0)
+
+
+def _split(x: np.ndarray) -> tuple[np.ndarray, np.ndarray, bool]:
+    """Split the last axis into (even, odd) samples; report odd length."""
+    odd_len = x.shape[-1] % 2 == 1
+    if odd_len:
+        body, _tail = x[..., :-1], x[..., -1:]
+        return body[..., 0::2], body[..., 1::2], True
+    return x[..., 0::2], x[..., 1::2], False
+
+
+def haar_forward(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """One-level orthonormal Haar transform along the last axis.
+
+    Returns ``(approx, detail)``.  For odd lengths the final sample is
+    appended (scaled) to ``approx`` so the transform stays invertible.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[-1] < 1:
+        raise DataShapeError("cannot transform an empty axis")
+    even, odd, had_tail = _split(x)
+    approx = (even + odd) / _SQRT2
+    detail = (even - odd) / _SQRT2
+    if had_tail:
+        approx = np.concatenate([approx, x[..., -1:]], axis=-1)
+    return approx, detail
+
+
+def haar_inverse(approx: np.ndarray, detail: np.ndarray) -> np.ndarray:
+    """Invert :func:`haar_forward`."""
+    approx = np.asarray(approx, dtype=np.float64)
+    detail = np.asarray(detail, dtype=np.float64)
+    had_tail = approx.shape[-1] == detail.shape[-1] + 1
+    core = approx[..., :-1] if had_tail else approx
+    if core.shape[-1] != detail.shape[-1]:
+        raise DataShapeError("approx/detail band lengths are inconsistent")
+    even = (core + detail) / _SQRT2
+    odd = (core - detail) / _SQRT2
+    n = even.shape[-1] * 2 + (1 if had_tail else 0)
+    out = np.empty(approx.shape[:-1] + (n,), dtype=np.float64)
+    out[..., 0 : 2 * even.shape[-1] : 2] = even
+    out[..., 1 : 2 * even.shape[-1] : 2] = odd
+    if had_tail:
+        out[..., -1] = approx[..., -1]
+    return out
+
+
+def cdf53_forward(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """One-level CDF 5/3 (LeGall) lifting transform along the last axis.
+
+    Lifting steps (symmetric boundary extension)::
+
+        d[i] = odd[i]  - floor-free 0.5*(even[i] + even[i+1])
+        a[i] = even[i] + 0.25*(d[i-1] + d[i])
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape[-1] < 2:
+        raise DataShapeError("CDF 5/3 needs an axis of length >= 2")
+    even, odd, had_tail = _split(x)
+    even_next = np.concatenate([even[..., 1:], even[..., -1:]], axis=-1)
+    detail = odd - 0.5 * (even + even_next)
+    detail_prev = np.concatenate([detail[..., :1], detail[..., :-1]], axis=-1)
+    approx = even + 0.25 * (detail_prev + detail)
+    if had_tail:
+        approx = np.concatenate([approx, x[..., -1:]], axis=-1)
+    return approx, detail
+
+
+def cdf53_inverse(approx: np.ndarray, detail: np.ndarray) -> np.ndarray:
+    """Invert :func:`cdf53_forward` by running the lifting steps backwards."""
+    approx = np.asarray(approx, dtype=np.float64)
+    detail = np.asarray(detail, dtype=np.float64)
+    had_tail = approx.shape[-1] == detail.shape[-1] + 1
+    core = approx[..., :-1] if had_tail else approx
+    if core.shape[-1] != detail.shape[-1]:
+        raise DataShapeError("approx/detail band lengths are inconsistent")
+    detail_prev = np.concatenate([detail[..., :1], detail[..., :-1]], axis=-1)
+    even = core - 0.25 * (detail_prev + detail)
+    even_next = np.concatenate([even[..., 1:], even[..., -1:]], axis=-1)
+    odd = detail + 0.5 * (even + even_next)
+    n = even.shape[-1] * 2 + (1 if had_tail else 0)
+    out = np.empty(approx.shape[:-1] + (n,), dtype=np.float64)
+    out[..., 0 : 2 * even.shape[-1] : 2] = even
+    out[..., 1 : 2 * even.shape[-1] : 2] = odd
+    if had_tail:
+        out[..., -1] = approx[..., -1]
+    return out
+
+
+_FORWARD = {"haar": haar_forward, "cdf53": cdf53_forward}
+_INVERSE = {"haar": haar_inverse, "cdf53": cdf53_inverse}
+
+
+def multilevel_forward(x: np.ndarray, levels: int,
+                       wavelet: str = "haar") -> list[np.ndarray]:
+    """Multi-level DWT: returns ``[approx_L, detail_L, ..., detail_1]``.
+
+    Each level halves the approximation band; ``levels`` is clipped so
+    the band never drops below 2 samples.
+    """
+    fwd = _FORWARD[wavelet]
+    bands: list[np.ndarray] = []
+    approx = np.asarray(x, dtype=np.float64)
+    for _ in range(levels):
+        if approx.shape[-1] < 2:
+            break
+        approx, detail = fwd(approx)
+        bands.append(detail)
+    return [approx] + bands[::-1]
+
+
+def multilevel_inverse(bands: list[np.ndarray],
+                       wavelet: str = "haar") -> np.ndarray:
+    """Invert :func:`multilevel_forward`."""
+    inv = _INVERSE[wavelet]
+    approx = bands[0]
+    for detail in bands[1:]:
+        approx = inv(approx, detail)
+    return approx

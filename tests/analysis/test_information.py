@@ -1,0 +1,104 @@
+"""Tests for ECR, TVE, entropy and the "n-nines" helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.information import (
+    ecr_curve,
+    nines_to_tve,
+    shannon_entropy,
+    tve_curve,
+    tve_to_nines,
+)
+from repro.errors import DataShapeError
+
+
+class TestECR:
+    def test_monotone_and_reaches_one(self, rng):
+        curve = ecr_curve(rng.normal(size=100))
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert np.isclose(curve[-1], 1.0)
+
+    def test_single_dominant_coefficient(self):
+        f = np.array([100.0, 0.1, 0.1])
+        curve = ecr_curve(f)
+        assert curve[0] > 0.9999
+
+    def test_equation_1_literal(self):
+        """Check Eq. 1 directly for a hand-computed case."""
+        f = np.array([3.0, 4.0])  # energies 9, 16; total 25
+        curve = ecr_curve(f)
+        np.testing.assert_allclose(curve, [16 / 25, 1.0])
+
+    def test_zero_energy_gives_ones(self):
+        np.testing.assert_array_equal(ecr_curve(np.zeros(5)), np.ones(5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            ecr_curve(np.zeros(0))
+
+
+class TestTVE:
+    def test_equation_2_literal(self):
+        lam = np.array([6.0, 3.0, 1.0])
+        np.testing.assert_allclose(tve_curve(lam), [0.6, 0.9, 1.0])
+
+    def test_unsorted_input_sorted_internally(self):
+        lam = np.array([1.0, 6.0, 3.0])
+        np.testing.assert_allclose(tve_curve(lam), [0.6, 0.9, 1.0])
+
+    def test_negative_eigenvalues_clipped(self):
+        lam = np.array([2.0, -1e-12])
+        curve = tve_curve(lam)
+        assert np.isclose(curve[-1], 1.0)
+
+    def test_zero_spectrum(self):
+        np.testing.assert_array_equal(tve_curve(np.zeros(3)), np.ones(3))
+
+
+class TestEntropy:
+    def test_constant_data_zero_entropy(self):
+        assert shannon_entropy(np.full(100, 3.0)) == 0.0
+
+    def test_uniform_bins_max_entropy(self, rng):
+        x = rng.uniform(size=100_000)
+        h = shannon_entropy(x, bins=16)
+        assert h > 3.95  # close to log2(16) = 4
+
+    def test_entropy_bounded_by_log_bins(self, rng):
+        x = rng.normal(size=1000)
+        assert shannon_entropy(x, bins=32) <= 5.0 + 1e-9
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            shannon_entropy(np.zeros(0))
+
+
+class TestNines:
+    @pytest.mark.parametrize("n,expected", [
+        (2, 0.99), (3, 0.999), (8, 0.99999999),
+    ])
+    def test_nines_to_tve(self, n, expected):
+        assert np.isclose(nines_to_tve(n), expected)
+
+    def test_roundtrip(self):
+        for n in range(1, 9):
+            assert np.isclose(tve_to_nines(nines_to_tve(n)), n)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(DataShapeError):
+            nines_to_tve(0)
+        with pytest.raises(DataShapeError):
+            tve_to_nines(1.0)
+
+
+@given(st.lists(st.floats(0.0, 1e6), min_size=1, max_size=100))
+def test_tve_curve_properties(eigs):
+    curve = tve_curve(np.asarray(eigs))
+    assert curve.shape == (len(eigs),)
+    assert np.all(np.diff(curve) >= -1e-9)
+    assert curve[-1] <= 1.0 + 1e-9

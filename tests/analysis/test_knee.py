@@ -1,0 +1,77 @@
+"""Tests for knee-point detection (Alg. 1, Method 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.knee import FIT_METHODS, detect_knee
+from repro.errors import ConfigError, DataShapeError
+
+
+def saturating_curve(m: int, tau: float) -> np.ndarray:
+    """Exponential-saturation curve with a knee near k ~ tau."""
+    k = np.arange(1, m + 1)
+    return 1.0 - np.exp(-k / tau)
+
+
+class TestDetectKnee:
+    @pytest.mark.parametrize("method", FIT_METHODS)
+    def test_knee_near_the_bend(self, method):
+        curve = saturating_curve(200, tau=15.0)
+        res = detect_knee(curve, method=method)
+        # Curvature of 1-exp(-k/tau) peaks within a small multiple of tau.
+        assert 2 <= res.k <= 90
+        assert res.method == method
+
+    def test_sharper_bend_gives_smaller_k(self):
+        k_sharp = detect_knee(saturating_curve(200, 5.0)).k
+        k_soft = detect_knee(saturating_curve(200, 40.0)).k
+        assert k_sharp < k_soft
+
+    def test_polyn_keeps_more_components_than_1d(self):
+        """The paper's Table II behaviour: polynomial fitting lowers the
+        CR (larger k) in exchange for accuracy."""
+        curve = saturating_curve(300, tau=12.0)
+        k_1d = detect_knee(curve, method="1d").k
+        k_poly = detect_knee(curve, method="polyn").k
+        assert k_poly >= k_1d
+
+    def test_flat_curve_returns_one(self):
+        res = detect_knee(np.ones(50))
+        assert res.k == 1
+
+    def test_two_point_curve(self):
+        res = detect_knee(np.array([0.5, 1.0]))
+        assert 1 <= res.k <= 2
+
+    def test_single_point_curve(self):
+        assert detect_knee(np.array([1.0])).k == 1
+
+    def test_empty_curve_rejected(self):
+        with pytest.raises(DataShapeError):
+            detect_knee(np.zeros(0))
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigError):
+            detect_knee(np.linspace(0, 1, 10), method="spline9000")
+
+    def test_k_within_bounds(self):
+        for m in (3, 10, 47, 500):
+            res = detect_knee(saturating_curve(m, m / 8))
+            assert 1 <= res.k <= m
+
+    def test_result_fields_populated(self):
+        res = detect_knee(saturating_curve(100, 10.0))
+        assert 0.0 <= res.x <= 1.0
+        assert np.isfinite(res.curvature)
+
+    def test_real_tve_curve(self, rng):
+        """Knee detection on an actual PCA TVE curve."""
+        from repro.transforms.pca import PCA
+        weights = np.concatenate([np.array([50, 20, 10, 5.0]),
+                                  np.full(30, 0.01)])
+        X = rng.normal(size=(500, 34)) * weights
+        pca = PCA().fit(X)
+        res = detect_knee(pca.tve_curve())
+        assert res.k <= 12  # the informative head, not the noise tail

@@ -1,0 +1,116 @@
+"""Tests for the compression-quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import (
+    bitrate_from_cr,
+    compression_ratio,
+    cr_from_bitrate,
+    max_abs_error,
+    mean_relative_error,
+    mse,
+    nrmse,
+    psnr,
+    value_range,
+)
+from repro.errors import DataShapeError
+
+
+class TestPSNR:
+    def test_exact_reconstruction_is_inf(self, rng):
+        x = rng.normal(size=100)
+        assert psnr(x, x.copy()) == float("inf")
+
+    def test_known_value(self):
+        x = np.array([0.0, 1.0])       # range 1
+        y = np.array([0.1, 1.0])       # MSE = 0.005
+        expected = -10 * np.log10(0.005)
+        assert np.isclose(psnr(x, y), expected)
+
+    def test_scale_invariance(self, rng):
+        """PSNR is range-normalized: scaling both arrays leaves it fixed."""
+        x = rng.normal(size=1000)
+        y = x + 0.01 * rng.normal(size=1000)
+        assert np.isclose(psnr(x, y), psnr(100 * x, 100 * y), atol=1e-9)
+
+    def test_constant_original_with_error(self):
+        x = np.zeros(10)
+        assert psnr(x, x + 1.0) == float("-inf")
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataShapeError):
+            psnr(np.zeros(3), np.zeros(4))
+
+    def test_monotone_in_noise(self, rng):
+        x = rng.normal(size=500)
+        small = psnr(x, x + 1e-4 * rng.normal(size=500))
+        large = psnr(x, x + 1e-2 * rng.normal(size=500))
+        assert small > large
+
+
+class TestErrorMetrics:
+    def test_mse_known(self):
+        assert mse(np.array([0.0, 0.0]), np.array([1.0, 1.0])) == 1.0
+
+    def test_nrmse_known(self):
+        x = np.array([0.0, 2.0])
+        y = np.array([1.0, 2.0])
+        assert np.isclose(nrmse(x, y), np.sqrt(0.5) / 2.0)
+
+    def test_nrmse_constant_exact(self):
+        x = np.ones(5)
+        assert nrmse(x, x) == 0.0
+
+    def test_max_abs_error(self):
+        assert max_abs_error(np.array([1.0, 5.0]),
+                             np.array([1.5, 4.0])) == 1.0
+
+    def test_mean_relative_error_is_range_scaled(self):
+        x = np.array([0.0, 10.0])
+        y = np.array([1.0, 10.0])
+        assert np.isclose(mean_relative_error(x, y), 0.05)
+
+    def test_value_range_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            value_range(np.zeros(0))
+
+
+class TestSizeMetrics:
+    def test_compression_ratio(self):
+        assert compression_ratio(1000, 100) == 10.0
+
+    def test_zero_compressed_rejected(self):
+        with pytest.raises(DataShapeError):
+            compression_ratio(100, 0)
+
+    def test_bitrate_cr_inverse(self):
+        for cr in (1.0, 3.7, 128.0):
+            assert np.isclose(cr_from_bitrate(bitrate_from_cr(cr)), cr)
+
+    def test_bitrate_32bit_convention(self):
+        assert bitrate_from_cr(8.0) == 4.0
+
+    def test_bitrate_64bit(self):
+        assert bitrate_from_cr(8.0, bits_per_value=64) == 8.0
+
+    def test_nonpositive_inputs_rejected(self):
+        with pytest.raises(DataShapeError):
+            bitrate_from_cr(0.0)
+        with pytest.raises(DataShapeError):
+            cr_from_bitrate(-1.0)
+
+
+@given(st.integers(0, 2 ** 32), st.floats(1e-6, 1e2))
+def test_psnr_consistent_with_mse_property(seed, scale):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=64) * scale
+    y = x + rng.normal(size=64) * scale * 1e-3
+    if value_range(x) == 0 or mse(x, y) == 0:
+        return
+    expected = 20 * np.log10(value_range(x)) - 10 * np.log10(mse(x, y))
+    assert np.isclose(psnr(x, y), expected)

@@ -1,0 +1,82 @@
+"""Tests for the rate-distortion sweep driver."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.metrics import psnr
+from repro.analysis.ratedistortion import (
+    RDPoint,
+    pareto_front,
+    rate_distortion_sweep,
+)
+
+
+def fake_compressor(data: np.ndarray, keep: float):
+    """Toy compressor: keep a fraction of values, zero the rest."""
+    n_keep = max(1, int(keep * data.size))
+    recon = data.copy().reshape(-1)
+    if n_keep < recon.size:
+        recon[n_keep:] = recon[n_keep:].mean()
+    nbytes = n_keep * 4 + 16
+    return nbytes, recon.reshape(data.shape)
+
+
+def test_sweep_produces_point_per_param(rng):
+    data = rng.normal(size=256).astype(np.float32)
+    points = rate_distortion_sweep(data, fake_compressor, [0.1, 0.5, 1.0])
+    assert len(points) == 3
+    assert all(isinstance(p, RDPoint) for p in points)
+
+
+def test_cr_and_bitrate_consistent(rng):
+    data = rng.normal(size=256).astype(np.float32)
+    (p,) = rate_distortion_sweep(data, fake_compressor, [0.5])
+    assert np.isclose(p.cr, data.nbytes / p.compressed_nbytes)
+    assert np.isclose(p.bitrate, 32.0 / p.cr)
+
+
+def test_psnr_matches_direct_computation(rng):
+    data = rng.normal(size=256).astype(np.float32)
+    (p,) = rate_distortion_sweep(data, fake_compressor, [0.25])
+    _, recon = fake_compressor(data, 0.25)
+    assert np.isclose(p.psnr, psnr(data, recon))
+
+
+def test_more_budget_is_better(rng):
+    data = np.sort(rng.normal(size=512)).astype(np.float32)
+    points = rate_distortion_sweep(data, fake_compressor,
+                                   [0.1, 0.3, 0.6, 0.95])
+    psnrs = [p.psnr for p in points]
+    assert psnrs == sorted(psnrs)
+
+
+def test_row_rendering(rng):
+    data = rng.normal(size=64).astype(np.float32)
+    (p,) = rate_distortion_sweep(data, fake_compressor, [0.5])
+    row = p.row()
+    assert "CR=" in row and "PSNR=" in row
+
+
+class TestParetoFront:
+    def make(self, pairs):
+        return [RDPoint(param=i, compressed_nbytes=1, cr=1.0,
+                        bitrate=b, psnr=p)
+                for i, (b, p) in enumerate(pairs)]
+
+    def test_dominated_points_removed(self):
+        pts = self.make([(1.0, 40.0), (2.0, 35.0), (3.0, 50.0)])
+        front = pareto_front(pts)
+        assert [p.bitrate for p in front] == [1.0, 3.0]
+
+    def test_all_nondominated_kept(self):
+        pts = self.make([(1.0, 30.0), (2.0, 40.0), (3.0, 50.0)])
+        assert len(pareto_front(pts)) == 3
+
+    def test_empty_input(self):
+        assert pareto_front([]) == []
+
+    def test_sorted_by_bitrate(self):
+        pts = self.make([(3.0, 50.0), (1.0, 30.0), (2.0, 40.0)])
+        front = pareto_front(pts)
+        assert [p.bitrate for p in front] == [1.0, 2.0, 3.0]

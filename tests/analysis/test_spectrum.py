@@ -1,0 +1,68 @@
+"""Tests for the spectral-fidelity diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrum import (
+    radial_power_spectrum,
+    spectral_distortion,
+    spectral_slope,
+)
+from repro.datasets.grf import power_law_field
+from repro.errors import DataShapeError
+
+
+def test_spectrum_shapes(rng):
+    k, p = radial_power_spectrum(rng.normal(size=(64, 64)))
+    assert k.size == p.size
+    assert np.all(np.diff(k) > 0)
+    assert np.all(p >= 0)
+
+
+def test_white_noise_flat_spectrum(rng):
+    field = rng.normal(size=(128, 128))
+    slope = spectral_slope(field)
+    assert abs(slope) < 0.5
+
+
+def test_power_law_slope_recovered():
+    field = power_law_field((256, 256), -3.0, np.random.default_rng(5))
+    slope = spectral_slope(field, k_lo=0.02, k_hi=0.3)
+    assert -4.0 < slope < -2.0
+
+
+def test_slope_works_in_1d_and_3d(rng):
+    assert np.isfinite(spectral_slope(rng.normal(size=4096)))
+    assert np.isfinite(spectral_slope(rng.normal(size=(32, 32, 32))))
+
+
+def test_distortion_zero_for_identity(rng):
+    field = rng.normal(size=(64, 64))
+    assert spectral_distortion(field, field.copy()) < 1e-12
+
+
+def test_distortion_detects_smoothing(rng):
+    field = rng.normal(size=(128, 128))
+    smoothed = 0.25 * (field + np.roll(field, 1, 0) + np.roll(field, 1, 1)
+                       + np.roll(field, (1, 1), (0, 1)))
+    assert spectral_distortion(field, smoothed) > 0.1
+
+
+def test_distortion_ranks_compressors(rng):
+    """Heavier lossy settings must show larger spectral distortion."""
+    import repro
+    field = power_law_field((64, 64), -2.5,
+                            np.random.default_rng(9)).astype(np.float32)
+    mild = repro.dpz_decompress(
+        repro.dpz_compress(field, scheme="s", tve_nines=7))
+    harsh = repro.dpz_decompress(
+        repro.dpz_compress(field, scheme="l", tve_nines=2))
+    assert spectral_distortion(field, mild) <= \
+        spectral_distortion(field, harsh)
+
+
+def test_too_small_rejected():
+    with pytest.raises(DataShapeError):
+        radial_power_spectrum(np.zeros(4))

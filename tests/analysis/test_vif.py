@@ -1,0 +1,94 @@
+"""Tests for the variance-inflation-factor compressibility probe."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.vif import (
+    VIF_CUTOFF,
+    variance_inflation_factors,
+    vif_summary,
+)
+from repro.errors import DataShapeError
+
+
+def test_independent_features_vif_near_one(rng):
+    X = rng.normal(size=(2000, 6))
+    vifs = variance_inflation_factors(X)
+    assert np.all(vifs < 1.2)
+
+
+def test_collinear_features_vif_large(rng):
+    base = rng.normal(size=2000)
+    X = np.stack([
+        base + 0.01 * rng.normal(size=2000),
+        base + 0.01 * rng.normal(size=2000),
+        rng.normal(size=2000),
+    ], axis=1)
+    vifs = variance_inflation_factors(X)
+    assert vifs[0] > 100 and vifs[1] > 100
+    assert vifs[2] < 2
+
+
+def test_exactly_collinear_clipped_not_inf(rng):
+    base = rng.normal(size=500)
+    X = np.stack([base, base, rng.normal(size=500)], axis=1)
+    vifs = variance_inflation_factors(X)
+    assert np.all(np.isfinite(vifs))
+
+
+def test_constant_feature_gets_vif_one(rng):
+    X = np.stack([np.full(100, 2.0), rng.normal(size=100),
+                  rng.normal(size=100)], axis=1)
+    vifs = variance_inflation_factors(X)
+    assert vifs[0] == 1.0
+
+
+def test_feature_subsampling_caps_output(rng):
+    X = rng.normal(size=(300, 50))
+    vifs = variance_inflation_factors(X, max_features=10, rng=rng)
+    assert vifs.shape == (10,)
+
+
+def test_feature_cap_respects_sample_count(rng):
+    """Asking for more features than samples support must be clamped,
+    not produce the degenerate all-huge VIFs of a singular matrix."""
+    X = rng.normal(size=(21, 50))
+    vifs = variance_inflation_factors(X, max_features=40, rng=rng)
+    assert vifs.size <= 10
+    assert np.all(vifs < 10)
+
+
+def test_contiguous_window_finds_local_correlation(rng):
+    """Features correlated only with neighbors: a contiguous probe sees
+    it, mirroring DPZ's locality argument."""
+    n, f = 3000, 40
+    base = rng.normal(size=(n, f))
+    X = base + np.roll(base, 1, axis=1) + np.roll(base, -1, axis=1)
+    vifs = variance_inflation_factors(X, max_features=8, contiguous=True,
+                                      rng=np.random.default_rng(0))
+    assert np.median(vifs) > 1.5
+
+
+def test_shape_validation():
+    with pytest.raises(DataShapeError):
+        variance_inflation_factors(np.zeros(5))
+    with pytest.raises(DataShapeError):
+        variance_inflation_factors(np.zeros((2, 5)))
+    with pytest.raises(DataShapeError):
+        variance_inflation_factors(np.zeros((10, 1)))
+
+
+def test_summary_fields(rng):
+    vifs = np.array([1.0, 2.0, 3.0, 10.0])
+    s = vif_summary(vifs)
+    assert s["min"] == 1.0 and s["max"] == 10.0
+    assert s["median"] == 2.5
+    assert s["frac_below_cutoff"] == 0.75
+    assert VIF_CUTOFF == 5.0
+
+
+def test_summary_empty_rejected():
+    with pytest.raises(DataShapeError):
+        vif_summary(np.zeros(0))

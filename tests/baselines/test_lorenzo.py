@@ -1,0 +1,80 @@
+"""Tests for lattice quantization and Lorenzo prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.lorenzo import (
+    lattice_dequantize,
+    lattice_quantize,
+    lorenzo_forward,
+    lorenzo_inverse,
+)
+from repro.errors import ConfigError
+
+
+class TestLattice:
+    def test_error_bound_holds(self, rng):
+        x = rng.normal(size=1000) * 100
+        eps = 1e-3
+        q = lattice_quantize(x, eps)
+        err = np.abs(lattice_dequantize(q, eps) - x)
+        assert err.max() <= eps + 1e-12
+
+    def test_idempotent_on_lattice_points(self):
+        eps = 0.5
+        x = lattice_dequantize(np.array([-3, 0, 7]), eps)
+        np.testing.assert_array_equal(lattice_quantize(x, eps),
+                                      [-3, 0, 7])
+
+    def test_nonpositive_eps_rejected(self):
+        with pytest.raises(ConfigError):
+            lattice_quantize(np.zeros(3), 0.0)
+        with pytest.raises(ConfigError):
+            lattice_dequantize(np.zeros(3, dtype=np.int64), -1.0)
+
+    def test_overflow_guard(self):
+        with pytest.raises(ConfigError):
+            lattice_quantize(np.array([1e30]), 1e-10)
+
+    @given(st.floats(1e-6, 1e3), st.integers(0, 2 ** 32))
+    def test_bound_property(self, eps, seed):
+        x = np.random.default_rng(seed).normal(size=64) * 10
+        err = np.abs(lattice_dequantize(lattice_quantize(x, eps), eps) - x)
+        assert err.max() <= eps * (1 + 1e-9)
+
+
+class TestLorenzo:
+    @pytest.mark.parametrize("shape", [(100,), (17, 23), (6, 7, 8),
+                                       (3, 4, 5, 6)])
+    def test_roundtrip_any_dim(self, shape, rng):
+        lattice = rng.integers(-1000, 1000, size=shape)
+        out = lorenzo_inverse(lorenzo_forward(lattice))
+        np.testing.assert_array_equal(out, lattice)
+
+    def test_constant_input_gives_sparse_residuals(self):
+        lattice = np.full((20, 20), 7, dtype=np.int64)
+        res = lorenzo_forward(lattice)
+        assert res[0, 0] == 7
+        assert np.count_nonzero(res) == 1
+
+    def test_linear_ramp_residuals_small(self):
+        lattice = np.arange(100, dtype=np.int64).reshape(10, 10)
+        res = lorenzo_forward(lattice)
+        # Interior of a bilinear-predictable field: residual 0.
+        assert np.count_nonzero(res[1:, 1:]) == 0
+
+    def test_2d_residual_is_corner_formula(self, rng):
+        """r[i,j] = q[i,j] - q[i-1,j] - q[i,j-1] + q[i-1,j-1] (interior)."""
+        q = rng.integers(-50, 50, size=(8, 9))
+        res = lorenzo_forward(q)
+        expected = (q[1:, 1:] - q[:-1, 1:] - q[1:, :-1] + q[:-1, :-1])
+        np.testing.assert_array_equal(res[1:, 1:], expected)
+
+    def test_smooth_data_residual_entropy_lower(self, rng):
+        smooth = np.cumsum(rng.integers(-2, 3, size=2000))
+        res = lorenzo_forward(smooth)
+        assert np.abs(res[1:]).max() <= 2

@@ -1,0 +1,148 @@
+"""Tests for the MGARD-family multigrid compressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import max_abs_error
+from repro.baselines.mgard import (
+    MGARDCompressor,
+    _ladder,
+    _odd_mask,
+    _upsample,
+    mgard_compress,
+    mgard_decompress,
+)
+from repro.errors import ConfigError, DataShapeError, FormatError
+
+
+class TestPrimitives:
+    def test_upsample_exact_at_coarse_points(self, rng):
+        coarse = rng.normal(size=(9, 7))
+        up = _upsample(coarse, (17, 13))
+        np.testing.assert_array_equal(up[::2, ::2], coarse)
+
+    def test_upsample_midpoints_are_averages(self):
+        coarse = np.array([0.0, 2.0, 4.0])
+        up = _upsample(coarse, (5,))
+        np.testing.assert_allclose(up, [0, 1, 2, 3, 4])
+
+    def test_upsample_even_length_tail(self):
+        coarse = np.array([0.0, 2.0, 4.0])
+        up = _upsample(coarse, (6,))
+        np.testing.assert_allclose(up, [0, 1, 2, 3, 4, 4])
+
+    def test_odd_mask_complements_coarse_lattice(self):
+        mask = _odd_mask((6, 7))
+        assert not mask[::2, ::2].any()
+        assert mask.sum() == 6 * 7 - 3 * 4
+
+    def test_ladder(self):
+        assert _ladder((16, 9), 2) == [(16, 9), (8, 5), (4, 3)]
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("gamma", [0.0, 0.5, 1.0])
+    def test_bound_holds_2d(self, gamma, smooth_2d):
+        eps = 1e-3
+        blob = mgard_compress(smooth_2d, eps=eps, gamma=gamma)
+        recon = mgard_decompress(blob)
+        assert max_abs_error(smooth_2d, recon) <= eps * (1 + 1e-6)
+
+    def test_bound_holds_1d(self, rough_1d):
+        eps = 1e-2
+        recon = mgard_decompress(mgard_compress(rough_1d, eps=eps))
+        assert max_abs_error(rough_1d, recon) <= eps * (1 + 1e-6)
+
+    def test_bound_holds_3d(self, tiny_3d):
+        eps = 1e-4
+        recon = mgard_decompress(mgard_compress(tiny_3d, eps=eps))
+        assert max_abs_error(tiny_3d, recon) <= eps * (1 + 1e-6)
+
+    def test_relative_bound(self, smooth_2d):
+        rel = 1e-4
+        recon = mgard_decompress(mgard_compress(smooth_2d, rel_eps=rel))
+        bound = rel * float(smooth_2d.max() - smooth_2d.min())
+        assert max_abs_error(smooth_2d, recon) <= bound * (1 + 1e-6)
+
+    @given(st.integers(0, 2 ** 32), st.sampled_from([1e-2, 1e-3]),
+           st.sampled_from([0.0, 0.5]))
+    @settings(max_examples=20)
+    def test_bound_property(self, seed, eps, gamma):
+        rng = np.random.default_rng(seed)
+        data = np.cumsum(rng.normal(size=(20, 24)), axis=1).astype(
+            np.float32)
+        recon = mgard_decompress(mgard_compress(data, eps=eps,
+                                                gamma=gamma))
+        assert max_abs_error(data, recon) <= eps * (1 + 1e-5)
+
+
+class TestQuality:
+    def test_smooth_data_compresses_well(self, smooth_2d):
+        blob = mgard_compress(smooth_2d, rel_eps=1e-3)
+        assert smooth_2d.nbytes / len(blob) > 3.0
+
+    def test_tighter_bound_larger_output(self, smooth_2d):
+        loose = len(mgard_compress(smooth_2d, eps=1e-2))
+        tight = len(mgard_compress(smooth_2d, eps=1e-5))
+        assert tight > loose
+
+    def test_shape_dtype_restored(self, tiny_3d):
+        recon = mgard_decompress(mgard_compress(tiny_3d, eps=1e-3))
+        assert recon.shape == tiny_3d.shape
+        assert recon.dtype == tiny_3d.dtype
+
+    def test_odd_shapes(self, rng):
+        data = rng.normal(size=(17, 23)).astype(np.float32)
+        recon = mgard_decompress(mgard_compress(data, eps=1e-3))
+        assert recon.shape == data.shape
+        assert max_abs_error(data, recon) <= 1e-3 * (1 + 1e-6)
+
+    def test_levels_clipped_on_small_input(self, rng):
+        data = rng.normal(size=(8, 8)).astype(np.float32)
+        recon = mgard_decompress(mgard_compress(data, eps=1e-3, levels=6))
+        assert max_abs_error(data, recon) <= 1e-3 * (1 + 1e-6)
+
+    def test_gamma_tightens_coarse_levels(self, smooth_2d):
+        """Higher gamma -> more bits on coarse levels -> lower PSNR at
+        the same eps is NOT expected; instead the *size* grows."""
+        plain = len(mgard_compress(smooth_2d, eps=1e-3, gamma=0.0))
+        tight = len(mgard_compress(smooth_2d, eps=1e-3, gamma=1.0))
+        assert tight >= plain * 0.9  # coarse grids are small: mild effect
+
+    def test_float64(self, rng):
+        data = np.cumsum(rng.normal(size=(32, 32)), axis=0)
+        recon = mgard_decompress(mgard_compress(data, eps=1e-8))
+        assert recon.dtype == np.float64
+        assert max_abs_error(data, recon) <= 1e-8
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            MGARDCompressor()
+        with pytest.raises(ConfigError):
+            MGARDCompressor(eps=1e-3, rel_eps=1e-3)
+        with pytest.raises(ConfigError):
+            MGARDCompressor(eps=0.0)
+        with pytest.raises(ConfigError):
+            MGARDCompressor(eps=1e-3, levels=0)
+        with pytest.raises(ConfigError):
+            MGARDCompressor(eps=1e-3, gamma=-1)
+
+    def test_bad_shapes(self, rng):
+        with pytest.raises(DataShapeError):
+            mgard_compress(np.zeros(0, dtype=np.float32), eps=1e-3)
+        with pytest.raises(DataShapeError):
+            mgard_compress(rng.normal(size=(2, 50)).astype(np.float32),
+                           eps=1e-3)
+        with pytest.raises(DataShapeError):
+            mgard_compress(np.zeros((4,) * 5, dtype=np.float32), eps=1e-3)
+
+    def test_corrupt_container(self, smooth_2d):
+        blob = mgard_compress(smooth_2d, eps=1e-3)
+        with pytest.raises(FormatError):
+            mgard_decompress(b"XXXX" + blob[4:])

@@ -1,0 +1,138 @@
+"""Tests for the SZ-style error-bounded compressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import max_abs_error
+from repro.baselines.sz import MODES, SZCompressor, sz_compress, sz_decompress
+from repro.errors import ConfigError, DataShapeError, FormatError
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_absolute_bound_2d(self, mode, smooth_2d):
+        eps = 1e-3
+        blob = sz_compress(smooth_2d, eps=eps, mode=mode)
+        recon = sz_decompress(blob)
+        assert max_abs_error(smooth_2d, recon) <= eps * (1 + 1e-6)
+
+    def test_absolute_bound_1d(self, rough_1d):
+        eps = 1e-2
+        recon = sz_decompress(sz_compress(rough_1d, eps=eps))
+        assert max_abs_error(rough_1d, recon) <= eps * (1 + 1e-6)
+
+    def test_absolute_bound_3d(self, tiny_3d):
+        eps = 1e-4
+        recon = sz_decompress(sz_compress(tiny_3d, eps=eps))
+        assert max_abs_error(tiny_3d, recon) <= eps * (1 + 1e-6)
+
+    def test_relative_bound(self, smooth_2d):
+        rel = 1e-4
+        blob = sz_compress(smooth_2d, rel_eps=rel)
+        recon = sz_decompress(blob)
+        rng_ = float(smooth_2d.max() - smooth_2d.min())
+        assert max_abs_error(smooth_2d, recon) <= rel * rng_ * (1 + 1e-6)
+
+    def test_tighter_bound_bigger_output(self, smooth_2d):
+        loose = len(sz_compress(smooth_2d, eps=1e-2))
+        tight = len(sz_compress(smooth_2d, eps=1e-5))
+        assert tight > loose
+
+
+class TestRoundtripProperties:
+    def test_shape_and_dtype_restored(self, smooth_2d):
+        recon = sz_decompress(sz_compress(smooth_2d, eps=1e-3))
+        assert recon.shape == smooth_2d.shape
+        assert recon.dtype == smooth_2d.dtype
+
+    def test_float64_supported(self, rng):
+        data = rng.normal(size=(30, 40))
+        recon = sz_decompress(sz_compress(data, eps=1e-6))
+        assert recon.dtype == np.float64
+        assert max_abs_error(data, recon) <= 1e-6 * (1 + 1e-9)
+
+    def test_other_dtypes_coerced(self):
+        data = np.arange(100, dtype=np.int32)
+        recon = sz_decompress(sz_compress(data, eps=0.5))
+        assert recon.dtype == np.float64
+
+    def test_constant_data(self):
+        data = np.full((20, 20), 3.25, dtype=np.float32)
+        blob = sz_compress(data, rel_eps=1e-3)
+        recon = sz_decompress(blob)
+        assert max_abs_error(data, recon) <= 1e-3
+        assert len(blob) < data.nbytes // 4
+
+    def test_4d_lorenzo(self, rng):
+        data = rng.normal(size=(4, 5, 6, 7)).astype(np.float32)
+        recon = sz_decompress(sz_compress(data, eps=1e-3, mode="lorenzo"))
+        assert max_abs_error(data, recon) <= 1e-3 * (1 + 1e-6)
+
+
+class TestCompressionQuality:
+    def test_smooth_data_compresses_well(self, smooth_2d):
+        blob = sz_compress(smooth_2d, rel_eps=1e-3)
+        assert smooth_2d.nbytes / len(blob) > 4.0
+
+    def test_auto_beats_or_matches_lorenzo_on_planar_data(self, rng):
+        """Piecewise-planar data is regression's home turf."""
+        gy, gx = np.meshgrid(np.linspace(0, 9, 64), np.linspace(0, 7, 64),
+                             indexing="ij")
+        data = (3 * gy - 2 * gx + 0.02 * rng.normal(size=(64, 64)))
+        data = data.astype(np.float32)
+        auto = len(sz_compress(data, eps=1e-3, mode="auto"))
+        lor = len(sz_compress(data, eps=1e-3, mode="lorenzo"))
+        assert auto <= lor * 1.1
+
+    def test_white_noise_barely_compresses(self, rough_1d):
+        blob = sz_compress(rough_1d, rel_eps=1e-5)
+        assert rough_1d.nbytes / len(blob) < 3.0
+
+
+class TestValidation:
+    def test_requires_exactly_one_bound(self):
+        with pytest.raises(ConfigError):
+            SZCompressor()
+        with pytest.raises(ConfigError):
+            SZCompressor(eps=1e-3, rel_eps=1e-3)
+
+    def test_nonpositive_bound_rejected(self):
+        with pytest.raises(ConfigError):
+            SZCompressor(eps=0.0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigError):
+            SZCompressor(eps=1e-3, mode="magic")
+
+    def test_tiny_block_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SZCompressor(eps=1e-3, block_size=1)
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(DataShapeError):
+            sz_compress(np.zeros(0, dtype=np.float32), eps=1e-3)
+
+    def test_5d_rejected(self):
+        with pytest.raises(DataShapeError):
+            sz_compress(np.zeros((2,) * 5, dtype=np.float32), eps=1e-3)
+
+    def test_corrupt_container_rejected(self, smooth_2d):
+        blob = sz_compress(smooth_2d, eps=1e-3)
+        with pytest.raises(FormatError):
+            sz_decompress(b"XXXX" + blob[4:])
+
+
+@given(st.integers(0, 2 ** 32),
+       st.sampled_from([1e-2, 1e-3, 1e-4]),
+       st.sampled_from(MODES))
+def test_error_bound_property(seed, eps, mode):
+    """The hard SZ contract on arbitrary random fields."""
+    rng = np.random.default_rng(seed)
+    data = (np.cumsum(rng.normal(size=300)).reshape(15, 20)
+            .astype(np.float32))
+    recon = sz_decompress(sz_compress(data, eps=eps, mode=mode))
+    assert max_abs_error(data, recon) <= eps * (1 + 1e-5)

@@ -1,0 +1,102 @@
+"""Tests for the TTHRESH-family Tucker-truncation compressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import psnr
+from repro.baselines.tucker import (
+    TuckerCompressor,
+    hosvd,
+    mode_product,
+    tucker_compress,
+    tucker_decompress,
+)
+from repro.errors import ConfigError, DataShapeError, FormatError
+
+
+class TestHOSVD:
+    def test_exact_reconstruction(self, rng):
+        x = rng.normal(size=(6, 7, 8))
+        core, factors, _ = hosvd(x)
+        out = core
+        for mode, u in enumerate(factors):
+            out = mode_product(out, u, mode)
+        np.testing.assert_allclose(out, x, atol=1e-10)
+
+    def test_factor_orthonormality(self, rng):
+        _, factors, _ = hosvd(rng.normal(size=(5, 6, 7)))
+        for u in factors:
+            np.testing.assert_allclose(u.T @ u, np.eye(u.shape[1]),
+                                       atol=1e-10)
+
+    def test_core_energy_equals_tensor_energy(self, rng):
+        x = rng.normal(size=(4, 5, 6))
+        core, _, _ = hosvd(x)
+        assert np.isclose(np.sum(core ** 2), np.sum(x ** 2))
+
+    def test_singular_values_sorted(self, rng):
+        _, _, svals = hosvd(rng.normal(size=(8, 8, 8)))
+        for s in svals:
+            assert np.all(np.diff(s) <= 1e-12)
+
+    def test_mode_product_shapes(self, rng):
+        x = rng.normal(size=(3, 4, 5))
+        m = rng.normal(size=(2, 4))
+        assert mode_product(x, m, 1).shape == (3, 2, 5)
+
+
+class TestRoundtrip:
+    def test_3d_roundtrip(self, tiny_3d):
+        blob = tucker_compress(tiny_3d, target=0.99999)
+        recon = tucker_decompress(blob)
+        assert recon.shape == tiny_3d.shape
+        assert recon.dtype == tiny_3d.dtype
+        assert psnr(tiny_3d, recon) > 40.0
+
+    def test_2d_roundtrip(self, smooth_2d):
+        blob = tucker_compress(smooth_2d, target=0.9999)
+        recon = tucker_decompress(blob)
+        assert psnr(smooth_2d, recon) > 35.0
+
+    def test_low_rank_volume_compresses_hugely(self, rng):
+        u = rng.normal(size=(32, 2))
+        v = rng.normal(size=(32, 2))
+        w = rng.normal(size=(32, 2))
+        x = np.einsum("ir,jr,kr->ijk", u, v, w).astype(np.float32)
+        blob = tucker_compress(x, target=0.999999)
+        assert x.nbytes / len(blob) > 20.0
+        assert psnr(x, tucker_decompress(blob)) > 60.0
+
+    def test_tighter_target_better_quality(self, tiny_3d):
+        p_loose = psnr(tiny_3d,
+                       tucker_decompress(tucker_compress(tiny_3d, 0.95)))
+        p_tight = psnr(tiny_3d,
+                       tucker_decompress(tucker_compress(tiny_3d,
+                                                         0.9999999)))
+        assert p_tight > p_loose
+
+    def test_float64(self, rng):
+        x = rng.normal(size=(8, 9, 10))
+        recon = tucker_decompress(tucker_compress(x))
+        assert recon.dtype == np.float64
+
+
+class TestValidation:
+    def test_invalid_params(self):
+        with pytest.raises(ConfigError):
+            TuckerCompressor(target=0.0)
+        with pytest.raises(ConfigError):
+            TuckerCompressor(p=-1)
+        with pytest.raises(ConfigError):
+            TuckerCompressor(index_bytes=4)
+
+    def test_1d_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            tucker_compress(rng.normal(size=100).astype(np.float32))
+
+    def test_corrupt_container(self, tiny_3d):
+        blob = tucker_compress(tiny_3d)
+        with pytest.raises(FormatError):
+            tucker_decompress(b"XXXX" + blob[4:])

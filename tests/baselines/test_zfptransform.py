@@ -1,0 +1,98 @@
+"""Tests for the ZFP lifting transform and sequency ordering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.baselines.zfptransform import (
+    fwd_lift,
+    fwd_transform,
+    inv_lift,
+    inv_transform,
+    sequency_order,
+)
+from repro.errors import DataShapeError
+
+
+class TestLift:
+    def test_near_exact_inverse(self, rng):
+        """The lifting loses at most the shift parity bits: the round
+        trip error is a few integer ULPs, tiny vs the fixed-point scale."""
+        blocks = rng.integers(-(2 ** 40), 2 ** 40, size=(50, 4),
+                              dtype=np.int64)
+        out = inv_transform(fwd_transform(blocks))
+        assert np.max(np.abs(out - blocks)) <= 4
+
+    def test_3d_near_exact_inverse(self, rng):
+        blocks = rng.integers(-(2 ** 40), 2 ** 40, size=(10, 4, 4, 4),
+                              dtype=np.int64)
+        out = inv_transform(fwd_transform(blocks))
+        assert np.max(np.abs(out - blocks)) <= 16
+
+    def test_constant_block_concentrates_in_dc(self):
+        blocks = np.full((1, 4), 1 << 20, dtype=np.int64)
+        coeffs = fwd_transform(blocks)
+        assert coeffs[0, 0] == 1 << 20
+        np.testing.assert_array_equal(coeffs[0, 1:], 0)
+
+    def test_smooth_block_energy_compaction(self):
+        """A linear ramp's energy must concentrate in low coefficients."""
+        ramp = (np.arange(4, dtype=np.int64) * (1 << 20))[None, :]
+        coeffs = fwd_transform(ramp)[0]
+        energy = coeffs.astype(np.float64) ** 2
+        assert energy[:2].sum() / energy.sum() > 0.99
+
+    def test_transform_does_not_overflow_guard_bits(self, rng):
+        blocks = rng.integers(-(2 ** 43), 2 ** 43, size=(100, 4, 4),
+                              dtype=np.int64)
+        coeffs = fwd_transform(blocks)
+        assert np.max(np.abs(coeffs)) < 2 ** 47
+
+    def test_wrong_axis_length_rejected(self):
+        with pytest.raises(DataShapeError):
+            fwd_lift(np.zeros((2, 5), dtype=np.int64), 1)
+        with pytest.raises(DataShapeError):
+            inv_lift(np.zeros((2, 3), dtype=np.int64), 1)
+
+
+class TestSequencyOrder:
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_is_permutation(self, d):
+        perm = sequency_order(d)
+        assert sorted(perm.tolist()) == list(range(4 ** d))
+
+    def test_1d_is_identity(self):
+        np.testing.assert_array_equal(sequency_order(1), np.arange(4))
+
+    def test_2d_starts_with_dc_and_low_frequencies(self):
+        perm = sequency_order(2)
+        assert perm[0] == 0          # (0, 0)
+        assert set(perm[1:3].tolist()) == {1, 4}  # (0,1) and (1,0)
+
+    def test_total_degree_nondecreasing(self):
+        perm = sequency_order(3)
+        coords = np.stack(np.unravel_index(perm, (4, 4, 4)), axis=1)
+        degrees = coords.sum(axis=1)
+        assert np.all(np.diff(degrees) >= 0)
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(DataShapeError):
+            sequency_order(0)
+        with pytest.raises(DataShapeError):
+            sequency_order(5)
+
+    def test_cached(self):
+        assert sequency_order(2) is sequency_order(2)
+
+
+@given(st.integers(0, 2 ** 32), st.integers(1, 3))
+def test_roundtrip_property(seed, d):
+    rng = np.random.default_rng(seed)
+    blocks = rng.integers(-(2 ** 30), 2 ** 30, size=(8,) + (4,) * d,
+                          dtype=np.int64)
+    out = inv_transform(fwd_transform(blocks))
+    # Error bounded by a handful of parity ULPs regardless of input.
+    assert np.max(np.abs(out - blocks)) <= 4 ** d

@@ -1,0 +1,146 @@
+"""Unit and property tests for the MSB-first bit I/O layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.bitio import BitReader, BitWriter
+from repro.errors import CodecError
+
+
+class TestBitWriter:
+    def test_empty_writer_yields_empty_bytes(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_bits_pack_msb_first(self):
+        w = BitWriter()
+        for bit in (1, 0, 1, 1):
+            w.write_bit(bit)
+        # 1011 padded with zeros -> 0b10110000
+        assert w.getvalue() == bytes([0b10110000])
+
+    def test_multibit_write(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0b1, 1)
+        assert w.getvalue() == bytes([0b10110000])
+
+    def test_len_counts_bits(self):
+        w = BitWriter()
+        w.write(0x3FF, 10)
+        assert len(w) == 10
+
+    def test_zero_width_write_is_noop(self):
+        w = BitWriter()
+        w.write(0, 0)
+        assert len(w) == 0
+
+    def test_value_too_wide_raises(self):
+        with pytest.raises(CodecError):
+            BitWriter().write(8, 3)
+
+    def test_negative_value_raises(self):
+        with pytest.raises(CodecError):
+            BitWriter().write(-1, 4)
+
+    def test_negative_width_raises(self):
+        with pytest.raises(CodecError):
+            BitWriter().write(0, -1)
+
+    def test_write_bits_array(self):
+        w = BitWriter()
+        w.write_bits_array(np.array([1, 2, 3], dtype=np.uint64), 2)
+        # 01 10 11 -> 0b01101100
+        assert w.getvalue() == bytes([0b01101100])
+
+    def test_write_bits_array_overflow_raises(self):
+        with pytest.raises(CodecError):
+            BitWriter().write_bits_array(np.array([4], dtype=np.uint64), 2)
+
+    def test_write_bitplane(self):
+        w = BitWriter()
+        w.write_bitplane(np.array([1, 0, 0, 1], dtype=np.uint8))
+        assert w.getvalue() == bytes([0b10010000])
+
+
+class TestBitReader:
+    def test_read_matches_write(self):
+        w = BitWriter()
+        w.write(0b1101, 4)
+        w.write(0b001, 3)
+        r = BitReader(w.getvalue())
+        assert r.read(4) == 0b1101
+        assert r.read(3) == 0b001
+
+    def test_read_bit(self):
+        r = BitReader(bytes([0b10000000]))
+        assert r.read_bit() == 1
+        assert r.read_bit() == 0
+
+    def test_underrun_raises(self):
+        r = BitReader(b"\x00")
+        r.read(8)
+        with pytest.raises(CodecError):
+            r.read(1)
+
+    def test_position_and_remaining(self):
+        r = BitReader(b"\xff\x00")
+        assert len(r) == 16
+        r.read(5)
+        assert r.position == 5
+        assert r.remaining == 11
+
+    def test_read_bits_array_roundtrip(self):
+        values = np.array([5, 0, 7, 3, 1], dtype=np.uint64)
+        w = BitWriter()
+        w.write_bits_array(values, 3)
+        out = BitReader(w.getvalue()).read_bits_array(5, 3)
+        np.testing.assert_array_equal(out, values)
+
+    def test_read_bitplane_roundtrip(self):
+        plane = np.array([1, 1, 0, 1, 0, 0, 1, 0, 1], dtype=np.uint8)
+        w = BitWriter()
+        w.write_bitplane(plane)
+        out = BitReader(w.getvalue()).read_bitplane(plane.size)
+        np.testing.assert_array_equal(out, plane)
+
+    def test_align_to_byte(self):
+        r = BitReader(b"\xff\xff")
+        r.read(3)
+        r.align_to_byte()
+        assert r.position == 8
+
+    def test_align_on_boundary_is_noop(self):
+        r = BitReader(b"\xff\xff")
+        r.read(8)
+        r.align_to_byte()
+        assert r.position == 8
+
+
+@given(st.lists(st.tuples(st.integers(0, 2 ** 32 - 1),
+                          st.integers(32, 40)), max_size=30))
+def test_scalar_roundtrip_property(fields):
+    """Any mixed sequence of (value, width) writes reads back exactly."""
+    w = BitWriter()
+    for value, width in fields:
+        w.write(value, width)
+    r = BitReader(w.getvalue())
+    for value, width in fields:
+        assert r.read(width) == value
+
+
+@given(st.integers(1, 16),
+       st.lists(st.integers(0, 2 ** 16 - 1), min_size=1, max_size=100))
+def test_array_roundtrip_property(extra_bits, values):
+    """Vector writes interleaved with scalar writes round-trip."""
+    width = max(v.bit_length() for v in values) or 1
+    arr = np.asarray(values, dtype=np.uint64)
+    w = BitWriter()
+    w.write(1, extra_bits)
+    w.write_bits_array(arr, width)
+    r = BitReader(w.getvalue())
+    assert r.read(extra_bits) == 1
+    np.testing.assert_array_equal(r.read_bits_array(arr.size, width), arr)

@@ -1,0 +1,48 @@
+"""Tests for the shared positional-section container frame."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.container import pack_sections, unpack_sections
+from repro.errors import FormatError
+
+MAGIC = b"TST1"
+
+
+def test_roundtrip_basic():
+    sections = [b"alpha", b"", b"\x00\x01\x02"]
+    blob = pack_sections(MAGIC, 3, sections)
+    assert unpack_sections(blob, MAGIC, 3) == sections
+
+
+def test_empty_section_list():
+    blob = pack_sections(MAGIC, 1, [])
+    assert unpack_sections(blob, MAGIC, 1) == []
+
+
+def test_bad_magic_rejected():
+    blob = pack_sections(MAGIC, 1, [b"x"])
+    with pytest.raises(FormatError):
+        unpack_sections(blob, b"OTHR", 1)
+
+
+def test_version_mismatch_rejected():
+    blob = pack_sections(MAGIC, 2, [b"x"])
+    with pytest.raises(FormatError):
+        unpack_sections(blob, MAGIC, 1)
+
+
+def test_truncated_section_rejected():
+    blob = pack_sections(MAGIC, 1, [b"0123456789"])
+    with pytest.raises(FormatError):
+        unpack_sections(blob[:-3], MAGIC, 1)
+
+
+@given(st.lists(st.binary(max_size=300), max_size=10),
+       st.integers(0, 1000))
+def test_roundtrip_property(sections, version):
+    blob = pack_sections(MAGIC, version, sections)
+    assert unpack_sections(blob, MAGIC, version) == sections

@@ -1,0 +1,169 @@
+"""Tests for canonical, length-limited Huffman coding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.huffman import (
+    MAX_CODE_LENGTH,
+    HuffmanTable,
+    huffman_decode,
+    huffman_encode,
+)
+from repro.errors import CodecError
+
+
+def roundtrip(symbols: np.ndarray, alphabet: int | None = None):
+    table = HuffmanTable.from_symbols(symbols, alphabet_size=alphabet)
+    blob = huffman_encode(symbols, table)
+    out, end = huffman_decode(blob, table)
+    assert end == len(blob)
+    np.testing.assert_array_equal(out, symbols)
+    return table, blob
+
+
+class TestTableConstruction:
+    def test_two_symbol_code(self):
+        table = HuffmanTable.from_counts(np.array([5, 5]))
+        assert list(table.lengths) == [1, 1]
+        assert sorted(table.codes.tolist()) == [0, 1]
+
+    def test_single_symbol_gets_length_one(self):
+        table = HuffmanTable.from_counts(np.array([0, 9, 0]))
+        assert table.lengths[1] == 1
+        assert table.lengths[0] == table.lengths[2] == 0
+
+    def test_skewed_counts_give_short_code_to_common_symbol(self):
+        counts = np.array([1000, 10, 10, 10, 10])
+        table = HuffmanTable.from_counts(counts)
+        assert table.lengths[0] == min(table.lengths[table.lengths > 0])
+
+    def test_kraft_inequality_holds(self):
+        rng = np.random.default_rng(3)
+        counts = rng.integers(0, 1000, 300)
+        table = HuffmanTable.from_counts(counts)
+        used = table.lengths[table.lengths > 0]
+        assert np.sum(2.0 ** (-used)) <= 1.0 + 1e-12
+
+    def test_length_limit_respected(self):
+        # Fibonacci-like counts force very long unrestricted codes.
+        counts = np.array([1, 1, 2, 3, 5, 8, 13, 21, 34, 55, 89, 144,
+                           233, 377, 610, 987, 1597, 2584, 4181, 6765,
+                           10946, 17711, 28657, 46368, 75025, 121393,
+                           196418, 317811], dtype=np.int64)
+        table = HuffmanTable.from_counts(counts, max_len=10)
+        assert table.max_length <= 10
+        used = table.lengths[table.lengths > 0]
+        assert np.sum(2.0 ** (-used)) <= 1.0 + 1e-12
+
+    def test_prefix_free(self):
+        rng = np.random.default_rng(5)
+        counts = rng.integers(1, 100, 40)
+        table = HuffmanTable.from_counts(counts)
+        codes = [
+            format(int(c), f"0{int(ln)}b")
+            for c, ln in zip(table.codes, table.lengths) if ln > 0
+        ]
+        for i, a in enumerate(codes):
+            for j, b in enumerate(codes):
+                if i != j:
+                    assert not b.startswith(a)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(CodecError):
+            HuffmanTable.from_counts(np.array([1, -1]))
+
+    def test_2d_counts_rejected(self):
+        with pytest.raises(CodecError):
+            HuffmanTable.from_counts(np.ones((2, 2)))
+
+    def test_expected_bits(self):
+        counts = np.array([8, 4, 2, 2])
+        table = HuffmanTable.from_counts(counts)
+        assert table.expected_bits(counts) == int(
+            np.sum(counts * table.lengths)
+        )
+
+
+class TestSerialization:
+    def test_table_roundtrip(self):
+        rng = np.random.default_rng(7)
+        counts = rng.integers(0, 500, 100)
+        table = HuffmanTable.from_counts(counts)
+        restored, pos = HuffmanTable.from_bytes(table.to_bytes())
+        assert pos == len(table.to_bytes())
+        np.testing.assert_array_equal(restored.lengths, table.lengths)
+        np.testing.assert_array_equal(restored.codes, table.codes)
+
+    def test_table_roundtrip_with_offset(self):
+        table = HuffmanTable.from_counts(np.array([3, 1, 4]))
+        buf = b"xx" + table.to_bytes() + b"tail"
+        restored, pos = HuffmanTable.from_bytes(buf, 2)
+        np.testing.assert_array_equal(restored.lengths, table.lengths)
+        assert buf[pos:] == b"tail"
+
+
+class TestEncodeDecode:
+    def test_simple_roundtrip(self):
+        roundtrip(np.array([0, 1, 2, 1, 0, 0, 0], dtype=np.int64))
+
+    def test_empty_roundtrip(self):
+        table = HuffmanTable.from_counts(np.array([1]))
+        blob = huffman_encode(np.array([], dtype=np.int64), table)
+        out, _ = huffman_decode(blob, table)
+        assert out.size == 0
+
+    def test_single_symbol_stream(self):
+        roundtrip(np.zeros(500, dtype=np.int64), alphabet=1)
+
+    def test_large_skewed_stream(self):
+        rng = np.random.default_rng(11)
+        symbols = rng.choice(64, size=20_000,
+                             p=np.arange(64, 0, -1) / np.sum(np.arange(1, 65)))
+        table, blob = roundtrip(symbols.astype(np.int64))
+        # Entropy coding must beat the trivial 6-bit packing comfortably.
+        assert len(blob) * 8 < 6 * symbols.size
+
+    def test_out_of_alphabet_symbol_rejected(self):
+        table = HuffmanTable.from_counts(np.array([1, 1]))
+        with pytest.raises(CodecError):
+            huffman_encode(np.array([2]), table)
+
+    def test_symbol_without_code_rejected(self):
+        table = HuffmanTable.from_counts(np.array([1, 0, 1]))
+        with pytest.raises(CodecError):
+            huffman_encode(np.array([1]), table)
+
+    def test_decode_with_offset_and_concatenation(self):
+        syms1 = np.array([0, 1, 0, 2], dtype=np.int64)
+        syms2 = np.array([2, 2, 1], dtype=np.int64)
+        table = HuffmanTable.from_symbols(np.concatenate([syms1, syms2]))
+        blob = huffman_encode(syms1, table) + huffman_encode(syms2, table)
+        out1, pos = huffman_decode(blob, table)
+        out2, end = huffman_decode(blob, table, pos)
+        np.testing.assert_array_equal(out1, syms1)
+        np.testing.assert_array_equal(out2, syms2)
+        assert end == len(blob)
+
+    def test_truncated_stream_raises(self):
+        symbols = np.arange(100, dtype=np.int64) % 7
+        table = HuffmanTable.from_symbols(symbols)
+        blob = huffman_encode(symbols, table)
+        with pytest.raises(CodecError):
+            huffman_decode(blob[: len(blob) // 4], table)
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=500))
+    def test_roundtrip_property(self, values):
+        roundtrip(np.asarray(values, dtype=np.int64))
+
+    @given(st.integers(2, 600), st.integers(0, 2 ** 32))
+    def test_random_alphabet_property(self, alphabet, seed):
+        rng = np.random.default_rng(seed)
+        symbols = rng.integers(0, alphabet, size=200)
+        roundtrip(symbols.astype(np.int64), alphabet=alphabet)
+
+    def test_max_code_length_constant_sane(self):
+        assert 10 <= MAX_CODE_LENGTH <= 24

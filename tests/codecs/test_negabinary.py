@@ -1,0 +1,53 @@
+"""Tests for the negabinary (base -2) mapping used by the ZFP coder."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.negabinary import int_to_negabinary, negabinary_to_int
+
+
+def test_known_values():
+    # Base -2: 0->0, 1->1, -1->11b (3), 2->110b (6), -2->10b (2)
+    vals = np.array([0, 1, -1, 2, -2], dtype=np.int64)
+    expected = np.array([0, 1, 3, 6, 2], dtype=np.uint64)
+    np.testing.assert_array_equal(int_to_negabinary(vals), expected)
+
+
+def test_roundtrip_small_range():
+    vals = np.arange(-1000, 1000, dtype=np.int64)
+    np.testing.assert_array_equal(
+        negabinary_to_int(int_to_negabinary(vals)), vals
+    )
+
+
+def test_small_magnitudes_have_small_codes():
+    """The property bit-plane coding depends on: |x| small => only
+    low-order negabinary bits set."""
+    vals = np.arange(-128, 129, dtype=np.int64)
+    codes = int_to_negabinary(vals)
+    assert int(codes.max()) < 1 << 9
+
+
+def test_interpretation_as_base_minus_two():
+    """Each code, read in base -2, equals the original value."""
+    vals = np.array([5, -7, 13, -100], dtype=np.int64)
+    for v, code in zip(vals, int_to_negabinary(vals)):
+        total, place = 0, 1
+        c = int(code)
+        while c:
+            if c & 1:
+                total += place
+            place *= -2
+            c >>= 1
+        assert total == v
+
+
+@given(st.lists(st.integers(-(2 ** 52), 2 ** 52), min_size=1, max_size=64))
+def test_roundtrip_property(values):
+    arr = np.asarray(values, dtype=np.int64)
+    np.testing.assert_array_equal(
+        negabinary_to_int(int_to_negabinary(arr)), arr
+    )

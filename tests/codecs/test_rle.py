@@ -1,0 +1,60 @@
+"""Tests for the run-length codec."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.rle import rle_decode, rle_encode
+from repro.errors import CodecError
+
+
+def test_empty_roundtrip():
+    assert rle_decode(rle_encode(np.array([], dtype=np.int64))).size == 0
+
+
+def test_single_run():
+    arr = np.full(1000, 7, dtype=np.int64)
+    blob = rle_encode(arr)
+    assert len(blob) < 10  # one (symbol, run) pair
+    np.testing.assert_array_equal(rle_decode(blob), arr)
+
+
+def test_alternating_worst_case():
+    arr = np.tile([0, 1], 50).astype(np.int64)
+    np.testing.assert_array_equal(rle_decode(rle_encode(arr)), arr)
+
+
+def test_negative_symbol_rejected():
+    with pytest.raises(CodecError):
+        rle_encode(np.array([-1], dtype=np.int64))
+
+    # errors on decode of corrupt zero-run streams
+def test_zero_run_stream_rejected():
+    from repro.codecs.varint import encode_uvarint
+    bad = encode_uvarint(4) + encode_uvarint(1) + encode_uvarint(0)
+    with pytest.raises(CodecError):
+        rle_decode(bad)
+
+
+def test_dtype_control():
+    arr = np.array([3, 3, 5], dtype=np.int64)
+    out = rle_decode(rle_encode(arr), dtype=np.uint16)
+    assert out.dtype == np.uint16
+    np.testing.assert_array_equal(out, arr)
+
+
+def test_sparse_index_plane_compresses_well():
+    """Quantizer index planes (mostly one symbol) should shrink a lot."""
+    rng = np.random.default_rng(0)
+    arr = np.zeros(10_000, dtype=np.int64)
+    arr[rng.choice(10_000, 50, replace=False)] = 255
+    assert len(rle_encode(arr)) < 1000
+
+
+@given(st.lists(st.integers(0, 300), max_size=200))
+def test_roundtrip_property(values):
+    arr = np.asarray(values, dtype=np.int64)
+    np.testing.assert_array_equal(rle_decode(rle_encode(arr)), arr)

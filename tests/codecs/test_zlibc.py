@@ -1,0 +1,64 @@
+"""Tests for the framed zlib wrapper."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codecs.zlibc import zlib_compress, zlib_decompress
+from repro.errors import CodecError
+
+
+def test_compressible_payload_shrinks():
+    data = b"abc" * 10_000
+    frame = zlib_compress(data)
+    assert len(frame) < len(data) // 10
+    assert zlib_decompress(frame) == data
+
+
+def test_incompressible_payload_stored_raw():
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, 4096, dtype=np.uint8).tobytes()
+    frame = zlib_compress(data)
+    # Raw fallback: overhead is just the mode byte + uvarint length.
+    assert len(frame) <= len(data) + 8
+    assert zlib_decompress(frame) == data
+
+
+def test_empty_payload():
+    assert zlib_decompress(zlib_compress(b"")) == b""
+
+
+def test_numpy_array_input():
+    arr = np.arange(100, dtype=np.float32)
+    assert zlib_decompress(zlib_compress(arr)) == arr.tobytes()
+
+
+def test_level_zero_allowed():
+    data = b"x" * 100
+    assert zlib_decompress(zlib_compress(data, level=0)) == data
+
+
+def test_empty_frame_rejected():
+    with pytest.raises(CodecError):
+        zlib_decompress(b"")
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(CodecError):
+        zlib_decompress(b"\x07\x00")
+
+
+def test_length_mismatch_rejected():
+    frame = bytearray(zlib_compress(b"hello world, hello world"))
+    # Corrupt the declared raw length.
+    frame[1] ^= 0x01
+    with pytest.raises(CodecError):
+        zlib_decompress(bytes(frame))
+
+
+@given(st.binary(max_size=2048))
+def test_roundtrip_property(data):
+    assert zlib_decompress(zlib_compress(data)) == data

@@ -1,0 +1,156 @@
+"""Tests for the DPZ compressor facade."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import mean_relative_error, psnr
+from repro.core.compressor import DPZCompressor
+from repro.core.config import DPZ_L, DPZ_S
+from repro.errors import DataShapeError
+
+
+class TestRoundtrip:
+    def test_2d_shape_dtype_restored(self, smooth_2d):
+        blob = DPZCompressor(DPZ_L).compress(smooth_2d)
+        recon = DPZCompressor.decompress(blob)
+        assert recon.shape == smooth_2d.shape
+        assert recon.dtype == smooth_2d.dtype
+
+    def test_3d_roundtrip(self, tiny_3d):
+        blob = DPZCompressor(DPZ_S.with_tve_nines(5)).compress(tiny_3d)
+        recon = DPZCompressor.decompress(blob)
+        assert psnr(tiny_3d, recon) > 40.0
+
+    def test_1d_roundtrip(self, rng):
+        data = np.cumsum(rng.normal(size=4096)).astype(np.float32)
+        blob = DPZCompressor(DPZ_L.with_tve_nines(4)).compress(data)
+        recon = DPZCompressor.decompress(blob)
+        assert psnr(data, recon) > 30.0
+
+    def test_float64_input(self, rng):
+        data = np.cumsum(rng.normal(size=(64, 64)), axis=1)
+        blob = DPZCompressor(DPZ_S.with_tve_nines(6)).compress(data)
+        recon = DPZCompressor.decompress(blob)
+        assert recon.dtype == np.float64
+        assert psnr(data, recon) > 50.0
+
+    def test_int_input_coerced(self):
+        data = (np.arange(4096) % 37).reshape(64, 64)
+        blob = DPZCompressor(DPZ_L).compress(data)
+        assert DPZCompressor.decompress(blob).dtype == np.float64
+
+    def test_constant_data(self):
+        data = np.full((32, 32), 5.0, dtype=np.float32)
+        recon = DPZCompressor.decompress(DPZCompressor(DPZ_L).compress(data))
+        np.testing.assert_allclose(recon, data, atol=1e-5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            DPZCompressor(DPZ_L).compress(np.zeros(0, dtype=np.float32))
+
+
+class TestQuality:
+    def test_theta_tracks_p(self, smooth_2d):
+        """Range-relative mean error stays within an order of P."""
+        for cfg, cap in ((DPZ_L.with_tve_nines(5), 2e-3),
+                         (DPZ_S.with_tve_nines(5), 2e-3)):
+            blob = DPZCompressor(cfg).compress(smooth_2d)
+            recon = DPZCompressor.decompress(blob)
+            assert mean_relative_error(smooth_2d, recon) < cap
+
+    def test_dpz_s_reaches_higher_psnr_than_dpz_l(self, smooth_2d):
+        """The paper's DPZ-l ceiling: at tight TVE, the strict scheme
+        must climb past the loose scheme's quantization floor."""
+        def run(cfg):
+            blob = DPZCompressor(cfg).compress(smooth_2d)
+            return psnr(smooth_2d, DPZCompressor.decompress(blob))
+
+        assert run(DPZ_S.with_tve_nines(7)) > run(DPZ_L.with_tve_nines(7))
+
+    def test_tighter_tve_higher_psnr(self, smooth_2d):
+        vals = []
+        for nines in (2, 4, 6):
+            blob = DPZCompressor(DPZ_S.with_tve_nines(nines)).compress(
+                smooth_2d)
+            vals.append(psnr(smooth_2d, DPZCompressor.decompress(blob)))
+        assert vals == sorted(vals)
+
+    def test_knee_mode_compresses_aggressively(self, smooth_2d):
+        blob_knee = DPZCompressor(DPZ_L.with_knee()).compress(smooth_2d)
+        blob_tve7 = DPZCompressor(DPZ_L.with_tve_nines(7)).compress(
+            smooth_2d)
+        assert len(blob_knee) <= len(blob_tve7)
+
+
+class TestStats:
+    def test_stats_fields(self, smooth_2d):
+        blob, st = DPZCompressor(DPZ_L).compress_with_stats(smooth_2d)
+        assert st.compressed_nbytes == len(blob)
+        assert st.original_nbytes == smooth_2d.nbytes
+        assert st.cr > 1.0
+        assert st.k >= 1
+        assert 0.0 <= st.outlier_fraction <= 1.0
+        assert {"decompose", "dct", "pca", "quantize", "encode"} <= \
+            set(st.times)
+
+    def test_stage_crs_multiply_to_roughly_total(self, smooth_2d):
+        _, st = DPZCompressor(DPZ_L.with_tve_nines(4)).compress_with_stats(
+            smooth_2d)
+        product = st.cr_stage12 * st.cr_stage3 * st.cr_zlib
+        # Product ignores basis/header overhead; same order of magnitude.
+        assert 0.3 * st.cr < product < 4.0 * st.cr
+
+    def test_stage_psnr_option(self, smooth_2d):
+        _, st = DPZCompressor(DPZ_S).compress_with_stats(smooth_2d,
+                                                         stage_psnr=True)
+        assert st.psnr_stage12 is not None and st.psnr_final is not None
+        assert st.delta_psnr >= -0.5  # stage 3 cannot improve accuracy
+        assert st.psnr_final == pytest.approx(
+            psnr(smooth_2d, DPZCompressor.decompress(
+                DPZCompressor(DPZ_S).compress(smooth_2d))), abs=1e-6)
+
+    def test_bitrate_property(self, smooth_2d):
+        _, st = DPZCompressor(DPZ_L).compress_with_stats(smooth_2d)
+        assert np.isclose(st.bitrate, 32.0 / st.cr)
+
+    def test_delta_psnr_none_without_option(self, smooth_2d):
+        _, st = DPZCompressor(DPZ_L).compress_with_stats(smooth_2d)
+        assert st.delta_psnr is None
+
+
+class TestSamplingIntegration:
+    def test_use_sampling_roundtrip(self, smooth_2d):
+        cfg = replace(DPZ_L.with_tve_nines(4), use_sampling=True)
+        blob, st = DPZCompressor(cfg).compress_with_stats(smooth_2d)
+        assert st.sampling is not None
+        recon = DPZCompressor.decompress(blob)
+        assert psnr(smooth_2d, recon) > 30.0
+
+    def test_probe_standalone(self, smooth_2d):
+        report = DPZCompressor(DPZ_L).probe(smooth_2d)
+        assert report.k_estimate >= 1
+        assert report.cr_low <= report.cr_high
+
+    def test_standardize_always_and_never(self, smooth_2d):
+        for mode in ("always", "never"):
+            cfg = replace(DPZ_L, standardize=mode)
+            blob, st = DPZCompressor(cfg).compress_with_stats(smooth_2d)
+            assert st.standardized == (mode == "always")
+            DPZCompressor.decompress(blob)  # must still round-trip
+
+
+class TestParallel:
+    def test_parallel_matches_serial(self, rng):
+        data = np.cumsum(rng.normal(size=(128, 128)), axis=1).astype(
+            np.float32)
+        cfg_serial = replace(DPZ_L, n_jobs=1)
+        cfg_par = replace(DPZ_L, n_jobs=4)
+        b1 = DPZCompressor(cfg_serial).compress(data)
+        b2 = DPZCompressor(cfg_par).compress(data)
+        r1 = DPZCompressor.decompress(b1)
+        r2 = DPZCompressor.decompress(b2)
+        np.testing.assert_allclose(r1, r2, atol=1e-5)

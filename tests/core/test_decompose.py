@@ -1,0 +1,93 @@
+"""Tests for stage 1a: block decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.decompose import decompose, plan_decomposition, reassemble
+from repro.errors import DataShapeError
+
+
+class TestPlan:
+    def test_paper_example_128_cubed(self):
+        plan = plan_decomposition((128, 128, 128))
+        assert (plan.m_blocks, plan.n_points) == (1024, 2048)
+        assert plan.pad == 0
+
+    def test_paper_example_cesm(self):
+        plan = plan_decomposition((1800, 3600))
+        assert (plan.m_blocks, plan.n_points) == (1800, 3600)
+
+    def test_m_strictly_less_than_n(self):
+        for shape in [(64, 64, 64), (450, 900), (2 ** 18,), (1000,)]:
+            plan = plan_decomposition(shape)
+            assert plan.m_blocks < plan.n_points
+
+    def test_ratio_is_smallest_available(self):
+        # 2^18 = 2 * (2^8.5)^2 is impossible; d=4 gives M=256.
+        plan = plan_decomposition((2 ** 18,))
+        assert plan.ratio == 4
+        assert plan.pad == 0
+
+    def test_awkward_size_padded(self):
+        plan = plan_decomposition((997,))  # prime
+        assert plan.pad > 0
+        assert plan.padded_total == 2 * plan.m_blocks ** 2
+        assert plan.padded_total >= 997
+
+    def test_padding_is_minimal_for_the_2m2_family(self):
+        plan = plan_decomposition((1003,))
+        m = plan.m_blocks
+        assert 2 * (m - 1) ** 2 < 1003  # one step smaller would not fit
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DataShapeError):
+            plan_decomposition((4,))
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(DataShapeError):
+            plan_decomposition(())
+        with pytest.raises(DataShapeError):
+            plan_decomposition((0, 5))
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("shape", [
+        (128,), (96, 96), (16, 16, 16), (31, 37), (997,), (12, 34, 5),
+    ])
+    def test_exact_reassembly(self, shape, rng):
+        data = rng.normal(size=shape)
+        blocks, plan = decompose(data)
+        np.testing.assert_array_equal(reassemble(blocks, plan), data)
+
+    def test_blocks_preserve_flat_order(self, rng):
+        data = rng.normal(size=(16, 32))
+        blocks, plan = decompose(data)
+        flat = data.reshape(-1)
+        np.testing.assert_array_equal(blocks[0],
+                                      flat[: plan.n_points])
+
+    def test_padding_replicates_last_value(self):
+        data = np.arange(997, dtype=np.float64)
+        blocks, plan = decompose(data)
+        assert blocks.reshape(-1)[-1] == 996.0
+
+    def test_wrong_block_shape_rejected(self, rng):
+        data = rng.normal(size=(16, 16))
+        blocks, plan = decompose(data)
+        with pytest.raises(DataShapeError):
+            reassemble(blocks[:, :-1], plan)
+
+
+@given(st.integers(8, 5000))
+def test_plan_properties(total):
+    plan = plan_decomposition((total,))
+    assert plan.m_blocks * plan.n_points >= total
+    assert plan.m_blocks < plan.n_points
+    assert plan.pad < plan.padded_total  # padding never dominates... loosely
+    # Padding overhead is bounded (next 2*M^2 size is < ~3% above for
+    # totals >= 8 only loosely; assert a generous cap).
+    assert plan.pad <= plan.padded_total / 2

@@ -1,0 +1,98 @@
+"""Tests for stage 2: k-PCA selection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.kpca import fit_kpca
+from repro.errors import ConfigError
+
+
+def make_features(rng, n=300, m=24, rank=4, noise=1e-3):
+    basis = rng.normal(size=(rank, m))
+    weights = 5.0 * np.power(0.4, np.arange(rank))
+    coeffs = rng.normal(size=(n, rank)) * weights
+    return coeffs @ basis + noise * rng.normal(size=(n, m))
+
+
+class TestTVEMode:
+    def test_k_respects_threshold(self, rng):
+        X = make_features(rng)
+        res = fit_kpca(X, k_mode="tve", tve=0.999)
+        assert res.tve_at_k >= 0.999 - 1e-9
+
+    def test_tighter_tve_larger_k(self, rng):
+        X = make_features(rng)
+        k_loose = fit_kpca(X, k_mode="tve", tve=0.99).k
+        k_tight = fit_kpca(X, k_mode="tve", tve=0.9999999).k
+        assert k_tight >= k_loose
+
+    def test_scores_shape(self, rng):
+        X = make_features(rng)
+        res = fit_kpca(X, k_mode="tve", tve=0.99)
+        assert res.scores.shape == (X.shape[0], res.k)
+
+
+class TestKneeMode:
+    def test_knee_finds_informative_head(self, rng):
+        X = make_features(rng, rank=4, noise=1e-4)
+        res = fit_kpca(X, k_mode="knee", knee_fit="1d")
+        assert 1 <= res.k <= 10
+
+    def test_polyn_fit_supported(self, rng):
+        X = make_features(rng)
+        res = fit_kpca(X, k_mode="knee", knee_fit="polyn")
+        assert 1 <= res.k <= X.shape[1]
+
+
+class TestFixedMode:
+    def test_fixed_k_used(self, rng):
+        X = make_features(rng)
+        assert fit_kpca(X, k_mode="fixed", fixed_k=7).k == 7
+
+    def test_fixed_k_clamped(self, rng):
+        X = make_features(rng, m=10)
+        assert fit_kpca(X, k_mode="fixed", fixed_k=500).k == 10
+
+    def test_fixed_without_k_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            fit_kpca(make_features(rng), k_mode="fixed")
+
+
+class TestReconstruction:
+    def test_reconstruct_uses_stored_scores(self, rng):
+        X = make_features(rng, noise=0.0)
+        res = fit_kpca(X, k_mode="tve", tve=0.9999999)
+        recon = res.reconstruct()
+        np.testing.assert_allclose(recon, X, atol=1e-6)
+
+    def test_reconstruct_accepts_external_scores(self, rng):
+        X = make_features(rng)
+        res = fit_kpca(X, k_mode="fixed", fixed_k=3)
+        perturbed = res.scores + 1e-6
+        r1 = res.reconstruct()
+        r2 = res.reconstruct(perturbed)
+        assert not np.array_equal(r1, r2)
+
+    def test_truncation_error_equals_discarded_variance(self, rng):
+        """Invariant 5 groundwork: with uncentered PCA the squared
+        reconstruction error equals the discarded eigenvalue mass."""
+        X = make_features(rng, noise=1e-2)
+        res = fit_kpca(X, k_mode="fixed", fixed_k=2, center=False)
+        err = X - res.reconstruct()
+        n = X.shape[0]
+        discarded = res.pca.explained_variance_[2:].sum() * (n - 1)
+        assert np.isclose((err ** 2).sum(), discarded, rtol=1e-6)
+
+    def test_unknown_mode_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            fit_kpca(make_features(rng), k_mode="best")
+
+
+def test_standardize_flag_plumbs_through(rng):
+    X = make_features(rng) * np.concatenate([np.ones(12), 100 * np.ones(12)])
+    res_plain = fit_kpca(X, k_mode="fixed", fixed_k=3, standardize=False)
+    res_std = fit_kpca(X, k_mode="fixed", fixed_k=3, standardize=True)
+    assert res_std.pca.scale_ is not None
+    assert res_plain.pca.scale_ is None

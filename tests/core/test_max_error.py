@@ -1,0 +1,78 @@
+"""Tests for the optional strict pointwise bound (DPZ extension)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.analysis.metrics import max_abs_error
+from repro.core.compressor import DPZCompressor
+from repro.errors import ConfigError
+
+
+def bound_of(data, rel):
+    return rel * float(data.max() - data.min())
+
+
+class TestMaxErrorContract:
+    @pytest.mark.parametrize("rel", [1e-2, 1e-3, 1e-4])
+    def test_bound_holds_smooth(self, smooth_2d, rel):
+        cfg = replace(repro.DPZ_L.with_tve_nines(3), max_error=rel)
+        blob = DPZCompressor(cfg).compress(smooth_2d)
+        recon = DPZCompressor.decompress(blob)
+        assert max_abs_error(smooth_2d, recon) <= \
+            bound_of(smooth_2d, rel) * (1 + 1e-6)
+
+    def test_bound_holds_on_white_noise(self, rough_1d):
+        """The hardest case: most points need correction."""
+        rel = 1e-3
+        cfg = replace(repro.DPZ_L.with_tve_nines(2), max_error=rel)
+        blob, st = DPZCompressor(cfg).compress_with_stats(rough_1d)
+        recon = DPZCompressor.decompress(blob)
+        assert max_abs_error(rough_1d, recon) <= \
+            bound_of(rough_1d, rel) * (1 + 1e-6)
+        assert st.correction_fraction > 0.1  # corrections really fired
+
+    def test_no_bound_means_no_corrections(self, smooth_2d):
+        _, st = DPZCompressor(repro.DPZ_L).compress_with_stats(smooth_2d)
+        assert st.correction_fraction == 0.0
+
+    def test_corrections_cost_bytes(self, rough_1d):
+        plain = DPZCompressor(repro.DPZ_L.with_tve_nines(2)).compress(
+            rough_1d)
+        cfg = replace(repro.DPZ_L.with_tve_nines(2), max_error=1e-3)
+        bounded = DPZCompressor(cfg).compress(rough_1d)
+        assert len(bounded) > len(plain)
+
+    def test_loose_bound_few_corrections(self, smooth_2d):
+        cfg = replace(repro.DPZ_S.with_tve_nines(6), max_error=5e-2)
+        _, st = DPZCompressor(cfg).compress_with_stats(smooth_2d)
+        assert st.correction_fraction < 0.01
+
+    def test_stage_psnr_still_ordered(self, smooth_2d):
+        cfg = replace(repro.DPZ_L.with_tve_nines(3), max_error=1e-3)
+        _, st = DPZCompressor(cfg).compress_with_stats(smooth_2d,
+                                                       stage_psnr=True)
+        # psnr_final includes corrections, so it may exceed stage12.
+        assert st.psnr_final is not None and st.psnr_stage12 is not None
+
+    def test_invalid_max_error_rejected(self):
+        with pytest.raises(ConfigError):
+            replace(repro.DPZ_L, max_error=0.0)
+
+    @given(st.integers(0, 2 ** 32), st.sampled_from([1e-2, 1e-3]))
+    @settings(max_examples=15)
+    def test_bound_property(self, seed, rel):
+        rng = np.random.default_rng(seed)
+        data = (np.cumsum(rng.normal(size=600)).reshape(20, 30)
+                + 0.3 * rng.normal(size=(20, 30))).astype(np.float32)
+        cfg = replace(repro.DPZ_L.with_tve_nines(3), max_error=rel)
+        blob = DPZCompressor(cfg).compress(data)
+        recon = DPZCompressor.decompress(blob)
+        assert max_abs_error(data, recon) <= \
+            bound_of(data, rel) * (1 + 1e-5)

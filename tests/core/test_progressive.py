@@ -1,0 +1,69 @@
+"""Tests for progressive (truncated-k) decompression."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.metrics import psnr
+from repro.core.compressor import DPZCompressor
+from repro.core.stream import deserialize
+from repro.errors import DataShapeError
+
+
+@pytest.fixture
+def archive_blob(smooth_2d):
+    return DPZCompressor(repro.DPZ_S.with_tve_nines(6)).compress(smooth_2d)
+
+
+def test_quality_monotone_in_k(smooth_2d, archive_blob):
+    full_k = deserialize(archive_blob).k
+    ks = sorted({1, max(1, full_k // 4), max(1, full_k // 2), full_k})
+    psnrs = [psnr(smooth_2d, DPZCompressor.decompress(archive_blob, k=k))
+             for k in ks]
+    for a, b in zip(psnrs, psnrs[1:]):
+        assert b >= a - 0.5  # information-ordered components
+
+
+def test_full_k_matches_plain_decode(smooth_2d, archive_blob):
+    full_k = deserialize(archive_blob).k
+    plain = DPZCompressor.decompress(archive_blob)
+    full = DPZCompressor.decompress(archive_blob, k=full_k)
+    np.testing.assert_array_equal(plain, full)
+
+
+def test_partial_decode_shape_dtype(smooth_2d, archive_blob):
+    out = DPZCompressor.decompress(archive_blob, k=1)
+    assert out.shape == smooth_2d.shape
+    assert out.dtype == smooth_2d.dtype
+
+
+def test_k_bounds_validated(archive_blob):
+    full_k = deserialize(archive_blob).k
+    with pytest.raises(DataShapeError):
+        DPZCompressor.decompress(archive_blob, k=0)
+    with pytest.raises(DataShapeError):
+        DPZCompressor.decompress(archive_blob, k=full_k + 1)
+
+
+def test_k1_is_dominant_trend(smooth_2d, archive_blob):
+    """One component already reconstructs the field's gross structure."""
+    out = DPZCompressor.decompress(archive_blob, k=1)
+    assert psnr(smooth_2d, out) > 10.0
+    # Correlation with the original stays high.
+    a = smooth_2d.astype(np.float64).reshape(-1)
+    b = out.astype(np.float64).reshape(-1)
+    corr = np.corrcoef(a, b)[0, 1]
+    assert corr > 0.7
+
+
+def test_partial_decode_skips_corrections(smooth_2d):
+    from dataclasses import replace
+
+    cfg = replace(repro.DPZ_L.with_tve_nines(3), max_error=1e-3)
+    blob = DPZCompressor(cfg).compress(smooth_2d)
+    full_k = deserialize(blob).k
+    if full_k > 1:
+        out = DPZCompressor.decompress(blob, k=max(1, full_k - 1))
+        assert out.shape == smooth_2d.shape

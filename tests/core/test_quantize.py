@@ -1,0 +1,109 @@
+"""Tests for stage 3: the symmetric uniform quantizer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.quantize import dequantize_scores, quantize_scores
+from repro.errors import ConfigError, DataShapeError
+
+
+class TestBound:
+    def test_in_range_error_bounded(self, rng):
+        scores = rng.normal(scale=0.05, size=(100, 8))
+        p, bins = 1e-3, 255
+        q = quantize_scores(scores, p, bins, outlier_dtype=np.float64)
+        out = dequantize_scores(q)
+        half = p * bins
+        in_range = np.abs(scores) <= half
+        assert np.max(np.abs(out[in_range] - scores[in_range])) <= p + 1e-15
+
+    def test_outliers_roundtrip_exactly_in_f64(self, rng):
+        scores = rng.normal(scale=10.0, size=500)
+        q = quantize_scores(scores, 1e-3, 255, outlier_dtype=np.float64)
+        out = dequantize_scores(q)
+        outliers = np.abs(scores) > 1e-3 * 255
+        np.testing.assert_array_equal(out[outliers], scores[outliers])
+
+    def test_outliers_f32_precision(self, rng):
+        scores = rng.normal(scale=10.0, size=500)
+        q = quantize_scores(scores, 1e-3, 255)  # default float32
+        out = dequantize_scores(q)
+        outliers = np.abs(scores) > 1e-3 * 255
+        np.testing.assert_allclose(out[outliers], scores[outliers],
+                                   rtol=1e-6)
+
+    def test_boundary_values_stay_bounded(self):
+        p, bins = 1e-2, 11
+        half = p * bins
+        scores = np.array([-half, -half + 1e-9, 0.0, half - 1e-9, half])
+        q = quantize_scores(scores, p, bins)
+        out = dequantize_scores(q)
+        assert np.max(np.abs(out - scores)) <= p + 1e-12
+
+
+class TestCodes:
+    def test_zero_maps_to_middle_bin(self):
+        q = quantize_scores(np.zeros(4), 1e-3, 255)
+        assert np.all(q.indices == 127)
+        np.testing.assert_allclose(dequantize_scores(q), 0.0, atol=1e-12)
+
+    def test_escape_code_marks_outliers(self, rng):
+        scores = np.array([0.0, 100.0, -100.0, 0.3])  # half-range 0.255
+        q = quantize_scores(scores, 1e-3, 255)
+        assert q.escape_code == 255
+        np.testing.assert_array_equal(q.indices == 255,
+                                      [False, True, True, True])
+        np.testing.assert_allclose(q.outliers, [100.0, -100.0, 0.3],
+                                   rtol=1e-6)
+
+    def test_index_dtype_by_bins(self):
+        assert quantize_scores(np.zeros(3), 1e-3, 255).indices.dtype == \
+            np.uint8
+        assert quantize_scores(np.zeros(3), 1e-4, 65535).indices.dtype == \
+            np.uint16
+
+    def test_too_many_bins_rejected(self):
+        with pytest.raises(ConfigError):
+            quantize_scores(np.zeros(3), 1e-3, 70000)
+
+    def test_outlier_fraction(self, rng):
+        scores = np.concatenate([np.zeros(90), np.full(10, 1e6)])
+        q = quantize_scores(scores, 1e-3, 255)
+        assert np.isclose(q.outlier_fraction, 0.1)
+
+    def test_shape_restored(self, rng):
+        scores = rng.normal(scale=0.01, size=(7, 9))
+        out = dequantize_scores(quantize_scores(scores, 1e-3, 255))
+        assert out.shape == (7, 9)
+
+
+class TestValidation:
+    def test_nonpositive_p_rejected(self):
+        with pytest.raises(ConfigError):
+            quantize_scores(np.zeros(3), 0.0, 255)
+
+    def test_bad_bins_rejected(self):
+        with pytest.raises(ConfigError):
+            quantize_scores(np.zeros(3), 1e-3, 0)
+
+    def test_outlier_count_mismatch_detected(self, rng):
+        q = quantize_scores(np.array([0.0, 1e9]), 1e-3, 255)
+        q.outliers = np.zeros(0, dtype=np.float32)
+        with pytest.raises(DataShapeError):
+            dequantize_scores(q)
+
+
+@given(st.integers(0, 2 ** 32),
+       st.sampled_from([(1e-3, 255), (1e-4, 65535)]))
+def test_error_bound_property(seed, scheme):
+    """Paper invariant 4: every in-range value reconstructs within P."""
+    p, bins = scheme
+    rng = np.random.default_rng(seed)
+    scores = rng.normal(scale=rng.uniform(1e-4, 1.0), size=256)
+    q = quantize_scores(scores, p, bins, outlier_dtype=np.float64)
+    out = dequantize_scores(q)
+    assert np.max(np.abs(out - scores)) <= p + 1e-15

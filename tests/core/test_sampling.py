@@ -1,0 +1,107 @@
+"""Tests for the sampling strategy (Alg. 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sampling import (
+    STAGE3_CR_RANGE,
+    ZLIB_CR_ESTIMATE,
+    SamplingReport,
+    _pick_subsets,
+    sampling_probe,
+)
+from repro.errors import DataShapeError
+from repro.transforms.pca import PCA
+
+
+def correlated_features(rng, n=600, m=20, rank=3, noise=1e-3):
+    basis = rng.normal(size=(rank, m))
+    weights = np.array([10.0, 3.0, 1.0])[:rank]
+    return rng.normal(size=(n, rank)) * weights @ basis \
+        + noise * rng.normal(size=(n, m))
+
+
+class TestPickSubsets:
+    def test_default_first_middle_last(self):
+        assert _pick_subsets(10, 3) == [0, 5, 9]
+
+    def test_all_when_t_ge_s(self):
+        assert _pick_subsets(4, 6) == [0, 1, 2, 3]
+
+    def test_t_one(self):
+        assert _pick_subsets(10, 1) == [0]
+
+    def test_t_larger_than_three(self):
+        picks = _pick_subsets(10, 5)
+        assert len(picks) == 5
+        assert {0, 5, 9} <= set(picks)
+
+
+class TestProbe:
+    def test_k_estimate_close_to_full_pca(self, rng):
+        X = correlated_features(rng)
+        report = sampling_probe(X, tve=0.999)
+        k_full = PCA(center=False).fit(X).components_for_tve(0.999)
+        assert abs(report.k_estimate - k_full) <= max(2, k_full)
+
+    def test_high_linearity_not_flagged(self, rng):
+        X = correlated_features(rng, noise=1e-4)
+        report = sampling_probe(X, sampling_rate=0.3)
+        assert not report.low_linearity
+        assert report.vif_mean >= 5.0
+
+    def test_white_noise_flagged_low_linearity(self, rng):
+        X = rng.normal(size=(600, 20))
+        report = sampling_probe(X, sampling_rate=0.3)
+        assert report.low_linearity
+        assert report.vif_mean < 5.0
+
+    def test_cr_range_formula(self, rng):
+        """CR prediction = score bytes shrunk by the stage factors plus
+        the basis overhead (which the paper's bare formula omits)."""
+        X = correlated_features(rng)
+        n, m = X.shape
+        report = sampling_probe(X)
+        k = report.k_estimate
+        score = n * k * 4.0
+        basis = (k * m * 4.0 + m * 8.0) / 1.3
+        expect_low = (n * m * 4.0) / (
+            score / (STAGE3_CR_RANGE[0] * ZLIB_CR_ESTIMATE) + basis)
+        assert np.isclose(report.cr_low, expect_low)
+        assert report.cr_high > report.cr_low
+        assert report.cr_range == (report.cr_low, report.cr_high)
+
+    def test_refinement_beats_seed_on_noisy_subsets(self, rng):
+        """With few samples per subset, the seed overshoots; the
+        refined estimate must stay close to the full-PCA k."""
+        X = correlated_features(rng, n=400, m=80, rank=3, noise=1e-4)
+        report = sampling_probe(X, tve=0.999, subsets=10)
+        k_full = PCA(center=False).fit(X).components_for_tve(0.999)
+        assert abs(report.k_estimate - k_full) <= 2
+        assert report.k_seed >= report.k_estimate
+
+    def test_subset_ks_length(self, rng):
+        X = correlated_features(rng)
+        report = sampling_probe(X, subsets=10, picks=3)
+        assert len(report.subset_ks) == 3
+
+    def test_more_subsets_allowed(self, rng):
+        X = correlated_features(rng, n=900)
+        report = sampling_probe(X, subsets=5, picks=5)
+        assert len(report.subset_ks) == 5
+
+    def test_non_2d_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            sampling_probe(rng.normal(size=100))
+
+    def test_too_few_samples_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            sampling_probe(rng.normal(size=(10, 5)), subsets=10)
+
+    def test_report_is_frozen(self, rng):
+        report = sampling_probe(correlated_features(rng))
+        assert isinstance(report, SamplingReport)
+        with pytest.raises(Exception):
+            report.k_estimate = 99  # type: ignore[misc]

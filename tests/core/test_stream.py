@@ -1,0 +1,114 @@
+"""Tests for the DPZ container format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.stream import DPZArchive, deserialize, serialize
+from repro.errors import FormatError
+
+
+def make_archive(rng, standardized=False, outliers=5):
+    m, n, k = 12, 30, 4
+    return DPZArchive(
+        shape=(18, 20), dtype_tag="f4", m_blocks=m, n_points=n, k=k,
+        p=1e-3, n_bins=255, index_bytes=1, standardized=standardized,
+        norm_offset=-3.5, norm_scale=7.25, score_scale=1.0,
+        outlier_dtype_tag="f4",
+        components=rng.normal(size=(k, m)).astype(np.float32),
+        mean=rng.normal(size=m),
+        scale=np.abs(rng.normal(size=m)) + 0.1 if standardized else None,
+        indices=rng.integers(0, 256, n * k).astype(np.uint8),
+        outliers=rng.normal(size=outliers).astype(np.float32),
+    )
+
+
+def fix_escapes(archive):
+    """Make the escape-code count match the outlier stream."""
+    idx = archive.indices.copy()
+    idx[idx == 255] = 0
+    idx[: archive.outliers.size] = 255
+    archive.indices = idx
+    return archive
+
+
+def test_roundtrip_plain(rng):
+    a = fix_escapes(make_archive(rng))
+    blob, sizes = serialize(a)
+    b = deserialize(blob)
+    assert b.shape == a.shape
+    assert b.k == a.k and b.m_blocks == a.m_blocks
+    assert b.p == a.p
+    assert (b.norm_offset, b.norm_scale) == (a.norm_offset, a.norm_scale)
+    np.testing.assert_array_equal(b.components, a.components)
+    np.testing.assert_array_equal(b.mean, a.mean)
+    assert b.scale is None
+    np.testing.assert_array_equal(b.indices, a.indices)
+    np.testing.assert_array_equal(b.outliers, a.outliers)
+    assert sizes.total <= len(blob)
+
+
+def test_roundtrip_standardized(rng):
+    a = fix_escapes(make_archive(rng, standardized=True))
+    b = deserialize(serialize(a)[0])
+    assert b.standardized
+    np.testing.assert_array_equal(b.scale, a.scale)
+
+
+def test_roundtrip_no_outliers(rng):
+    a = make_archive(rng, outliers=0)
+    a.indices = np.clip(a.indices, 0, 254)
+    b = deserialize(serialize(a)[0])
+    assert b.outliers.size == 0
+
+
+def test_uint16_indices(rng):
+    a = make_archive(rng, outliers=0)
+    a.index_bytes = 2
+    a.n_bins = 65535
+    a.indices = rng.integers(0, 65535, a.n_points * a.k).astype(np.uint16)
+    b = deserialize(serialize(a)[0])
+    assert b.indices.dtype == np.uint16
+    np.testing.assert_array_equal(b.indices, a.indices)
+
+
+def test_float64_outliers(rng):
+    a = fix_escapes(make_archive(rng))
+    a.outlier_dtype_tag = "f8"
+    a.outliers = a.outliers.astype(np.float64)
+    b = deserialize(serialize(a)[0])
+    assert b.outliers.dtype == np.float64
+
+
+def test_original_dtype_property(rng):
+    a = make_archive(rng)
+    assert a.original_dtype == np.float32
+
+
+def test_bad_magic_rejected(rng):
+    blob, _ = serialize(fix_escapes(make_archive(rng)))
+    with pytest.raises(FormatError):
+        deserialize(b"NOPE" + blob[4:])
+
+
+def test_truncated_blob_rejected(rng):
+    blob, _ = serialize(fix_escapes(make_archive(rng)))
+    with pytest.raises(FormatError):
+        deserialize(blob[: len(blob) // 2])
+
+
+def test_index_count_mismatch_rejected(rng):
+    a = fix_escapes(make_archive(rng))
+    a.indices = a.indices[:-1]
+    blob, _ = serialize(a)
+    with pytest.raises(FormatError):
+        deserialize(blob)
+
+
+def test_section_sizes_reported(rng):
+    a = fix_escapes(make_archive(rng))
+    _, sizes = serialize(a)
+    assert sizes.components > 0
+    assert sizes.indices > 0
+    assert sizes.meta > 10

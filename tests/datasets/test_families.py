@@ -1,0 +1,120 @@
+"""Tests for the three synthetic dataset families.
+
+These assert the *statistical contracts* the experiments rely on --
+value ranges, dimensionality, determinism, and the compressibility
+ordering that makes the paper's tables reproducible -- not exact pixel
+values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import climate, cosmology, turbulence
+from repro.errors import DataShapeError
+
+
+class TestTurbulence:
+    def test_isotropic_shape_and_dtype(self):
+        f = turbulence.isotropic((16, 16, 16))
+        assert f.shape == (16, 16, 16) and f.dtype == np.float32
+
+    def test_isotropic_zero_mean_unit_scale(self):
+        f = turbulence.isotropic((32, 32, 32))
+        assert abs(float(f.mean())) < 0.2
+        assert 0.5 < float(f.std()) < 2.0
+
+    def test_isotropic_deterministic(self):
+        a = turbulence.isotropic((16, 16, 16), seed=5)
+        b = turbulence.isotropic((16, 16, 16), seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_isotropic_seed_changes_field(self):
+        a = turbulence.isotropic((16, 16, 16), seed=1)
+        b = turbulence.isotropic((16, 16, 16), seed=2)
+        assert not np.array_equal(a, b)
+
+    def test_channel_mean_profile_increases_from_wall(self):
+        f = turbulence.channel((32, 32, 32))
+        profile = np.asarray(f).mean(axis=(0, 2))
+        # Velocity at the wall < velocity at the centerline.
+        assert profile[0] < profile[len(profile) // 2]
+        assert profile[-1] < profile[len(profile) // 2]
+
+    def test_rejects_non_3d(self):
+        with pytest.raises(DataShapeError):
+            turbulence.isotropic((16, 16))
+        with pytest.raises(DataShapeError):
+            turbulence.channel((2, 2, 2))
+
+
+class TestClimate:
+    @pytest.mark.parametrize("gen", [climate.cldhgh, climate.cldlow,
+                                     climate.freqsh])
+    def test_bounded_fields_in_unit_interval(self, gen):
+        f = gen((64, 128))
+        assert float(f.min()) >= 0.0 and float(f.max()) <= 1.0
+
+    def test_phis_nonnegative_with_realistic_peak(self):
+        f = climate.phis((64, 128))
+        assert float(f.min()) >= 0.0
+        assert 1e4 < float(f.max()) <= 6e4
+
+    def test_fldsc_flux_range(self):
+        f = climate.fldsc((64, 128))
+        assert 0.0 < float(f.min()) < float(f.max()) < 600.0
+
+    def test_fldsc_zonal_gradient(self):
+        """Poleward rows must carry less flux than equatorial rows."""
+        f = np.asarray(climate.fldsc((64, 128)), dtype=np.float64)
+        assert f[0].mean() < f[32].mean()
+        assert f[-1].mean() < f[32].mean()
+
+    def test_all_deterministic(self):
+        for gen in (climate.cldhgh, climate.cldlow, climate.phis,
+                    climate.freqsh, climate.fldsc):
+            np.testing.assert_array_equal(gen((32, 64)), gen((32, 64)))
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(DataShapeError):
+            climate.cldhgh((64,))
+        with pytest.raises(DataShapeError):
+            climate.phis((4, 64))
+
+
+class TestCosmology:
+    def test_positions_within_box(self):
+        x = cosmology.hacc_x(4096)
+        assert float(x.min()) >= 0.0
+        assert float(x.max()) <= cosmology.BOX_SIZE
+
+    def test_positions_are_quasi_sorted(self):
+        """Zel'dovich positions follow the Lagrangian ramp: strong
+        rank correlation with index order."""
+        x = np.asarray(cosmology.hacc_x(8192), dtype=np.float64)
+        idx = np.arange(x.size)
+        mask = (x > 10) & (x < cosmology.BOX_SIZE - 10)  # skip wraps
+        corr = np.corrcoef(idx[mask], x[mask])[0, 1]
+        assert corr > 0.99
+
+    def test_velocities_dispersion_dominated(self):
+        vx = np.asarray(cosmology.hacc_vx(8192), dtype=np.float64)
+        assert 200.0 < vx.std() < 450.0
+        assert abs(vx.mean()) < 50.0
+
+    def test_vx_nearly_white(self):
+        """Lag-1 autocorrelation must be small: this is what gives
+        HACC-vx its low VIF / poor compressibility."""
+        vx = np.asarray(cosmology.hacc_vx(16384), dtype=np.float64)
+        v0 = vx - vx.mean()
+        r1 = np.dot(v0[:-1], v0[1:]) / np.dot(v0, v0)
+        assert abs(r1) < 0.2
+
+    def test_minimum_size_enforced(self):
+        with pytest.raises(DataShapeError):
+            cosmology.hacc_x(10)
+
+    def test_deterministic(self):
+        np.testing.assert_array_equal(cosmology.hacc_vx(1024),
+                                      cosmology.hacc_vx(1024))

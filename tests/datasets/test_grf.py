@@ -1,0 +1,99 @@
+"""Tests for the Gaussian-random-field engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.grf import (
+    exp_spectrum_field,
+    gaussian_random_field,
+    power_law_field,
+    radial_wavenumber,
+)
+from repro.errors import ConfigError, DataShapeError
+
+
+class TestRadialWavenumber:
+    def test_shape_preserved(self):
+        assert radial_wavenumber((8, 16)).shape == (8, 16)
+
+    def test_dc_is_zero(self):
+        k = radial_wavenumber((8, 8, 8))
+        assert k[0, 0, 0] == 0.0
+
+    def test_nyquist_magnitude(self):
+        k = radial_wavenumber((8,))
+        assert np.isclose(k[4], 0.5)
+
+    def test_empty_shape_rejected(self):
+        with pytest.raises(DataShapeError):
+            radial_wavenumber(())
+
+
+class TestGaussianRandomField:
+    def test_mean_and_std_honored(self, rng):
+        f = gaussian_random_field((64, 64), lambda k: np.exp(-k), rng,
+                                  mean=3.0, std=0.5)
+        assert np.isclose(f.mean(), 3.0, atol=1e-9)
+        assert np.isclose(f.std(), 0.5, atol=1e-9)
+
+    def test_reproducible_with_seed(self):
+        a = gaussian_random_field((32, 32), lambda k: np.exp(-k),
+                                  np.random.default_rng(7))
+        b = gaussian_random_field((32, 32), lambda k: np.exp(-k),
+                                  np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_spectrum_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            gaussian_random_field((16,), lambda k: k - 1.0, rng)
+
+    def test_shape_changing_spectrum_rejected(self, rng):
+        with pytest.raises(DataShapeError):
+            gaussian_random_field((16,), lambda k: np.ones(3), rng)
+
+    def test_smooth_spectrum_gives_smooth_field(self, rng):
+        smooth = gaussian_random_field((256,), lambda k: np.exp(-k / 0.01),
+                                       rng)
+        rough = gaussian_random_field((256,), lambda k: np.ones_like(k),
+                                      np.random.default_rng(9))
+        # Smoothness proxy: energy in first differences.
+        assert np.std(np.diff(smooth)) < np.std(np.diff(rough))
+
+    def test_1d_and_3d_shapes(self, rng):
+        assert gaussian_random_field((100,), lambda k: np.exp(-k),
+                                     rng).shape == (100,)
+        assert gaussian_random_field(
+            (8, 8, 8), lambda k: np.exp(-k), rng
+        ).shape == (8, 8, 8)
+
+
+class TestSpectrumFamilies:
+    def test_power_law_positive_slope_rejected(self, rng):
+        with pytest.raises(ConfigError):
+            power_law_field((16,), 1.0, rng)
+
+    def test_power_law_steeper_is_smoother(self):
+        a = power_law_field((512,), -1.0, np.random.default_rng(1))
+        b = power_law_field((512,), -4.0, np.random.default_rng(1))
+        assert np.std(np.diff(b)) < np.std(np.diff(a))
+
+    def test_exp_spectrum_k0_controls_smoothness(self):
+        a = exp_spectrum_field((512,), 0.2, np.random.default_rng(2))
+        b = exp_spectrum_field((512,), 0.01, np.random.default_rng(2))
+        assert np.std(np.diff(b)) < np.std(np.diff(a))
+
+    def test_exp_spectrum_invalid_k0(self, rng):
+        with pytest.raises(ConfigError):
+            exp_spectrum_field((16,), 0.0, rng)
+
+    def test_spectral_slope_measured(self):
+        """The realized periodogram should follow the requested slope."""
+        n = 4096
+        f = power_law_field((n,), -2.0, np.random.default_rng(3))
+        spec = np.abs(np.fft.rfft(f)) ** 2
+        freqs = np.fft.rfftfreq(n)
+        band = (freqs > 0.02) & (freqs < 0.3)
+        slope = np.polyfit(np.log(freqs[band]), np.log(spec[band]), 1)[0]
+        assert -3.0 < slope < -1.0

@@ -1,0 +1,63 @@
+"""Tests for raw/npy dataset I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.io import load_f32, load_field, save_f32, save_field
+from repro.errors import DataShapeError, FormatError
+
+
+def test_f32_roundtrip(tmp_path, rng):
+    data = rng.normal(size=(10, 20)).astype(np.float32)
+    path = tmp_path / "field.f32"
+    save_f32(path, data)
+    out = load_f32(path, (10, 20))
+    np.testing.assert_array_equal(out, data)
+
+
+def test_f32_flat_load(tmp_path, rng):
+    data = rng.normal(size=50).astype(np.float32)
+    path = tmp_path / "x.f32"
+    save_f32(path, data)
+    out = load_f32(path)
+    assert out.shape == (50,)
+    np.testing.assert_array_equal(out, data)
+
+
+def test_f32_wrong_shape_rejected(tmp_path):
+    path = tmp_path / "y.f32"
+    save_f32(path, np.zeros(10, dtype=np.float32))
+    with pytest.raises(DataShapeError):
+        load_f32(path, (3, 4))
+
+
+def test_f32_casts_doubles(tmp_path):
+    path = tmp_path / "d.f32"
+    save_f32(path, np.arange(4, dtype=np.float64))
+    assert load_f32(path).dtype == np.float32
+
+
+def test_npy_roundtrip(tmp_path, rng):
+    data = rng.normal(size=(4, 5)).astype(np.float64)
+    path = tmp_path / "a.npy"
+    save_field(path, data)
+    out = load_field(path)
+    assert out.dtype == np.float64
+    np.testing.assert_array_equal(out, data)
+
+
+def test_extension_dispatch(tmp_path, rng):
+    data = rng.normal(size=8).astype(np.float32)
+    for ext in (".f32", ".dat", ".bin"):
+        p = tmp_path / f"f{ext}"
+        save_field(p, data)
+        np.testing.assert_array_equal(load_field(p), data)
+
+
+def test_unknown_extension_rejected(tmp_path):
+    with pytest.raises(FormatError):
+        save_field(tmp_path / "x.txt", np.zeros(3))
+    with pytest.raises(FormatError):
+        load_field(tmp_path / "x.txt")

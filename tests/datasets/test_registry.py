@@ -1,0 +1,71 @@
+"""Tests for the Table-I dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    SIZES,
+    all_dataset_names,
+    clear_cache,
+    get_dataset,
+    get_spec,
+)
+from repro.errors import ConfigError
+
+
+def test_nine_datasets_registered():
+    names = all_dataset_names()
+    assert len(names) == 9
+    assert "Isotropic" in names and "HACC-vx" in names
+
+
+def test_case_insensitive_lookup():
+    assert get_spec("fldsc").name == "FLDSC"
+    assert get_spec("HACC-X").name == "HACC-x"
+
+
+def test_unknown_name_rejected():
+    with pytest.raises(ConfigError):
+        get_spec("NOPE")
+
+
+def test_spec_shapes_consistent():
+    for name in all_dataset_names():
+        spec = get_spec(name)
+        assert len(spec.small_shape) == spec.ndim
+        assert len(spec.full_shape) == spec.ndim
+        assert np.prod(spec.full_shape) > np.prod(spec.small_shape)
+
+
+def test_invalid_size_preset_rejected():
+    with pytest.raises(ConfigError):
+        get_spec("FLDSC").shape("huge")
+    assert SIZES == ("small", "full")
+
+
+def test_generated_shape_matches_spec():
+    data = get_dataset("CLDHGH", "small")
+    assert data.shape == get_spec("CLDHGH").small_shape
+    assert data.dtype == np.float32
+
+
+def test_cache_returns_same_instance():
+    a = get_dataset("FREQSH", "small")
+    b = get_dataset("FREQSH", "small")
+    assert a is b
+
+
+def test_clear_cache_regenerates():
+    a = get_dataset("FREQSH", "small")
+    clear_cache()
+    b = get_dataset("FREQSH", "small")
+    assert a is not b
+    np.testing.assert_array_equal(a, b)  # deterministic generators
+
+
+def test_full_size_matches_paper_dimensions():
+    assert get_spec("Isotropic").full_shape == (128, 128, 128)
+    assert get_spec("CLDHGH").full_shape == (1800, 3600)
+    assert get_spec("HACC-x").full_shape == (2 ** 21,)

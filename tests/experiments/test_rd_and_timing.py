@@ -1,0 +1,75 @@
+"""Unit tests for the fig6 (rate-distortion) and fig8 (timing)
+experiment modules, on minimal sweeps."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig6, fig8
+
+
+class TestFig6Module:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6.run("FLDSC", nines=(3, 5), sz_eps=(1e-3,),
+                        zfp_rates=(4.0,))
+
+    def test_all_compressors_present(self, result):
+        assert set(result.curves) == {"DPZ-l", "DPZ-s", "SZ", "ZFP"}
+
+    def test_point_counts_match_sweeps(self, result):
+        assert len(result.curves["DPZ-l"]) == 2
+        assert len(result.curves["SZ"]) == 1
+        assert len(result.curves["ZFP"]) == 1
+
+    def test_bitrate_cr_consistency(self, result):
+        for pts in result.curves.values():
+            for p in pts:
+                assert np.isclose(p.bitrate, 32.0 / p.cr)
+
+    def test_dpz_psnr_grows_with_tve(self, result):
+        pts = result.curves["DPZ-s"]
+        assert pts[1].psnr >= pts[0].psnr
+
+    def test_zfp_min_rate_filter_1d(self):
+        """1-D data: rates below the per-block header cost are dropped."""
+        res = fig6.run("HACC-vx", nines=(3,), sz_eps=(1e-3,),
+                       zfp_rates=(1.0, 2.0, 8.0))
+        rates = [float(str(p.param)) for p in res.curves["ZFP"]]
+        assert 1.0 not in rates and 2.0 not in rates
+        assert 8.0 in rates
+
+    def test_format_report(self, result):
+        text = fig6.format_report(result)
+        assert "FLDSC" in text and "rate-distortion" in text
+
+    def test_run_all_subset(self):
+        results = fig6.run_all(datasets=("FLDSC",), nines=(3,),
+                               sz_eps=(1e-2,), zfp_rates=(4.0,))
+        assert len(results) == 1
+
+
+class TestFig8Module:
+    def test_timing_points(self):
+        points = fig8.run("FLDSC")
+        comps = {p.compressor for p in points}
+        assert {"DPZ-l", "DPZ-s", "SZ", "ZFP"} <= comps
+        for p in points:
+            assert p.compress_seconds > 0 and p.decompress_seconds > 0
+            assert np.isfinite(p.psnr)
+
+    def test_throughput_helper(self):
+        p = fig8.TimingPoint("X", "p", 2.0, 50.0, 0.5, 0.25)
+        comp, dec = p.throughput_mb_s(1_000_000)
+        assert np.isclose(comp, 2.0) and np.isclose(dec, 4.0)
+
+    def test_sampling_speedup_returns_pair(self):
+        t_plain, t_samp = fig8.sampling_speedup("FLDSC", repeats=1)
+        assert t_plain > 0 and t_samp > 0
+
+    def test_format_report(self):
+        points = [fig8.TimingPoint("DPZ-l", "3-nine", 10.0, 45.0,
+                                   0.1, 0.02)]
+        text = fig8.format_report(points)
+        assert "comp ms" in text and "DPZ-l" in text

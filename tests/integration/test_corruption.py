@@ -1,0 +1,97 @@
+"""Failure-injection tests: corrupt containers must fail loudly.
+
+A decompressor that silently returns garbage on a flipped bit is worse
+than one that crashes; these tests flip/truncate bytes across all three
+formats and assert the library either raises a :class:`ReproError`
+subclass or -- when the corruption hits only payload values, which no
+checksum-free format can detect -- returns an array of the right shape
+rather than crashing unpredictably.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ReproError
+
+
+@pytest.fixture
+def field(rng):
+    return np.cumsum(rng.normal(size=(32, 48)), axis=1).astype(np.float32)
+
+
+def _flip(blob: bytes, pos: int, mask: int = 0xFF) -> bytes:
+    out = bytearray(blob)
+    out[pos] ^= mask
+    return bytes(out)
+
+
+class TestTruncation:
+    def test_dpz_truncated(self, field):
+        blob = repro.dpz_compress(field)
+        for frac in (0.1, 0.5, 0.9):
+            cut = blob[: int(len(blob) * frac)]
+            with pytest.raises(ReproError):
+                repro.dpz_decompress(cut)
+
+    def test_sz_truncated(self, field):
+        blob = repro.sz_compress(field, eps=1e-3)
+        for frac in (0.2, 0.7):
+            with pytest.raises(ReproError):
+                repro.sz_decompress(blob[: int(len(blob) * frac)])
+
+    def test_zfp_truncated_header(self, field):
+        blob = repro.zfp_compress(field, rate=8)
+        with pytest.raises(ReproError):
+            repro.zfp_decompress(blob[:6])
+
+    def test_empty_inputs(self):
+        for fn in (repro.dpz_decompress, repro.sz_decompress,
+                   repro.zfp_decompress):
+            with pytest.raises((ReproError, Exception)):
+                fn(b"")
+
+
+class TestHeaderCorruption:
+    def test_magic_flips_rejected(self, field):
+        for compress, decompress in (
+            (lambda d: repro.dpz_compress(d), repro.dpz_decompress),
+            (lambda d: repro.sz_compress(d, eps=1e-3), repro.sz_decompress),
+            (lambda d: repro.zfp_compress(d, rate=8), repro.zfp_decompress),
+        ):
+            blob = compress(field)
+            for pos in range(4):
+                with pytest.raises(ReproError):
+                    decompress(_flip(blob, pos))
+
+    def test_version_bump_rejected(self, field):
+        blob = repro.dpz_compress(field)
+        with pytest.raises(ReproError):
+            repro.dpz_decompress(_flip(blob, 4, 0x7F))
+
+
+class TestRandomByteFuzz:
+    @pytest.mark.parametrize("fmt", ["dpz", "sz"])
+    def test_random_flips_never_hang_or_segv(self, fmt, field, rng):
+        """Flip 30 random bytes (one at a time): each decode either
+        raises a ReproError or yields a right-shaped array."""
+        if fmt == "dpz":
+            blob = repro.dpz_compress(field)
+            decompress = repro.dpz_decompress
+        else:
+            blob = repro.sz_compress(field, eps=1e-3)
+            decompress = repro.sz_decompress
+        for pos in rng.integers(0, len(blob), size=30):
+            corrupted = _flip(blob, int(pos))
+            try:
+                out = decompress(corrupted)
+            except ReproError:
+                continue
+            except (ValueError, OverflowError, MemoryError):
+                # zlib payload corruption can surface as container
+                # value errors before our validators see it; acceptable
+                # as long as it is an exception, not garbage state.
+                continue
+            assert out.shape == field.shape

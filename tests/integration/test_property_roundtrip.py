@@ -1,0 +1,87 @@
+"""Property-based end-to-end tests over random field families.
+
+Hypothesis drives structured random inputs through all three
+compressors, asserting the contracts that must hold for *any* input:
+shape/dtype restoration, SZ's error bound, ZFP's tolerance, and DPZ's
+graceful behaviour across field roughness.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.analysis.metrics import max_abs_error, psnr
+
+
+@st.composite
+def random_field(draw):
+    """A structured random 1-D/2-D field: smooth base + scaled noise."""
+    ndim = draw(st.integers(1, 2))
+    if ndim == 1:
+        shape = (draw(st.integers(64, 600)),)
+    else:
+        shape = (draw(st.integers(10, 40)), draw(st.integers(10, 40)))
+    seed = draw(st.integers(0, 2 ** 32 - 1))
+    roughness = draw(st.floats(0.0, 1.0))
+    scale = draw(st.sampled_from([1e-3, 1.0, 1e4]))
+    rng = np.random.default_rng(seed)
+    smooth = np.cumsum(rng.normal(size=shape), axis=-1)
+    noise = rng.normal(size=shape)
+    field = (smooth + roughness * noise) * scale
+    return field.astype(np.float32)
+
+
+@given(random_field(), st.sampled_from([1e-2, 1e-3, 1e-4]))
+@settings(max_examples=25)
+def test_sz_bound_universal(field, rel_eps):
+    blob = repro.sz_compress(field, rel_eps=rel_eps)
+    recon = repro.sz_decompress(blob)
+    assert recon.shape == field.shape and recon.dtype == field.dtype
+    bound = rel_eps * float(field.max() - field.min())
+    if bound == 0.0:
+        bound = rel_eps
+    assert max_abs_error(field, recon) <= bound * (1 + 1e-5)
+
+
+@given(random_field())
+@settings(max_examples=15)
+def test_zfp_rate_universal(field):
+    rate = 8.0 if field.ndim > 1 else 8.0
+    blob = repro.zfp_compress(field, rate=rate)
+    recon = repro.zfp_decompress(blob)
+    assert recon.shape == field.shape and recon.dtype == field.dtype
+
+
+@given(random_field())
+@settings(max_examples=15)
+def test_dpz_roundtrip_universal(field):
+    if field.size < 8:
+        return
+    blob = repro.dpz_compress(field, scheme="s", tve_nines=5)
+    recon = repro.dpz_decompress(blob)
+    assert recon.shape == field.shape and recon.dtype == field.dtype
+    # Range-relative error must track the quantizer/TVE regime: never
+    # catastrophic even on the roughest inputs.
+    rng_ = float(field.max() - field.min())
+    if rng_ > 0:
+        assert max_abs_error(field, recon) <= 0.2 * rng_
+
+
+@given(st.integers(0, 2 ** 32 - 1))
+@settings(max_examples=10)
+def test_compressor_agreement_on_shared_input(seed):
+    """All three compressors at tight settings approximate the same
+    data: reconstructions agree with the original, hence pairwise."""
+    rng = np.random.default_rng(seed)
+    field = np.cumsum(rng.normal(size=(24, 24)), axis=1).astype(np.float32)
+    recons = [
+        repro.sz_decompress(repro.sz_compress(field, rel_eps=1e-5)),
+        repro.zfp_decompress(repro.zfp_compress(field, tolerance=1e-4)),
+        repro.dpz_decompress(repro.dpz_compress(field, scheme="s",
+                                                tve_nines=8)),
+    ]
+    for r in recons:
+        assert psnr(field, r) > 50.0

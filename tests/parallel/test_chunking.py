@@ -1,0 +1,61 @@
+"""Tests for balanced chunk-range computation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.parallel.chunking import chunk_ranges, chunk_slices
+
+
+def test_even_split():
+    assert chunk_ranges(10, 2) == [(0, 5), (5, 10)]
+
+
+def test_remainder_spread():
+    ranges = chunk_ranges(10, 3)
+    sizes = [b - a for a, b in ranges]
+    assert sorted(sizes, reverse=True) == sizes
+    assert max(sizes) - min(sizes) <= 1
+
+
+def test_more_chunks_than_items():
+    ranges = chunk_ranges(3, 10)
+    assert len(ranges) == 3
+    assert all(b - a == 1 for a, b in ranges)
+
+
+def test_zero_total():
+    assert chunk_ranges(0, 4) == []
+
+
+def test_single_chunk():
+    assert chunk_ranges(7, 1) == [(0, 7)]
+
+
+def test_invalid_args():
+    with pytest.raises(ConfigError):
+        chunk_ranges(-1, 2)
+    with pytest.raises(ConfigError):
+        chunk_ranges(5, 0)
+
+
+def test_slices_match_ranges():
+    slices = chunk_slices(11, 4)
+    ranges = chunk_ranges(11, 4)
+    assert [(s.start, s.stop) for s in slices] == ranges
+
+
+@given(st.integers(0, 10_000), st.integers(1, 64))
+def test_partition_property(total, chunks):
+    """Ranges form an exact, ordered, non-overlapping partition."""
+    ranges = chunk_ranges(total, chunks)
+    covered = 0
+    prev_end = 0
+    for a, b in ranges:
+        assert a == prev_end and b > a
+        covered += b - a
+        prev_end = b
+    assert covered == total

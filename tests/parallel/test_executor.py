@@ -1,0 +1,80 @@
+"""Tests for the ordered parallel map."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel.executor import ParallelConfig, parallel_map, resolve_jobs
+
+
+def test_serial_matches_map():
+    items = list(range(20))
+    assert parallel_map(lambda x: x * x, items) == [x * x for x in items]
+
+
+def test_parallel_preserves_order():
+    def jittered(x):
+        time.sleep(0.001 * (x % 3))
+        return x * 2
+
+    items = list(range(32))
+    out = parallel_map(jittered, items,
+                       config=ParallelConfig(n_jobs=4, min_chunk=1))
+    assert out == [x * 2 for x in items]
+
+
+def test_parallel_actually_uses_threads():
+    seen = set()
+
+    def record(x):
+        seen.add(threading.get_ident())
+        time.sleep(0.005)
+        return x
+
+    parallel_map(record, list(range(16)),
+                 config=ParallelConfig(n_jobs=4, min_chunk=1))
+    assert len(seen) > 1
+
+
+def test_small_input_runs_serially():
+    seen = set()
+
+    def record(x):
+        seen.add(threading.get_ident())
+        return x
+
+    parallel_map(record, [1, 2],
+                 config=ParallelConfig(n_jobs=8, min_chunk=4))
+    assert seen == {threading.get_ident()}
+
+
+def test_exceptions_propagate():
+    def boom(x):
+        if x == 5:
+            raise ValueError("boom")
+        return x
+
+    with pytest.raises(ValueError):
+        parallel_map(boom, list(range(10)),
+                     config=ParallelConfig(n_jobs=2, min_chunk=1))
+
+
+def test_empty_items():
+    assert parallel_map(lambda x: x, []) == []
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(None) >= 1
+    assert resolve_jobs(0) >= 1
+
+
+def test_invalid_config():
+    with pytest.raises(ConfigError):
+        ParallelConfig(n_jobs=-1)
+    with pytest.raises(ConfigError):
+        ParallelConfig(min_chunk=0)

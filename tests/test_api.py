@@ -1,0 +1,61 @@
+"""Tests for the one-call public API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis.metrics import psnr
+from repro.api import dpz_compress, dpz_decompress, dpz_probe, scheme_config
+from repro.errors import ConfigError
+
+
+def test_top_level_exports():
+    for name in ("dpz_compress", "dpz_decompress", "DPZCompressor",
+                 "sz_compress", "zfp_compress", "DPZ_L", "DPZ_S"):
+        assert hasattr(repro, name)
+    assert repro.__version__
+
+
+def test_compress_decompress_roundtrip(smooth_2d):
+    blob = dpz_compress(smooth_2d, scheme="s", tve_nines=5)
+    recon = dpz_decompress(blob)
+    assert recon.shape == smooth_2d.shape
+    assert psnr(smooth_2d, recon) > 40.0
+
+
+def test_knee_shorthand(smooth_2d):
+    blob = dpz_compress(smooth_2d, scheme="l", knee=True)
+    assert dpz_decompress(blob).shape == smooth_2d.shape
+
+
+def test_full_config_passthrough(smooth_2d):
+    cfg = repro.DPZ_S.with_tve_nines(4)
+    blob = dpz_compress(smooth_2d, config=cfg)
+    assert dpz_decompress(blob).shape == smooth_2d.shape
+
+
+def test_probe(smooth_2d):
+    report = dpz_probe(smooth_2d, scheme="l", tve_nines=4)
+    assert report.k_estimate >= 1
+
+
+class TestSchemeConfig:
+    def test_scheme_letters(self):
+        assert scheme_config("l").p == 1e-3
+        assert scheme_config("S").p == 1e-4  # case-insensitive
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ConfigError):
+            scheme_config("x")
+
+    def test_nines_set(self):
+        cfg = scheme_config("l", tve_nines=6)
+        assert abs(cfg.tve - (1 - 1e-6)) < 1e-12
+
+    def test_knee_overrides_nines(self):
+        cfg = scheme_config("l", tve_nines=6, knee=True, knee_fit="polyn")
+        assert cfg.k_mode == "knee" and cfg.knee_fit == "polyn"
+
+    def test_sampling_flag(self):
+        assert scheme_config("l", use_sampling=True).use_sampling

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets.io import load_field, save_field
+
+
+@pytest.fixture
+def field_file(tmp_path, smooth_2d):
+    path = tmp_path / "field.npy"
+    save_field(path, smooth_2d)
+    return path
+
+
+def test_parser_subcommands():
+    parser = build_parser()
+    for cmd in ("compress", "decompress", "probe", "info", "datasets"):
+        args = ["compress", "a", "b"] if cmd == "compress" else \
+            {"decompress": ["decompress", "a", "b"],
+             "probe": ["probe", "a"],
+             "info": ["info", "a"],
+             "datasets": ["datasets"]}[cmd]
+        assert parser.parse_args(args).command == cmd
+
+
+def test_compress_decompress_cycle(tmp_path, field_file, smooth_2d, capsys):
+    comp = tmp_path / "out.dpz"
+    back = tmp_path / "back.npy"
+    assert main(["compress", str(field_file), str(comp),
+                 "--scheme", "s", "--nines", "5", "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "CR" in out and "stage1&2" in out
+    assert main(["decompress", str(comp), str(back)]) == 0
+    recon = load_field(back)
+    assert recon.shape == smooth_2d.shape
+
+
+def test_compress_raw_f32_with_shape(tmp_path, smooth_2d):
+    raw = tmp_path / "f.f32"
+    smooth_2d.astype("<f4").tofile(raw)
+    comp = tmp_path / "f.dpz"
+    h, w = smooth_2d.shape
+    assert main(["compress", str(raw), str(comp),
+                 "--shape", str(h), str(w)]) == 0
+    assert comp.stat().st_size > 0
+
+
+def test_knee_flag(tmp_path, field_file):
+    comp = tmp_path / "k.dpz"
+    assert main(["compress", str(field_file), str(comp), "--knee"]) == 0
+
+
+def test_probe_command(field_file, capsys):
+    assert main(["probe", str(field_file), "--nines", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "estimated k" in out and "preliminary CR" in out
+
+
+def test_info_command(tmp_path, field_file, capsys):
+    comp = tmp_path / "x.dpz"
+    main(["compress", str(field_file), str(comp)])
+    capsys.readouterr()
+    assert main(["info", str(comp)]) == 0
+    out = capsys.readouterr().out
+    assert "components" in out and "quantizer" in out
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "Isotropic" in out and "HACC-vx" in out
+
+
+def test_sampling_flag(tmp_path, field_file):
+    comp = tmp_path / "s.dpz"
+    assert main(["compress", str(field_file), str(comp),
+                 "--sampling", "--nines", "4"]) == 0

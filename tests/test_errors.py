@@ -1,0 +1,35 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CodecError,
+    ConfigError,
+    DataShapeError,
+    FormatError,
+    ReproError,
+)
+
+
+@pytest.mark.parametrize("exc", [CodecError, FormatError, ConfigError,
+                                 DataShapeError])
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+    with pytest.raises(ReproError):
+        raise exc("x")
+
+
+def test_base_derives_from_exception():
+    assert issubclass(ReproError, Exception)
+
+
+def test_catching_base_catches_library_failures():
+    """A caller can wrap any repro call in one except clause."""
+    import numpy as np
+
+    from repro.baselines.sz import sz_compress
+
+    with pytest.raises(ReproError):
+        sz_compress(np.zeros(0, dtype=np.float32), eps=1e-3)

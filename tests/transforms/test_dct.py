@@ -1,0 +1,98 @@
+"""Tests for the orthonormal DCT-II/III transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DataShapeError
+from repro.transforms.dct import dct1d, dct2d, dct_matrix, idct1d, idct2d
+
+
+class TestDCTMatrix:
+    @pytest.mark.parametrize("n", [1, 2, 3, 8, 17, 64])
+    def test_orthonormality(self, n):
+        mat = dct_matrix(n)
+        np.testing.assert_allclose(mat @ mat.T, np.eye(n), atol=1e-12)
+
+    def test_dc_row_is_constant(self):
+        mat = dct_matrix(16)
+        np.testing.assert_allclose(mat[0], np.full(16, 1 / 4.0), atol=1e-12)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(DataShapeError):
+            dct_matrix(0)
+
+    def test_cache_returns_same_object(self):
+        assert dct_matrix(12) is dct_matrix(12)
+
+
+class TestDCT1D:
+    def test_matches_scipy_on_both_paths(self, rng):
+        x = rng.normal(size=50)
+        np.testing.assert_allclose(
+            dct1d(x, method="matrix"), dct1d(x, method="fft"), atol=1e-10
+        )
+
+    def test_roundtrip(self, rng):
+        x = rng.normal(size=(7, 33))
+        np.testing.assert_allclose(idct1d(dct1d(x)), x, atol=1e-10)
+
+    def test_roundtrip_matrix_path(self, rng):
+        x = rng.normal(size=31)
+        np.testing.assert_allclose(
+            idct1d(dct1d(x, method="matrix"), method="matrix"), x, atol=1e-10
+        )
+
+    def test_energy_preservation(self, rng):
+        x = rng.normal(size=1000)
+        assert np.isclose(np.linalg.norm(dct1d(x)), np.linalg.norm(x))
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(5, 8, 13))
+        for axis in range(3):
+            z = dct1d(x, axis=axis)
+            np.testing.assert_allclose(idct1d(z, axis=axis), x, atol=1e-10)
+
+    def test_constant_signal_concentrates_in_dc(self):
+        z = dct1d(np.full(64, 3.0))
+        assert np.isclose(z[0], 3.0 * 8.0)  # 3 * sqrt(64)
+        np.testing.assert_allclose(z[1:], 0.0, atol=1e-12)
+
+    def test_energy_compaction_on_smooth_signal(self):
+        x = np.sin(np.linspace(0, 2 * np.pi, 256))
+        z = dct1d(x)
+        energy = np.sort(z ** 2)[::-1]
+        assert energy[:4].sum() / energy.sum() > 0.99
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError):
+            dct1d(np.ones(4), method="dst")
+
+
+class TestDCT2D:
+    def test_roundtrip(self, rng):
+        x = rng.normal(size=(24, 36))
+        np.testing.assert_allclose(idct2d(dct2d(x)), x, atol=1e-10)
+
+    def test_separability_matches_matrix_form(self, rng):
+        x = rng.normal(size=(8, 8))
+        a = dct_matrix(8)
+        np.testing.assert_allclose(dct2d(x, method="matrix"),
+                                   a @ x @ a.T, atol=1e-10)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(DataShapeError):
+            dct2d(np.ones(8))
+        with pytest.raises(DataShapeError):
+            idct2d(np.ones((2, 2, 2)))
+
+
+@given(st.integers(2, 64), st.integers(0, 2 ** 32))
+def test_roundtrip_property(n, seed):
+    x = np.random.default_rng(seed).normal(size=n)
+    np.testing.assert_allclose(idct1d(dct1d(x)), x, atol=1e-9)
+    assert np.isclose(np.linalg.norm(dct1d(x)), np.linalg.norm(x),
+                      rtol=1e-9)

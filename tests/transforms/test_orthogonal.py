@@ -1,0 +1,44 @@
+"""Tests for the orthogonality/energy helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transforms.dct import dct_matrix
+from repro.transforms.orthogonal import energy, energy_ratio, is_orthogonal
+
+
+def test_identity_is_orthogonal():
+    assert is_orthogonal(np.eye(5))
+
+
+def test_dct_matrix_is_orthogonal():
+    assert is_orthogonal(dct_matrix(32))
+
+
+def test_partial_isometry_accepted():
+    assert is_orthogonal(dct_matrix(16)[:5])
+
+
+def test_scaled_matrix_rejected():
+    assert not is_orthogonal(2.0 * np.eye(3))
+
+
+def test_non_2d_rejected():
+    assert not is_orthogonal(np.ones(4))
+
+
+def test_energy_is_sum_of_squares(rng):
+    x = rng.normal(size=(4, 5))
+    assert np.isclose(energy(x), np.sum(x ** 2))
+
+
+def test_energy_ratio_of_orthogonal_map(rng):
+    x = rng.normal(size=16)
+    z = dct_matrix(16) @ x
+    assert np.isclose(energy_ratio(z, x), 1.0)
+
+
+def test_energy_ratio_zero_input():
+    assert energy_ratio(np.zeros(3), np.zeros(3)) == 1.0
+    assert energy_ratio(np.ones(3), np.zeros(3)) == np.inf

@@ -1,0 +1,187 @@
+"""Tests for the from-scratch PCA implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, DataShapeError
+from repro.transforms.pca import PCA
+
+
+def low_rank_data(rng, n=200, f=20, rank=3, noise=0.0):
+    basis = rng.normal(size=(rank, f))
+    weights = 10.0 * np.power(0.5, np.arange(rank))
+    coeffs = rng.normal(size=(n, rank)) * weights
+    data = coeffs @ basis
+    if noise:
+        data = data + noise * rng.normal(size=data.shape)
+    return data
+
+
+class TestFit:
+    def test_components_are_orthonormal(self, rng):
+        X = rng.normal(size=(100, 12))
+        pca = PCA().fit(X)
+        gram = pca.components_ @ pca.components_.T
+        np.testing.assert_allclose(gram, np.eye(12), atol=1e-9)
+
+    def test_eigenvalues_descending(self, rng):
+        pca = PCA().fit(rng.normal(size=(80, 15)))
+        ev = pca.explained_variance_
+        assert np.all(np.diff(ev) <= 1e-12)
+
+    def test_low_rank_detected(self, rng):
+        X = low_rank_data(rng, rank=3)
+        pca = PCA().fit(X)
+        assert pca.tve_curve()[2] > 1.0 - 1e-9
+
+    def test_cov_and_svd_solvers_agree(self, rng):
+        X = low_rank_data(rng, rank=5, noise=0.1)
+        ev_cov = PCA(solver="cov").fit(X).explained_variance_
+        ev_svd = PCA(solver="svd").fit(X).explained_variance_
+        np.testing.assert_allclose(ev_cov[:5], ev_svd[:5], rtol=1e-8)
+
+    def test_eigsh_matches_dense_leading_components(self, rng):
+        X = low_rank_data(rng, f=30, rank=6, noise=0.05)
+        dense = PCA().fit(X)
+        trunc = PCA(n_components=4, solver="eigsh").fit(X)
+        np.testing.assert_allclose(
+            trunc.explained_variance_, dense.explained_variance_[:4],
+            rtol=1e-6,
+        )
+
+    def test_eigsh_requires_n_components(self):
+        with pytest.raises(ConfigError):
+            PCA(solver="eigsh")
+
+    def test_eigsh_near_full_rank_falls_back(self, rng):
+        X = rng.normal(size=(50, 6))
+        pca = PCA(n_components=6, solver="eigsh").fit(X)
+        assert pca.components_.shape == (6, 6)
+
+    def test_total_variance_matches_trace(self, rng):
+        X = rng.normal(size=(60, 10))
+        pca = PCA().fit(X)
+        expected = np.trace(np.cov(X.T))
+        assert np.isclose(pca.total_variance_, expected, rtol=1e-9)
+
+    def test_sign_convention_deterministic(self, rng):
+        X = low_rank_data(rng, rank=2)
+        c1 = PCA().fit(X).components_
+        c2 = PCA().fit(X.copy()).components_
+        np.testing.assert_allclose(c1, c2)
+
+    def test_rejects_1d(self, rng):
+        with pytest.raises(DataShapeError):
+            PCA().fit(rng.normal(size=10))
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(DataShapeError):
+            PCA().fit(np.ones((1, 4)))
+
+    def test_invalid_solver_rejected(self):
+        with pytest.raises(ConfigError):
+            PCA(solver="qr")
+
+    def test_invalid_n_components_rejected(self):
+        with pytest.raises(ConfigError):
+            PCA(n_components=0)
+
+
+class TestTransform:
+    def test_full_rank_reconstruction_exact(self, rng):
+        X = rng.normal(size=(50, 8))
+        pca = PCA().fit(X)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(X)), X, atol=1e-9
+        )
+
+    def test_truncated_reconstruction_error_matches_discarded_variance(
+            self, rng):
+        X = low_rank_data(rng, n=400, f=16, rank=8, noise=0.0)
+        pca = PCA().fit(X)
+        k = 4
+        recon = pca.inverse_transform(pca.transform(X, k=k))
+        mse = np.mean((X - recon) ** 2)
+        discarded = pca.explained_variance_[k:].sum() * (399 / 400)
+        assert np.isclose(mse * X.shape[1], discarded, rtol=1e-6)
+
+    def test_unfitted_transform_raises(self, rng):
+        with pytest.raises(ConfigError):
+            PCA().transform(rng.normal(size=(4, 4)))
+
+    def test_too_many_score_columns_rejected(self, rng):
+        X = rng.normal(size=(30, 5))
+        pca = PCA(n_components=3).fit(X)
+        with pytest.raises(DataShapeError):
+            pca.inverse_transform(rng.normal(size=(30, 4)))
+
+    def test_fit_transform_equals_fit_then_transform(self, rng):
+        X = rng.normal(size=(40, 6))
+        a = PCA().fit_transform(X)
+        b = PCA().fit(X).transform(X)
+        np.testing.assert_allclose(a, b)
+
+
+class TestStandardizeAndCenter:
+    def test_standardize_roundtrip(self, rng):
+        X = rng.normal(size=(60, 7)) * np.array([1, 10, 100, 1, 5, 50, 2.0])
+        pca = PCA(standardize=True).fit(X)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(X)), X, atol=1e-8
+        )
+
+    def test_standardize_changes_leading_direction(self, rng):
+        X = rng.normal(size=(200, 3)) * np.array([100.0, 1.0, 1.0])
+        plain = PCA().fit(X)
+        scaled = PCA(standardize=True).fit(X)
+        # Unscaled PCA locks onto the big-variance axis; scaled must not.
+        assert abs(plain.components_[0, 0]) > 0.99
+        assert abs(scaled.components_[0, 0]) < 0.99
+
+    def test_uncentered_mean_is_zero(self, rng):
+        X = rng.normal(size=(50, 4)) + 5.0
+        pca = PCA(center=False).fit(X)
+        np.testing.assert_array_equal(pca.mean_, np.zeros(4))
+
+    def test_uncentered_roundtrip(self, rng):
+        X = rng.normal(size=(50, 6)) + 3.0
+        pca = PCA(center=False).fit(X)
+        np.testing.assert_allclose(
+            pca.inverse_transform(pca.transform(X)), X, atol=1e-9
+        )
+
+    def test_uncentered_first_component_captures_mean_offset(self, rng):
+        X = rng.normal(size=(300, 5)) * 0.01 + 7.0
+        pca = PCA(center=False).fit(X)
+        # Second-moment PCA: the dominant direction is the all-ones
+        # mean direction.
+        direction = pca.components_[0]
+        np.testing.assert_allclose(np.abs(direction),
+                                   np.full(5, 1 / np.sqrt(5)), atol=0.01)
+
+
+class TestTVE:
+    def test_curve_monotone_and_bounded(self, rng):
+        pca = PCA().fit(rng.normal(size=(80, 12)))
+        curve = pca.tve_curve()
+        assert np.all(np.diff(curve) >= -1e-12)
+        assert np.isclose(curve[-1], 1.0, atol=1e-9)
+
+    def test_components_for_tve(self, rng):
+        X = low_rank_data(rng, rank=3, noise=1e-4)
+        pca = PCA().fit(X)
+        assert pca.components_for_tve(0.99) <= 3
+
+    def test_components_for_tve_invalid(self, rng):
+        pca = PCA().fit(rng.normal(size=(20, 4)))
+        with pytest.raises(ConfigError):
+            pca.components_for_tve(0.0)
+        with pytest.raises(ConfigError):
+            pca.components_for_tve(1.5)
+
+    def test_threshold_never_reached_returns_all(self, rng):
+        X = rng.normal(size=(100, 10))
+        pca = PCA(n_components=3).fit(X)
+        assert pca.components_for_tve(0.9999999) == 3

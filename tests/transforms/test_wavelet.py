@@ -1,0 +1,108 @@
+"""Tests for the lifting-scheme wavelets (Haar, CDF 5/3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import DataShapeError
+from repro.transforms.wavelet import (
+    cdf53_forward,
+    cdf53_inverse,
+    haar_forward,
+    haar_inverse,
+    multilevel_forward,
+    multilevel_inverse,
+)
+
+
+class TestHaar:
+    def test_even_roundtrip(self, rng):
+        x = rng.normal(size=64)
+        a, d = haar_forward(x)
+        np.testing.assert_allclose(haar_inverse(a, d), x, atol=1e-12)
+
+    def test_odd_roundtrip(self, rng):
+        x = rng.normal(size=65)
+        a, d = haar_forward(x)
+        assert a.shape[-1] == 33 and d.shape[-1] == 32
+        np.testing.assert_allclose(haar_inverse(a, d), x, atol=1e-12)
+
+    def test_batch_axes(self, rng):
+        x = rng.normal(size=(5, 40))
+        a, d = haar_forward(x)
+        np.testing.assert_allclose(haar_inverse(a, d), x, atol=1e-12)
+
+    def test_energy_preservation(self, rng):
+        x = rng.normal(size=128)
+        a, d = haar_forward(x)
+        assert np.isclose(np.sum(a ** 2) + np.sum(d ** 2), np.sum(x ** 2))
+
+    def test_constant_signal_has_zero_detail(self):
+        a, d = haar_forward(np.full(32, 5.0))
+        np.testing.assert_allclose(d, 0.0, atol=1e-12)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataShapeError):
+            haar_forward(np.zeros(0))
+
+    def test_inconsistent_bands_rejected(self):
+        with pytest.raises(DataShapeError):
+            haar_inverse(np.zeros(4), np.zeros(2))
+
+
+class TestCDF53:
+    def test_even_roundtrip(self, rng):
+        x = rng.normal(size=64)
+        a, d = cdf53_forward(x)
+        np.testing.assert_allclose(cdf53_inverse(a, d), x, atol=1e-12)
+
+    def test_odd_roundtrip(self, rng):
+        x = rng.normal(size=51)
+        a, d = cdf53_forward(x)
+        np.testing.assert_allclose(cdf53_inverse(a, d), x, atol=1e-12)
+
+    def test_linear_ramp_has_tiny_detail(self):
+        # CDF 5/3 annihilates degree-1 polynomials away from boundaries.
+        x = np.linspace(0, 100, 64)
+        _, d = cdf53_forward(x)
+        assert np.max(np.abs(d[1:-1])) < 1e-9
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DataShapeError):
+            cdf53_forward(np.zeros(1))
+
+    def test_batch_roundtrip(self, rng):
+        x = rng.normal(size=(3, 4, 30))
+        a, d = cdf53_forward(x)
+        np.testing.assert_allclose(cdf53_inverse(a, d), x, atol=1e-12)
+
+
+class TestMultilevel:
+    @pytest.mark.parametrize("wavelet", ["haar", "cdf53"])
+    def test_roundtrip(self, wavelet, rng):
+        x = rng.normal(size=96)
+        bands = multilevel_forward(x, levels=4, wavelet=wavelet)
+        assert len(bands) == 5
+        np.testing.assert_allclose(
+            multilevel_inverse(bands, wavelet=wavelet), x, atol=1e-10
+        )
+
+    def test_level_clipping(self, rng):
+        x = rng.normal(size=8)
+        bands = multilevel_forward(x, levels=10, wavelet="haar")
+        # 8 -> 4 -> 2: at most 2 levels before the band is length 2.
+        assert len(bands) <= 4
+        np.testing.assert_allclose(multilevel_inverse(bands), x, atol=1e-10)
+
+
+@given(st.integers(2, 200), st.integers(0, 2 ** 32),
+       st.sampled_from(["haar", "cdf53"]))
+def test_roundtrip_property(n, seed, wavelet):
+    x = np.random.default_rng(seed).normal(size=n)
+    fwd = haar_forward if wavelet == "haar" else cdf53_forward
+    inv = haar_inverse if wavelet == "haar" else cdf53_inverse
+    a, d = fwd(x)
+    np.testing.assert_allclose(inv(a, d), x, atol=1e-10)
