@@ -1,0 +1,215 @@
+#!/usr/bin/env python
+"""Perf-trajectory bench harness: writes ``BENCH_pr1.json``.
+
+Measures, for one field of each of the paper's three dataset families
+(turbulence / climate / cosmology):
+
+* DPZ compression and decompression **throughput** (MB/s of original
+  data),
+* the end-to-end **compression ratio**, and
+* **per-stage time shares** from the observability tracer (the stage
+  vocabulary of the paper's Tables III/IV and Fig. 9).
+
+It also measures the **tracing overhead**: compression wall time with
+the tracer installed vs. disabled on the 64^3 isotropic field.  The
+acceptance bar for the instrumentation layer is that disabled-path
+overhead stays unmeasurable (<1%); enabled overhead is reported for
+the record.
+
+The output JSON seeds the ``BENCH_*.json`` trajectory that later PRs
+compare against: re-run after a perf change and diff the numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py            # full run
+    PYTHONPATH=src python benchmarks/run_bench.py --smoke    # CI quick
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_pr2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.core.compressor import DPZCompressor  # noqa: E402
+from repro.core.config import DPZ_L  # noqa: E402
+from repro.datasets.registry import get_dataset, get_spec  # noqa: E402
+from repro.observability import (  # noqa: E402
+    Tracer,
+    counters_reset,
+    trace_summary,
+    use_tracer,
+)
+
+#: One field per dataset family, Table-I names.
+DEFAULT_FIELDS = ("Isotropic", "FLDSC", "HACC-x")
+
+_FAMILY = {
+    "Turbulence simulation": "turbulence",
+    "Climate simulation": "climate",
+    "Cosmology particle simulation": "cosmology",
+}
+
+
+def bench_field(name: str, size: str, repeats: int) -> dict:
+    """Traced compress+decompress measurements for one field."""
+    spec = get_spec(name)
+    data = get_dataset(name, size)
+    comp = DPZCompressor(DPZ_L)
+
+    best_c = best_d = float("inf")
+    stats = None
+    tracer_c = tracer_d = None
+    blob = b""
+    for _ in range(repeats):
+        counters_reset()
+        tc = Tracer()
+        t0 = time.perf_counter()
+        with use_tracer(tc):
+            blob, stats = comp.compress_with_stats(data)
+        dt_c = time.perf_counter() - t0
+        td = Tracer()
+        t0 = time.perf_counter()
+        with use_tracer(td):
+            recon = DPZCompressor.decompress(blob)
+        dt_d = time.perf_counter() - t0
+        assert recon.shape == data.shape
+        if dt_c < best_c:
+            best_c, tracer_c = dt_c, tc
+        if dt_d < best_d:
+            best_d, tracer_d = dt_d, td
+
+    mb = data.nbytes / 1e6
+    summary_c = trace_summary(tracer_c, prefix="dpz.")
+    summary_d = trace_summary(tracer_d, prefix="dpz.")
+    return {
+        "family": _FAMILY.get(spec.kind, spec.kind),
+        "shape": list(data.shape),
+        "original_nbytes": int(data.nbytes),
+        "compressed_nbytes": len(blob),
+        "cr": round(stats.cr, 4),
+        "k": stats.k,
+        "m_blocks": stats.m_blocks,
+        "compress_s": round(best_c, 6),
+        "decompress_s": round(best_d, 6),
+        "throughput_mb_s": round(mb / best_c, 3),
+        "decompress_mb_s": round(mb / best_d, 3),
+        "stage_times_s": summary_c["stage_times_s"],
+        "stage_shares": summary_c["stage_shares"],
+        "decompress_stage_shares": summary_d["stage_shares"],
+    }
+
+
+def measure_tracing_overhead(size: str, repeats: int) -> dict:
+    """Best-of-N compress wall time, tracer off vs. on (Isotropic)."""
+    data = get_dataset("Isotropic", size)
+    comp = DPZCompressor(DPZ_L)
+    comp.compress(data)  # warm caches / JIT-free but fair
+
+    def best(traced: bool) -> float:
+        times = []
+        for _ in range(repeats):
+            if traced:
+                t0 = time.perf_counter()
+                with use_tracer(Tracer()):
+                    comp.compress(data)
+                times.append(time.perf_counter() - t0)
+            else:
+                t0 = time.perf_counter()
+                comp.compress(data)
+                times.append(time.perf_counter() - t0)
+        return min(times)
+
+    off = best(traced=False)
+    on = best(traced=True)
+
+    # Direct cost of the disabled fast path: one span() call is a global
+    # load + None test.  A traced compress on this field emits ~12 DPZ
+    # spans plus a handful of codec spans; scale the per-call cost by a
+    # generous 100 call sites to bound the disabled-path overhead.
+    from repro.observability import span as _span
+    n_calls = 1_000_000
+    t0 = time.perf_counter()
+    for _ in range(n_calls):
+        _span("bench.noop")
+    per_call_s = (time.perf_counter() - t0) / n_calls
+    disabled_pct = 100.0 * (100 * per_call_s) / off
+
+    return {
+        "disabled_s": round(off, 6),
+        "enabled_s": round(on, 6),
+        "enabled_overhead_pct": round(100.0 * (on - off) / off, 2),
+        "disabled_span_call_ns": round(per_call_s * 1e9, 1),
+        "disabled_overhead_pct_bound": round(disabled_pct, 4),
+    }
+
+
+#: Keys the CI smoke job asserts on (keep in sync with the workflow).
+EXPECTED_FIELD_KEYS = (
+    "family", "cr", "throughput_mb_s", "decompress_mb_s",
+    "stage_shares", "stage_times_s",
+)
+
+
+def run(fields=DEFAULT_FIELDS, *, size: str = "small", repeats: int = 3,
+        smoke: bool = False, out: str | None = None) -> dict:
+    """Run the bench; returns (and optionally writes) the JSON record."""
+    if smoke:
+        repeats = 1
+    result: dict = {
+        "bench": "pr1-observability",
+        "size": size,
+        "repeats": repeats,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "fields": {},
+    }
+    for name in fields:
+        print(f"[bench] {name} ...", flush=True)
+        result["fields"][name] = bench_field(name, size, repeats)
+        f = result["fields"][name]
+        print(f"[bench]   CR {f['cr']:.2f}x  "
+              f"compress {f['throughput_mb_s']:.1f} MB/s  "
+              f"decompress {f['decompress_mb_s']:.1f} MB/s", flush=True)
+    if not smoke:
+        print("[bench] tracing overhead ...", flush=True)
+        result["tracing_overhead"] = measure_tracing_overhead(
+            size, max(repeats, 5))
+        print(f"[bench]   enabled-tracer overhead "
+              f"{result['tracing_overhead']['enabled_overhead_pct']:+.1f}%",
+              flush=True)
+    if out:
+        pathlib.Path(out).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"[bench] wrote {out}", flush=True)
+    return result
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fields", nargs="+", default=list(DEFAULT_FIELDS),
+                    help="Table-I dataset names to bench")
+    ap.add_argument("--size", choices=["small", "full"], default="small")
+    ap.add_argument("--repeats", type=int, default=3,
+                    help="best-of-N timing repeats")
+    ap.add_argument("--smoke", action="store_true",
+                    help="single repeat, skip the overhead study (CI)")
+    ap.add_argument("--out", default=str(
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr1.json"))
+    args = ap.parse_args(argv)
+    run(args.fields, size=args.size, repeats=args.repeats,
+        smoke=args.smoke, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

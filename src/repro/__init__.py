@@ -21,7 +21,15 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record.
 """
 
-from repro import analysis, baselines, codecs, core, datasets, transforms
+from repro import (
+    analysis,
+    baselines,
+    codecs,
+    core,
+    datasets,
+    observability,
+    transforms,
+)
 from repro.archive import FieldArchive
 from repro.api import dpz_compress, dpz_decompress, dpz_probe, scheme_config
 from repro.baselines import (
@@ -60,6 +68,7 @@ __all__ = [
     "codecs",
     "core",
     "datasets",
+    "observability",
     "transforms",
     "ReproError",
     "CodecError",

@@ -26,6 +26,7 @@ codec's one-call API.  The CLI exposes this as ``dpz pack`` /
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass
 
 import numpy as np
@@ -39,7 +40,7 @@ from repro.baselines.zfp import zfp_compress, zfp_decompress
 from repro.codecs.container import pack_sections, unpack_sections
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.codecs.zlibc import zlib_compress, zlib_decompress
-from repro.errors import ConfigError, FormatError
+from repro.errors import CodecError, ConfigError, FormatError
 
 __all__ = ["FieldArchive", "CODECS"]
 
@@ -136,10 +137,23 @@ class FieldArchive:
         return list(self._entries)
 
     def get(self, name: str) -> np.ndarray:
-        """Decompress and return one field."""
+        """Decompress and return one field.
+
+        A payload that fails to decode (bit rot, truncation that the
+        frame checks could not see) raises
+        :class:`~repro.errors.FormatError`.
+        """
         entry = self._require(name)
         _, decompress = CODECS[entry.codec]
-        return decompress(entry.payload)
+        try:
+            return decompress(entry.payload)
+        except FormatError:
+            raise
+        except (struct.error, IndexError, ValueError, KeyError,
+                OverflowError, CodecError) as exc:
+            raise FormatError(
+                f"field {name!r} payload is corrupt: {exc}"
+            ) from exc
 
     def info(self, name: str) -> dict:
         """Metadata for one field (codec, sizes, CR) without decoding."""
@@ -185,13 +199,32 @@ class FieldArchive:
 
     @classmethod
     def from_bytes(cls, blob: bytes) -> "FieldArchive":
-        """Parse :meth:`to_bytes` output."""
+        """Parse :meth:`to_bytes` output.
+
+        Raises :class:`~repro.errors.FormatError` on any corruption --
+        truncated frame, mangled entry header, or undecodable name --
+        rather than leaking low-level parsing exceptions.
+        """
+        try:
+            return cls._from_bytes(blob)
+        except FormatError:
+            raise
+        except (IndexError, ValueError, KeyError, OverflowError,
+                CodecError) as exc:
+            raise FormatError(f"corrupt field archive: {exc}") from exc
+
+    @classmethod
+    def _from_bytes(cls, blob: bytes) -> "FieldArchive":
         archive = cls()
         for sec in unpack_sections(blob, _MAGIC, _VERSION):
             nlen, pos = decode_uvarint(sec, 0)
+            if pos + nlen > len(sec):
+                raise FormatError("truncated entry name")
             name = sec[pos : pos + nlen].decode()
             pos += nlen
             clen, pos = decode_uvarint(sec, pos)
+            if pos + clen > len(sec):
+                raise FormatError("truncated entry codec tag")
             codec = sec[pos : pos + clen].decode()
             pos += clen
             orig, pos = decode_uvarint(sec, pos)

@@ -52,6 +52,7 @@ from repro.baselines.szstream import (
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.codecs.zlibc import zlib_compress, zlib_decompress
 from repro.errors import ConfigError, DataShapeError, FormatError
+from repro.observability import span
 
 __all__ = ["SZCompressor", "sz_compress", "sz_decompress", "MODES"]
 
@@ -172,29 +173,32 @@ class SZCompressor:
         work = data.astype(np.float64, copy=False)
         selectors = b""
         coeffs = b""
-        if mode == "lorenzo":
-            residuals = lorenzo_forward(lattice_quantize(work, eps))
-            padded_shape = work.shape
-        else:
-            blocks, padded_shape = _split_blocks(work, self.block_size)
-            coef = fit_blocks(blocks)
-            pred = predict_blocks(coef, blocks.shape[1:])
-            reg_res = lattice_quantize(blocks - pred, eps)
-            if mode == "regression":
-                choose_reg = np.ones(blocks.shape[0], dtype=bool)
-                lor_res = None
+        with span("sz.predict", bytes_in=int(work.nbytes), mode=mode):
+            if mode == "lorenzo":
+                residuals = lorenzo_forward(lattice_quantize(work, eps))
+                padded_shape = work.shape
             else:
-                lor_res = _block_lorenzo_forward(lattice_quantize(blocks, eps))
-                choose_reg = _residual_cost(reg_res) < _residual_cost(lor_res)
-            nb = blocks.shape[0]
-            res = np.empty_like(reg_res)
-            res[choose_reg] = reg_res[choose_reg]
-            if lor_res is not None:
-                res[~choose_reg] = lor_res[~choose_reg]
-            residuals = res
-            selectors = zlib_compress(np.packbits(choose_reg).tobytes())
-            # Only regression blocks need their coefficients.
-            coeffs = zlib_compress(coef[choose_reg].tobytes())
+                blocks, padded_shape = _split_blocks(work, self.block_size)
+                coef = fit_blocks(blocks)
+                pred = predict_blocks(coef, blocks.shape[1:])
+                reg_res = lattice_quantize(blocks - pred, eps)
+                if mode == "regression":
+                    choose_reg = np.ones(blocks.shape[0], dtype=bool)
+                    lor_res = None
+                else:
+                    lor_res = _block_lorenzo_forward(
+                        lattice_quantize(blocks, eps))
+                    choose_reg = (_residual_cost(reg_res)
+                                  < _residual_cost(lor_res))
+                nb = blocks.shape[0]
+                res = np.empty_like(reg_res)
+                res[choose_reg] = reg_res[choose_reg]
+                if lor_res is not None:
+                    res[~choose_reg] = lor_res[~choose_reg]
+                residuals = res
+                selectors = zlib_compress(np.packbits(choose_reg).tobytes())
+                # Only regression blocks need their coefficients.
+                coeffs = zlib_compress(coef[choose_reg].tobytes())
 
         meta = bytearray()
         meta += encode_uvarint(_MODE_ID[mode])
@@ -208,9 +212,12 @@ class SZCompressor:
             meta += encode_uvarint(n)
         meta += encode_uvarint(self.alphabet)
 
-        payload = encode_residuals(residuals, self.alphabet)
-        return pack_sections(_MAGIC, _VERSION,
-                             [bytes(meta), selectors, coeffs, payload])
+        with span("sz.encode", bytes_in=int(residuals.nbytes)) as sp:
+            payload = encode_residuals(residuals, self.alphabet)
+            blob = pack_sections(_MAGIC, _VERSION,
+                                 [bytes(meta), selectors, coeffs, payload])
+            sp.add(bytes_out=len(blob))
+        return blob
 
     # -- decompression -----------------------------------------------------
 
@@ -243,32 +250,38 @@ class SZCompressor:
         padded_t = tuple(padded_shape)
 
         if mode == "lorenzo":
-            count = int(np.prod(shape_t))
-            residuals = decode_residuals(payload, count, alphabet)
-            lattice = lorenzo_inverse(residuals.reshape(shape_t))
-            out = lattice_dequantize(lattice, eps)
+            with span("sz.decode", bytes_in=len(payload), mode=mode):
+                count = int(np.prod(shape_t))
+                residuals = decode_residuals(payload, count, alphabet)
+            with span("sz.reconstruct", mode=mode):
+                lattice = lorenzo_inverse(residuals.reshape(shape_t))
+                out = lattice_dequantize(lattice, eps)
             return out.astype(_DTYPES[dtype_tag])
 
         nb = int(np.prod([n // block_size for n in padded_t]))
         bshape = (nb,) + (block_size,) * ndim
         count = int(np.prod(bshape))
-        residuals = decode_residuals(payload, count, alphabet).reshape(bshape)
-        choose_reg = np.unpackbits(
-            np.frombuffer(zlib_decompress(selectors), dtype=np.uint8)
-        )[:nb].astype(bool)
-        blocks = np.empty(bshape, dtype=np.float64)
-        n_reg = int(choose_reg.sum())
-        if n_reg:
-            coef = np.frombuffer(zlib_decompress(coeffs), dtype=np.float32)
-            coef = coef.reshape(n_reg, 1 + ndim)
-            pred = predict_blocks(coef, bshape[1:])
-            blocks[choose_reg] = pred + lattice_dequantize(
-                residuals[choose_reg], eps
-            )
-        if n_reg < nb:
-            lor = _block_lorenzo_inverse(residuals[~choose_reg])
-            blocks[~choose_reg] = lattice_dequantize(lor, eps)
-        out = _merge_blocks(blocks, padded_t, shape_t)
+        with span("sz.decode", bytes_in=len(payload), mode=mode):
+            residuals = decode_residuals(payload, count,
+                                         alphabet).reshape(bshape)
+        with span("sz.reconstruct", mode=mode):
+            choose_reg = np.unpackbits(
+                np.frombuffer(zlib_decompress(selectors), dtype=np.uint8)
+            )[:nb].astype(bool)
+            blocks = np.empty(bshape, dtype=np.float64)
+            n_reg = int(choose_reg.sum())
+            if n_reg:
+                coef = np.frombuffer(zlib_decompress(coeffs),
+                                     dtype=np.float32)
+                coef = coef.reshape(n_reg, 1 + ndim)
+                pred = predict_blocks(coef, bshape[1:])
+                blocks[choose_reg] = pred + lattice_dequantize(
+                    residuals[choose_reg], eps
+                )
+            if n_reg < nb:
+                lor = _block_lorenzo_inverse(residuals[~choose_reg])
+                blocks[~choose_reg] = lattice_dequantize(lor, eps)
+            out = _merge_blocks(blocks, padded_t, shape_t)
         return out.astype(_DTYPES[dtype_tag])
 
 

@@ -46,6 +46,7 @@ from repro.baselines.zfptransform import (
 from repro.codecs.negabinary import int_to_negabinary, negabinary_to_int
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.errors import ConfigError, DataShapeError, FormatError
+from repro.observability import span
 
 __all__ = ["ZFPCompressor", "zfp_compress", "zfp_decompress", "ZFP_MODES"]
 
@@ -248,20 +249,23 @@ class ZFPCompressor:
                 f"{(1 + EBITS) / size:.2f} bits/value for the block header"
             )
 
-        blocks, padded_shape = split_blocks(data.astype(np.float64), 4)
-        nb = blocks.shape[0]
-        flat = blocks.reshape(nb, size)
-        maxabs = np.abs(flat).max(axis=1)
-        tol = self.tolerance
-        zero_block = (maxabs == 0.0) if tol is None else (maxabs <= tol / 2.0)
+        with span("zfp.transform", bytes_in=int(data.nbytes), mode=self.mode):
+            blocks, padded_shape = split_blocks(data.astype(np.float64), 4)
+            nb = blocks.shape[0]
+            flat = blocks.reshape(nb, size)
+            maxabs = np.abs(flat).max(axis=1)
+            tol = self.tolerance
+            zero_block = ((maxabs == 0.0) if tol is None
+                          else (maxabs <= tol / 2.0))
 
-        _, exps = np.frexp(maxabs)
-        exps = exps.astype(np.int64)  # maxabs in [2**(e-1), 2**e)
-        scale = np.ldexp(1.0, (FRAC_BITS - 1) - exps)
-        q = np.rint(blocks * scale.reshape((nb,) + (1,) * d)).astype(np.int64)
-        coeffs = fwd_transform(q).reshape(nb, size)[:, sequency_order(d)]
-        u = int_to_negabinary(coeffs).astype(np.uint64)
-        planes = _plane_ints(u)
+            _, exps = np.frexp(maxabs)
+            exps = exps.astype(np.int64)  # maxabs in [2**(e-1), 2**e)
+            scale = np.ldexp(1.0, (FRAC_BITS - 1) - exps)
+            q = np.rint(blocks
+                        * scale.reshape((nb,) + (1,) * d)).astype(np.int64)
+            coeffs = fwd_transform(q).reshape(nb, size)[:, sequency_order(d)]
+            u = int_to_negabinary(coeffs).astype(np.uint64)
+            planes = _plane_ints(u)
 
         budget = (int(round(self.rate * size)) - (1 + EBITS)
                   if self.rate is not None else 1 << 60)
@@ -276,38 +280,41 @@ class ZFPCompressor:
         else:
             kmin_all = np.zeros(nb, dtype=np.int64)
 
-        parts: list[str] = []
-        planes_list = planes.T.tolist()  # per block: [plane0, ..., planeK]
-        zero_list = zero_block.tolist()
-        exp_list = exps.tolist()
-        kmin_list = kmin_all.tolist()
-        block_bits = (int(round(self.rate * size))
-                      if self.rate is not None else None)
-        for b in range(nb):
-            block_parts: list[str] = []
-            if zero_list[b]:
-                block_parts.append("0")
-            else:
-                block_parts.append("1")
-                block_parts.append(
-                    format(exp_list[b] + _EBIAS, f"0{EBITS}b")[::-1])
-                _encode_block(planes_list[b], size, budget,
-                              int(kmin_list[b]), block_parts)
-            if block_bits is not None:
-                used = sum(len(p) for p in block_parts)
-                if used > block_bits:
-                    raise ConfigError("fixed-rate budget accounting error")
-                if used < block_bits:
-                    block_parts.append("0" * (block_bits - used))
-            parts.append("".join(block_parts))
+        with span("zfp.bitplane_encode", n_blocks=nb, mode=self.mode) as sp:
+            parts: list[str] = []
+            planes_list = planes.T.tolist()  # per block: [plane0, ...]
+            zero_list = zero_block.tolist()
+            exp_list = exps.tolist()
+            kmin_list = kmin_all.tolist()
+            block_bits = (int(round(self.rate * size))
+                          if self.rate is not None else None)
+            for b in range(nb):
+                block_parts: list[str] = []
+                if zero_list[b]:
+                    block_parts.append("0")
+                else:
+                    block_parts.append("1")
+                    block_parts.append(
+                        format(exp_list[b] + _EBIAS, f"0{EBITS}b")[::-1])
+                    _encode_block(planes_list[b], size, budget,
+                                  int(kmin_list[b]), block_parts)
+                if block_bits is not None:
+                    used = sum(len(p) for p in block_parts)
+                    if used > block_bits:
+                        raise ConfigError(
+                            "fixed-rate budget accounting error")
+                    if used < block_bits:
+                        block_parts.append("0" * (block_bits - used))
+                parts.append("".join(block_parts))
 
-        bitstring = "".join(parts)
-        nbits = len(bitstring)
-        if nbits:
-            arr = np.frombuffer(bitstring.encode("ascii"), dtype=np.uint8)
-            payload = np.packbits(arr - ord("0")).tobytes()
-        else:
-            payload = b""
+            bitstring = "".join(parts)
+            nbits = len(bitstring)
+            if nbits:
+                arr = np.frombuffer(bitstring.encode("ascii"), dtype=np.uint8)
+                payload = np.packbits(arr - ord("0")).tobytes()
+            else:
+                payload = b""
+            sp.add(bytes_out=len(payload))
 
         meta = bytearray()
         meta += encode_uvarint(_MODE_ID[self.mode])
@@ -373,35 +380,40 @@ class ZFPCompressor:
         kmin_arr = (np.frombuffer(kmin_bytes, dtype=np.uint8)
                     if mode == "accuracy" else None)
 
-        u = np.zeros((nb, size), dtype=np.uint64)
-        exps = np.zeros(nb, dtype=np.int64)
-        nonzero = np.zeros(nb, dtype=bool)
-        cursor = 0
-        for b in range(nb):
-            start = cursor
-            flag = s[cursor]
-            cursor += 1
-            if flag == "1":
-                nonzero[b] = True
-                eseg = s[cursor : cursor + EBITS]
-                cursor += EBITS
-                exps[b] = int(eseg[::-1], 2) - _EBIAS
-                kmin = (int(kmin_arr[b]) if kmin_arr is not None
-                        else kmin_global)
-                coeffs, cursor = _decode_block(s, cursor, size, budget, kmin)
-                u[b] = np.asarray(coeffs, dtype=np.uint64)
-            if block_bits is not None:
-                cursor = start + block_bits
+        with span("zfp.bitplane_decode", bytes_in=len(payload),
+                  n_blocks=nb, mode=mode):
+            u = np.zeros((nb, size), dtype=np.uint64)
+            exps = np.zeros(nb, dtype=np.int64)
+            nonzero = np.zeros(nb, dtype=bool)
+            cursor = 0
+            for b in range(nb):
+                start = cursor
+                flag = s[cursor]
+                cursor += 1
+                if flag == "1":
+                    nonzero[b] = True
+                    eseg = s[cursor : cursor + EBITS]
+                    cursor += EBITS
+                    exps[b] = int(eseg[::-1], 2) - _EBIAS
+                    kmin = (int(kmin_arr[b]) if kmin_arr is not None
+                            else kmin_global)
+                    coeffs, cursor = _decode_block(s, cursor, size, budget,
+                                                   kmin)
+                    u[b] = np.asarray(coeffs, dtype=np.uint64)
+                if block_bits is not None:
+                    cursor = start + block_bits
 
-        perm = sequency_order(d)
-        inv_perm = np.empty_like(perm)
-        inv_perm[perm] = np.arange(size)
-        coeff_int = negabinary_to_int(u)[:, inv_perm]
-        q = inv_transform(coeff_int.reshape((nb,) + (4,) * d))
-        scale = np.ldexp(1.0, (FRAC_BITS - 1) - exps)
-        blocks = q.astype(np.float64) / scale.reshape((nb,) + (1,) * d)
-        blocks[~nonzero] = 0.0
-        out = merge_blocks(blocks, tuple(padded), tuple(shape))
+        with span("zfp.inverse_transform", n_blocks=nb) as sp:
+            perm = sequency_order(d)
+            inv_perm = np.empty_like(perm)
+            inv_perm[perm] = np.arange(size)
+            coeff_int = negabinary_to_int(u)[:, inv_perm]
+            q = inv_transform(coeff_int.reshape((nb,) + (4,) * d))
+            scale = np.ldexp(1.0, (FRAC_BITS - 1) - exps)
+            blocks = q.astype(np.float64) / scale.reshape((nb,) + (1,) * d)
+            blocks[~nonzero] = 0.0
+            out = merge_blocks(blocks, tuple(padded), tuple(shape))
+            sp.add(bytes_out=int(out.nbytes))
         return out.astype(_DTYPES[dtype_tag])
 
 

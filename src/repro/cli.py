@@ -17,6 +17,10 @@ datasets
 bench
     ``dpz bench ARTIFACT`` -- run one paper-artifact harness (e.g.
     ``table3``, ``fig6``, ``fig10``) and print its report.
+trace
+    ``dpz trace DATASET_OR_FILE [--out trace.ndjson]`` -- run a traced
+    DPZ compress+decompress and emit per-stage NDJSON spans plus a
+    stage-share summary (see ``repro.observability``).
 pack / unpack / list
     Multi-field archives: ``dpz pack out.dpza NAME=FILE ...
     [--codec dpz] [--nines N]``, ``dpz unpack in.dpza NAME out.npy``,
@@ -94,6 +98,23 @@ def build_parser() -> argparse.ArgumentParser:
                          "every harness in sequence)")
     pb.add_argument("--size", choices=["small", "full"], default="small",
                     help="dataset size preset")
+
+    pt = sub.add_parser("trace",
+                        help="trace a DPZ compress+decompress run "
+                             "(per-stage NDJSON spans)")
+    pt.add_argument("input",
+                    help="built-in dataset name (see 'dpz datasets') or "
+                         "input file (.npy / raw .f32)")
+    pt.add_argument("--shape", type=int, nargs="+", default=None,
+                    help="shape for raw float32 inputs")
+    pt.add_argument("--size", choices=["small", "full"], default="small",
+                    help="size preset for built-in datasets")
+    pt.add_argument("--scheme", choices=["l", "s"], default="l")
+    pt.add_argument("--nines", type=int, default=None,
+                    help="TVE threshold as a number of nines (3..8)")
+    pt.add_argument("--out", default=None,
+                    help="write NDJSON here instead of stdout (stdout "
+                         "then carries the stage summary)")
 
     pk = sub.add_parser("pack", help="bundle fields into an archive")
     pk.add_argument("output", help="archive file (.dpza)")
@@ -230,6 +251,56 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _load_trace_input(args) -> tuple[str, np.ndarray]:
+    """Resolve the trace input: registry name first, then file path."""
+    try:
+        get_spec(args.input)
+    except Exception:
+        shape = tuple(args.shape) if args.shape else None
+        return args.input, load_field(args.input, shape)
+    from repro.datasets.registry import get_dataset
+    return args.input, get_dataset(args.input, args.size)
+
+
+def _cmd_trace(args) -> int:
+    from repro.observability import (
+        Tracer,
+        counters_reset,
+        use_tracer,
+        write_ndjson,
+    )
+
+    name, data = _load_trace_input(args)
+    cfg = scheme_config(args.scheme, tve_nines=args.nines)
+    comp = DPZCompressor(cfg)
+    counters_reset()
+    tracer = Tracer()
+    with use_tracer(tracer):
+        blob, stats = comp.compress_with_stats(data)
+        recon = DPZCompressor.decompress(blob)
+    meta = {
+        "dataset": name, "shape": list(data.shape),
+        "dtype": str(data.dtype), "scheme": args.scheme,
+        "original_nbytes": int(data.nbytes),
+        "compressed_nbytes": len(blob), "cr": round(stats.cr, 4),
+        "k": stats.k, "m_blocks": stats.m_blocks,
+    }
+    if args.out:
+        n_spans = write_ndjson(tracer, args.out, meta=meta)
+        print(f"{name}: {n_spans} spans -> {args.out} "
+              f"(CR {stats.cr:.2f}x, k={stats.k}/{stats.m_blocks})")
+        total = sum(tracer.stage_times("dpz.").values())
+        for stage, share in tracer.stage_shares("dpz.").items():
+            secs = tracer.stage_times("dpz.")[stage]
+            print(f"  {stage:<22s} {secs*1e3:9.2f} ms  {share:6.1%}")
+        print(f"  {'total':<22s} {total*1e3:9.2f} ms")
+    else:
+        write_ndjson(tracer, sys.stdout, meta=meta)
+    # Tracing must not perturb the archive: quick shape sanity check.
+    assert recon.shape == data.shape
+    return 0
+
+
 def _cmd_pack(args) -> int:
     from repro.archive import FieldArchive
 
@@ -286,6 +357,7 @@ _COMMANDS = {
     "info": _cmd_info,
     "datasets": _cmd_datasets,
     "bench": _cmd_bench,
+    "trace": _cmd_trace,
     "pack": _cmd_pack,
     "unpack": _cmd_unpack,
     "list": _cmd_list,

@@ -35,6 +35,7 @@ import numpy as np
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.codecs.zlibc import zlib_compress, zlib_decompress
 from repro.errors import CodecError
+from repro.observability import counter_add, span
 
 __all__ = ["HuffmanTable", "huffman_encode", "huffman_decode", "MAX_CODE_LENGTH"]
 
@@ -259,21 +260,27 @@ def huffman_encode(symbols: np.ndarray, table: HuffmanTable) -> bytes:
     header = encode_uvarint(n)
     if n == 0:
         return header
-    if symbols.min() < 0 or symbols.max() >= table.alphabet_size:
-        raise CodecError("symbol outside table alphabet")
-    lens = table.lengths[symbols]
-    if np.any(lens == 0):
-        raise CodecError("symbol has no codeword (zero length)")
-    codes = table.codes[symbols]
-    total = int(lens.sum())
-    # Bit position of each symbol's first bit, then per-bit index within
-    # the symbol's codeword; extract that bit of the codeword.
-    starts = np.concatenate(([0], np.cumsum(lens)[:-1]))
-    owner = np.repeat(np.arange(n), lens)           # which symbol owns bit i
-    within = np.arange(total) - starts[owner]        # bit index inside code
-    shift = (lens[owner] - 1 - within).astype(np.uint64)
-    bits = ((codes[owner] >> shift) & np.uint64(1)).astype(np.uint8)
-    return header + np.packbits(bits).tobytes()
+    with span("huffman.encode", bytes_in=int(symbols.nbytes),
+              n_symbols=n) as sp:
+        if symbols.min() < 0 or symbols.max() >= table.alphabet_size:
+            raise CodecError("symbol outside table alphabet")
+        lens = table.lengths[symbols]
+        if np.any(lens == 0):
+            raise CodecError("symbol has no codeword (zero length)")
+        codes = table.codes[symbols]
+        total = int(lens.sum())
+        # Bit position of each symbol's first bit, then per-bit index
+        # within the symbol's codeword; extract that bit of the codeword.
+        starts = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        owner = np.repeat(np.arange(n), lens)        # symbol owning bit i
+        within = np.arange(total) - starts[owner]    # bit index inside code
+        shift = (lens[owner] - 1 - within).astype(np.uint64)
+        bits = ((codes[owner] >> shift) & np.uint64(1)).astype(np.uint8)
+        out = header + np.packbits(bits).tobytes()
+        sp.add(bytes_out=len(out))
+    counter_add("huffman.encode.symbols", n)
+    counter_add("huffman.encode.bytes_out", len(out))
+    return out
 
 
 def huffman_decode(data: bytes, table: HuffmanTable,
@@ -286,32 +293,37 @@ def huffman_decode(data: bytes, table: HuffmanTable,
     n, pos = decode_uvarint(data, offset)
     if n == 0:
         return np.zeros(0, dtype=np.int64), pos
-    sym_tab, len_tab, L = table.decode_tables()
-    if L == 0:
-        raise CodecError("cannot decode with an empty Huffman table")
-    buf = np.frombuffer(data, dtype=np.uint8, offset=pos)
-    bits = np.unpackbits(buf)
-    if bits.size < 1:
-        raise CodecError("empty Huffman bitstream")
-    # value_at[i] = integer formed by bits[i:i+L] (zero padded at tail).
-    padded = np.concatenate((bits, np.zeros(L, dtype=np.uint8)))
-    nb = bits.size
-    window = np.zeros(nb, dtype=np.uint32)
-    for j in range(L):
-        window |= padded[j : j + nb].astype(np.uint32) << np.uint32(L - 1 - j)
-    sym_at = sym_tab[window].tolist()
-    len_at = len_tab[window].tolist()
-    out = np.empty(n, dtype=np.int64)
-    out_list = out.tolist()  # write into a list, assign back (faster loop)
-    cursor = 0
-    for k in range(n):
-        if cursor >= nb:
-            raise CodecError("Huffman bitstream underrun")
-        ln = len_at[cursor]
-        if ln == 0:
-            raise CodecError("invalid codeword in Huffman bitstream")
-        out_list[k] = sym_at[cursor]
-        cursor += ln
-    out = np.asarray(out_list, dtype=np.int64)
-    nbytes = (cursor + 7) // 8
+    counter_add("huffman.decode.symbols", n)
+    with span("huffman.decode", n_symbols=n) as sp:
+        sym_tab, len_tab, L = table.decode_tables()
+        if L == 0:
+            raise CodecError("cannot decode with an empty Huffman table")
+        buf = np.frombuffer(data, dtype=np.uint8, offset=pos)
+        bits = np.unpackbits(buf)
+        if bits.size < 1:
+            raise CodecError("empty Huffman bitstream")
+        # value_at[i] = integer formed by bits[i:i+L] (zero padded at
+        # tail).
+        padded = np.concatenate((bits, np.zeros(L, dtype=np.uint8)))
+        nb = bits.size
+        window = np.zeros(nb, dtype=np.uint32)
+        for j in range(L):
+            window |= (padded[j : j + nb].astype(np.uint32)
+                       << np.uint32(L - 1 - j))
+        sym_at = sym_tab[window].tolist()
+        len_at = len_tab[window].tolist()
+        out = np.empty(n, dtype=np.int64)
+        out_list = out.tolist()  # write into a list, assign back (fast loop)
+        cursor = 0
+        for k in range(n):
+            if cursor >= nb:
+                raise CodecError("Huffman bitstream underrun")
+            ln = len_at[cursor]
+            if ln == 0:
+                raise CodecError("invalid codeword in Huffman bitstream")
+            out_list[k] = sym_at[cursor]
+            cursor += ln
+        out = np.asarray(out_list, dtype=np.int64)
+        nbytes = (cursor + 7) // 8
+        sp.add(bytes_in=nbytes, bytes_out=int(out.nbytes))
     return out, pos + nbytes

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.errors import CodecError
+from repro.observability import counter_add
 
 __all__ = ["zlib_compress", "zlib_decompress", "DEFAULT_LEVEL"]
 
@@ -38,8 +39,13 @@ def zlib_compress(data: bytes | bytearray | memoryview | np.ndarray,
     else:
         data = bytes(data)
     packed = zlib.compress(data, level)
+    counter_add("zlib.compress.calls")
+    counter_add("zlib.compress.bytes_in", len(data))
     if len(packed) < len(data):
+        counter_add("zlib.compress.bytes_out", len(packed))
         return bytes([_DEFLATE]) + encode_uvarint(len(data)) + packed
+    counter_add("zlib.compress.bytes_out", len(data))
+    counter_add("zlib.compress.stored_raw")
     return bytes([_RAW]) + encode_uvarint(len(data)) + data
 
 
@@ -48,6 +54,8 @@ def zlib_decompress(frame: bytes | memoryview) -> bytes:
     frame = bytes(frame)
     if not frame:
         raise CodecError("empty zlib frame")
+    counter_add("zlib.decompress.calls")
+    counter_add("zlib.decompress.bytes_in", len(frame))
     mode = frame[0]
     raw_len, pos = decode_uvarint(frame, 1)
     payload = frame[pos:]

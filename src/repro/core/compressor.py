@@ -16,6 +16,7 @@ needs no configuration.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -46,11 +47,25 @@ from repro.core.sampling import (
 )
 from repro.core.stream import DPZArchive, deserialize, serialize
 from repro.errors import DataShapeError
+from repro.observability import span
 from repro.transforms.pca import PCA
 
 __all__ = ["DPZCompressor", "DPZStats"]
 
 _DTYPE_TAGS = {np.dtype(np.float32): "f4", np.dtype(np.float64): "f8"}
+
+
+@contextmanager
+def _stage(stats: "DPZStats", name: str, **span_kw):
+    """Time one compression stage into ``stats.times`` and the tracer.
+
+    The ``stats.times`` clock always runs (Fig. 9 reads it); the span
+    is a no-op unless a tracer is installed.
+    """
+    t0 = time.perf_counter()
+    with span("dpz." + name, **span_kw) as sp:
+        yield sp
+    stats.times[name] = time.perf_counter() - t0
 
 
 @dataclass
@@ -173,19 +188,22 @@ class DPZCompressor:
         work = (np.asarray(data, dtype=np.float64) - dmin) / rng - 0.5
 
         # Stage 1a: decomposition.
-        t = time.perf_counter()
-        blocks, plan = decompose(work, cfg.max_ratio)
-        stats.times["decompose"] = time.perf_counter() - t
+        with _stage(stats, "decompose", bytes_in=stats.original_nbytes) as sp:
+            blocks, plan = decompose(work, cfg.max_ratio)
+            sp.add(m_blocks=plan.m_blocks, n_points=plan.n_points,
+                   bytes_out=int(blocks.nbytes))
         stats.m_blocks, stats.n_points = plan.m_blocks, plan.n_points
 
         # Stage 1b: per-block transform (DCT by default), plus the
         # optional pre-PCA coefficient truncation extension.
-        t = time.perf_counter()
-        coeffs = forward_transform(blocks, cfg.transform, cfg.n_jobs)
-        if cfg.dct_truncate > 0:
-            coeffs, zeroed = truncate_coefficients(coeffs, cfg.dct_truncate)
-            stats.truncated_fraction = zeroed
-        stats.times["dct"] = time.perf_counter() - t
+        with _stage(stats, "dct", bytes_in=int(blocks.nbytes),
+                    transform=cfg.transform, n_jobs=cfg.n_jobs) as sp:
+            coeffs = forward_transform(blocks, cfg.transform, cfg.n_jobs)
+            if cfg.dct_truncate > 0:
+                coeffs, zeroed = truncate_coefficients(coeffs,
+                                                       cfg.dct_truncate)
+                stats.truncated_fraction = zeroed
+            sp.add(bytes_out=int(coeffs.nbytes))
         features = coeffs.T  # (N samples, M features)
 
         # Optional sampling (Alg. 2): k estimate + linearity flag.  The
@@ -194,23 +212,22 @@ class DPZCompressor:
         low_linearity = False
         shared_cov: np.ndarray | None = None
         if cfg.use_sampling:
-            t = time.perf_counter()
-            # Second-moment matrix computed once, shared between the
-            # probe's k refinement and the projection fit below.
-            shared_cov = (features.T @ features) / (features.shape[0] - 1)
-            report = sampling_probe(
-                features, tve=cfg.tve, subsets=cfg.sampling_subsets,
-                picks=cfg.sampling_picks, sampling_rate=cfg.sampling_rate,
-                orig_nbytes=stats.original_nbytes, cov=shared_cov,
-            )
-            stats.times["sampling"] = time.perf_counter() - t
+            with _stage(stats, "sampling", bytes_in=int(features.nbytes)):
+                # Second-moment matrix computed once, shared between the
+                # probe's k refinement and the projection fit below.
+                shared_cov = (features.T @ features) / (features.shape[0] - 1)
+                report = sampling_probe(
+                    features, tve=cfg.tve, subsets=cfg.sampling_subsets,
+                    picks=cfg.sampling_picks,
+                    sampling_rate=cfg.sampling_rate,
+                    orig_nbytes=stats.original_nbytes, cov=shared_cov,
+                )
             stats.sampling = report
             low_linearity = report.low_linearity
         elif cfg.standardize == "auto":
-            t = time.perf_counter()
-            _, _, low_linearity = linearity_probe(
-                features, sampling_rate=cfg.sampling_rate)
-            stats.times["sampling"] = time.perf_counter() - t
+            with _stage(stats, "sampling", bytes_in=int(features.nbytes)):
+                _, _, low_linearity = linearity_probe(
+                    features, sampling_rate=cfg.sampling_rate)
         if cfg.standardize == "always":
             standardize = True
         elif cfg.standardize == "never":
@@ -220,89 +237,105 @@ class DPZCompressor:
         stats.standardized = standardize
 
         # Stage 2: k-PCA.
-        t = time.perf_counter()
-        if cfg.use_sampling:
-            k = min(report.k_estimate, plan.m_blocks)
-            if standardize or shared_cov is None:
-                pca = PCA(n_components=k, solver="eigsh",
-                          standardize=standardize,
-                          center=False).fit(features)
+        with _stage(stats, "pca", bytes_in=int(features.nbytes),
+                    standardized=standardize) as sp:
+            if cfg.use_sampling:
+                k = min(report.k_estimate, plan.m_blocks)
+                if standardize or shared_cov is None:
+                    pca = PCA(n_components=k, solver="eigsh",
+                              standardize=standardize,
+                              center=False).fit(features)
+                else:
+                    pca = PCA.from_covariance(shared_cov, k)
+                curve = pca.tve_curve()
+                tve_at_k = float(curve[-1])
             else:
-                pca = PCA.from_covariance(shared_cov, k)
-            curve = pca.tve_curve()
-            tve_at_k = float(curve[-1])
-        else:
-            res = fit_kpca(
-                features, k_mode=cfg.k_mode, tve=cfg.tve,
-                knee_fit=cfg.knee_fit, fixed_k=cfg.fixed_k,
-                standardize=standardize,
-            )
-            pca, k, tve_at_k = res.pca, res.k, res.tve_at_k
-        # Round the basis to its stored (float32) precision *before*
-        # projecting, so encoder and decoder share one basis exactly.
-        comp32 = pca.components_[:k].astype(np.float32)
-        basis = comp32.astype(np.float64)
-        centered = features - pca.mean_
-        if pca.scale_ is not None:
-            centered = centered / pca.scale_
-        scores = centered @ basis.T
-        stats.times["pca"] = time.perf_counter() - t
+                res = fit_kpca(
+                    features, k_mode=cfg.k_mode, tve=cfg.tve,
+                    knee_fit=cfg.knee_fit, fixed_k=cfg.fixed_k,
+                    standardize=standardize,
+                )
+                pca, k, tve_at_k = res.pca, res.k, res.tve_at_k
+            # Round the basis to its stored (float32) precision *before*
+            # projecting, so encoder and decoder share one basis exactly.
+            comp32 = pca.components_[:k].astype(np.float32)
+            basis = comp32.astype(np.float64)
+            centered = features - pca.mean_
+            if pca.scale_ is not None:
+                centered = centered / pca.scale_
+            scores = centered @ basis.T
+            sp.add(k=k, bytes_out=int(scores.nbytes))
         stats.k, stats.tve_at_k = k, tve_at_k
 
         # Stage 3: quantization.  Scores live in normalized-data units,
         # so 'range' mode uses p directly and 'absolute' converts.
-        t = time.perf_counter()
-        p = cfg.p if cfg.p_mode == "range" else cfg.p / rng
-        # Standardization rescales features to unit variance, inflating
-        # score magnitudes far past the quantizer's fixed range; bring
-        # them back with a stored global divisor so stage 3 keeps its
-        # in-range mass (error scales by the same factor on inverse).
-        score_scale = 1.0
-        if standardize and scores.size:
-            spread = float(np.percentile(np.abs(scores), 99.0))
-            target = 0.9 * p * cfg.n_bins
-            if spread > target:
-                score_scale = spread / target
-        out_dtype = np.float64 if cfg.store_outliers_f64 else np.float32
-        q = quantize_scores(scores / score_scale, p, cfg.n_bins,
-                            outlier_dtype=out_dtype)
-        stats.times["quantize"] = time.perf_counter() - t
+        with _stage(stats, "quantize", bytes_in=int(scores.nbytes),
+                    n_bins=cfg.n_bins) as sp:
+            p = cfg.p if cfg.p_mode == "range" else cfg.p / rng
+            # Standardization rescales features to unit variance,
+            # inflating score magnitudes far past the quantizer's fixed
+            # range; bring them back with a stored global divisor so
+            # stage 3 keeps its in-range mass (error scales by the same
+            # factor on inverse).
+            score_scale = 1.0
+            if standardize and scores.size:
+                spread = float(np.percentile(np.abs(scores), 99.0))
+                target = 0.9 * p * cfg.n_bins
+                if spread > target:
+                    score_scale = spread / target
+            out_dtype = np.float64 if cfg.store_outliers_f64 else np.float32
+            q = quantize_scores(scores / score_scale, p, cfg.n_bins,
+                                outlier_dtype=out_dtype)
+            sp.add(bytes_out=int(q.indices.nbytes + q.outliers.nbytes),
+                   outlier_fraction=round(q.outlier_fraction, 6))
         stats.outlier_fraction = q.outlier_fraction
 
         # Lossless add-on + container.
-        t = time.perf_counter()
-        archive = DPZArchive(
-            shape=tuple(data.shape), dtype_tag=dtype_tag,
-            m_blocks=plan.m_blocks, n_points=plan.n_points, k=k, p=p,
-            n_bins=cfg.n_bins, index_bytes=cfg.index_bytes,
-            standardized=standardize, norm_offset=dmin, norm_scale=rng,
-            score_scale=score_scale, transform=cfg.transform,
-            outlier_dtype_tag="f8" if cfg.store_outliers_f64 else "f4",
-            components=comp32, mean=pca.mean_,
-            scale=pca.scale_, indices=q.indices, outliers=q.outliers,
-        )
-        # Optional strict pointwise bound (extension; see DPZConfig).
-        if cfg.max_error is not None:
-            t2 = time.perf_counter()
-            target = cfg.max_error * rng
-            if dtype_tag == "f4":
-                ulp = float(np.spacing(np.float32(np.max(np.abs(data)))))
-                if target > 2.0 * ulp:
-                    target -= ulp
-            recon = self._reconstruct(
-                archive, dequantize_scores(q) * score_scale, raw=True)
-            resid = data.astype(np.float64).reshape(-1) - recon.reshape(-1)
-            bad = np.flatnonzero(np.abs(resid) > target)
-            if bad.size:
-                bound_c = target / 2.0
-                archive.corr_bound = bound_c
-                archive.corr_indices = bad.astype(np.int64)
-                archive.corr_codes = lattice_quantize(resid[bad], bound_c)
-            stats.correction_fraction = bad.size / data.size
-            stats.times["correction"] = time.perf_counter() - t2
+        with _stage(stats, "encode",
+                    bytes_in=int(q.indices.nbytes + q.outliers.nbytes)) as sp:
+            archive = DPZArchive(
+                shape=tuple(data.shape), dtype_tag=dtype_tag,
+                m_blocks=plan.m_blocks, n_points=plan.n_points, k=k, p=p,
+                n_bins=cfg.n_bins, index_bytes=cfg.index_bytes,
+                standardized=standardize, norm_offset=dmin, norm_scale=rng,
+                score_scale=score_scale, transform=cfg.transform,
+                outlier_dtype_tag="f8" if cfg.store_outliers_f64 else "f4",
+                components=comp32, mean=pca.mean_,
+                scale=pca.scale_, indices=q.indices, outliers=q.outliers,
+            )
+            # Optional strict pointwise bound (extension; see DPZConfig).
+            if cfg.max_error is not None:
+                with _stage(stats, "correction",
+                            bytes_in=stats.original_nbytes):
+                    target = cfg.max_error * rng
+                    if dtype_tag == "f4":
+                        ulp = float(
+                            np.spacing(np.float32(np.max(np.abs(data)))))
+                        if target > 2.0 * ulp:
+                            target -= ulp
+                    recon = self._reconstruct(
+                        archive, dequantize_scores(q) * score_scale,
+                        raw=True)
+                    resid = (data.astype(np.float64).reshape(-1)
+                             - recon.reshape(-1))
+                    bad = np.flatnonzero(np.abs(resid) > target)
+                    if bad.size:
+                        bound_c = target / 2.0
+                        archive.corr_bound = bound_c
+                        archive.corr_indices = bad.astype(np.int64)
+                        archive.corr_codes = lattice_quantize(resid[bad],
+                                                              bound_c)
+                    stats.correction_fraction = bad.size / data.size
 
-        blob, sizes = serialize(archive, cfg.zlib_level)
-        stats.times["encode"] = time.perf_counter() - t
+            with span("dpz.serialize") as ssp:
+                blob, sizes = serialize(archive, cfg.zlib_level)
+                ssp.add(bytes_out=len(blob),
+                        sec_meta=sizes.meta, sec_components=sizes.components,
+                        sec_mean_scale=sizes.mean_scale,
+                        sec_indices=sizes.indices,
+                        sec_outliers=sizes.outliers,
+                        sec_corrections=sizes.corrections)
+            sp.add(bytes_out=len(blob))
 
         # Size accounting.
         stats.compressed_nbytes = len(blob)
@@ -335,21 +368,27 @@ class DPZCompressor:
         ``raw=True`` returns float64 before the output-dtype cast and
         skips corrections (used to *compute* them).
         """
-        basis = archive.components.astype(np.float64)
-        feats = scores @ basis
-        if archive.scale is not None:
-            feats = feats * archive.scale
-        feats = feats + archive.mean
+        with span("dpz.inverse_pca", bytes_in=int(scores.nbytes)) as sp:
+            basis = archive.components.astype(np.float64)
+            feats = scores @ basis
+            if archive.scale is not None:
+                feats = feats * archive.scale
+            feats = feats + archive.mean
+            sp.add(bytes_out=int(feats.nbytes))
         coeffs = feats.T  # (M, N)
-        blocks = inverse_transform(coeffs, archive.transform)
+        with span("dpz.inverse_transform", bytes_in=int(coeffs.nbytes),
+                  transform=archive.transform):
+            blocks = inverse_transform(coeffs, archive.transform)
         plan = DecompositionPlan(
             shape=archive.shape,
             total_values=int(np.prod(archive.shape)),
             m_blocks=archive.m_blocks,
             n_points=archive.n_points,
         )
-        out = reassemble(blocks, plan)
-        out = (out + 0.5) * archive.norm_scale + archive.norm_offset
+        with span("dpz.reassemble", bytes_in=int(blocks.nbytes)) as sp:
+            out = reassemble(blocks, plan)
+            out = (out + 0.5) * archive.norm_scale + archive.norm_offset
+            sp.add(bytes_out=int(out.nbytes))
         if raw:
             return out
         if corrections and archive.corr_indices is not None:
@@ -372,13 +411,18 @@ class DPZCompressor:
         calibrated for the full-``k`` reconstruction and is skipped for
         partial decodes.
         """
-        archive = deserialize(blob)
-        q = QuantizedScores(
-            indices=archive.indices, outliers=archive.outliers,
-            p=archive.p, n_bins=archive.n_bins,
-            shape=(archive.n_points, archive.k),
-        )
-        scores = dequantize_scores(q) * archive.score_scale
+        with span("dpz.deserialize", bytes_in=len(blob)):
+            archive = deserialize(blob)
+        with span("dpz.dequantize",
+                  bytes_in=int(archive.indices.nbytes
+                               + archive.outliers.nbytes)) as sp:
+            q = QuantizedScores(
+                indices=archive.indices, outliers=archive.outliers,
+                p=archive.p, n_bins=archive.n_bins,
+                shape=(archive.n_points, archive.k),
+            )
+            scores = dequantize_scores(q) * archive.score_scale
+            sp.add(bytes_out=int(scores.nbytes))
         if k is not None:
             if not 1 <= k <= archive.k:
                 raise DataShapeError(

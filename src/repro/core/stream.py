@@ -32,7 +32,7 @@ from repro.codecs.container import pack_sections, unpack_sections
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.codecs.zlibc import zlib_compress, zlib_decompress
 from repro.core.encode import TRANSFORMS
-from repro.errors import FormatError
+from repro.errors import CodecError, FormatError
 
 __all__ = ["DPZArchive", "SectionSizes", "serialize", "deserialize"]
 
@@ -159,9 +159,29 @@ def serialize(archive: DPZArchive,
 
 
 def deserialize(blob: bytes) -> DPZArchive:
-    """Parse a blob produced by :func:`serialize`."""
-    meta, comp, mean_scale, idx, outl, corr_pos, corr_val = \
-        unpack_sections(blob, _MAGIC, _VERSION)
+    """Parse a blob produced by :func:`serialize`.
+
+    Any corruption -- truncation mid-header, a bad zlib frame, section
+    sizes that disagree with the metadata -- raises
+    :class:`~repro.errors.FormatError`; low-level exceptions from the
+    parsing substrate never escape.
+    """
+    try:
+        return _deserialize(blob)
+    except FormatError:
+        raise
+    except (struct.error, IndexError, ValueError, KeyError, OverflowError,
+            CodecError) as exc:
+        raise FormatError(f"corrupt DPZ archive: {exc}") from exc
+
+
+def _deserialize(blob: bytes) -> DPZArchive:
+    sections = unpack_sections(blob, _MAGIC, _VERSION)
+    if len(sections) != 7:
+        raise FormatError(
+            f"DPZ archive must have 7 sections, found {len(sections)}"
+        )
+    meta, comp, mean_scale, idx, outl, corr_pos, corr_val = sections
     ndim, pos = decode_uvarint(meta, 0)
     shape = []
     for _ in range(ndim):

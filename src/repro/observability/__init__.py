@@ -1,0 +1,56 @@
+"""Stage-level observability: tracing, counters, trace emission.
+
+The subsystem the performance experiments stand on:
+
+* :class:`Tracer` / :func:`span` -- structured span events (stage
+  name, wall time, bytes in/out, metadata) with **zero overhead when
+  disabled**; threaded through ``DPZCompressor``, the SZ/ZFP
+  baselines, the Huffman/zlib codec layer and ``parallel_map``.
+* :func:`counter_add` / :func:`counters_snapshot` -- process-wide
+  counters of work done (bytes through zlib, symbols through Huffman,
+  chunks through the thread pool).
+* :func:`write_ndjson` / :func:`trace_summary` -- NDJSON trace files
+  (``dpz trace``) and the JSON digests ``benchmarks/run_bench.py``
+  stores in ``BENCH_*.json``.
+
+Typical use::
+
+    from repro.observability import Tracer, use_tracer, trace_summary
+
+    tracer = Tracer()
+    with use_tracer(tracer):
+        blob = repro.dpz_compress(field)
+    print(trace_summary(tracer, prefix="dpz."))
+"""
+
+from repro.observability.counters import (
+    counter_add,
+    counters_reset,
+    counters_snapshot,
+)
+from repro.observability.emit import spans_to_ndjson, trace_summary, write_ndjson
+from repro.observability.tracer import (
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+    use_tracer,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "span",
+    "get_tracer",
+    "set_tracer",
+    "use_tracer",
+    "tracing_enabled",
+    "counter_add",
+    "counters_snapshot",
+    "counters_reset",
+    "spans_to_ndjson",
+    "write_ndjson",
+    "trace_summary",
+]

@@ -1,0 +1,78 @@
+"""Render traces and counters as NDJSON / JSON.
+
+NDJSON (one JSON object per line) is the trace interchange format: it
+streams, ``grep``s, and loads into any dataframe library.  A trace file
+contains one ``{"event": "meta", ...}`` header line, one
+``{"event": "span", ...}`` line per finished span (in completion
+order), and a final ``{"event": "counters", ...}`` line when any
+counters fired.
+
+:func:`trace_summary` folds a tracer's spans into the JSON shape the
+bench harness stores in ``BENCH_*.json``: per-stage seconds and shares
+plus total bytes moved.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable
+
+from repro.observability.counters import counters_snapshot
+from repro.observability.tracer import Span, Tracer
+
+__all__ = ["spans_to_ndjson", "write_ndjson", "trace_summary"]
+
+
+def spans_to_ndjson(spans: Iterable[Span], *,
+                    meta: dict | None = None,
+                    counters: dict[str, int] | None = None) -> str:
+    """Serialize spans (plus optional header/counters) as NDJSON text."""
+    lines = []
+    header = {"event": "meta", "format": "repro-trace", "version": 1}
+    if meta:
+        header.update(meta)
+    lines.append(json.dumps(header, sort_keys=True))
+    for s in spans:
+        rec = {"event": "span"}
+        rec.update(s.to_dict())
+        lines.append(json.dumps(rec, sort_keys=True))
+    if counters is None:
+        counters = counters_snapshot()
+    if counters:
+        lines.append(json.dumps(
+            {"event": "counters", **counters}, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def write_ndjson(tracer: Tracer, fh_or_path: IO[str] | str, *,
+                 meta: dict | None = None) -> int:
+    """Write a tracer's spans as NDJSON; returns the span count."""
+    spans = tracer.spans
+    text = spans_to_ndjson(spans, meta=meta)
+    if hasattr(fh_or_path, "write"):
+        fh_or_path.write(text)
+    else:
+        with open(fh_or_path, "w") as fh:
+            fh.write(text)
+    return len(spans)
+
+
+def trace_summary(tracer: Tracer, prefix: str = "") -> dict:
+    """JSON-ready digest of one traced run.
+
+    Returns ``{"stage_times_s", "stage_shares", "total_s",
+    "bytes_in", "bytes_out", "n_spans"}`` where the stage maps cover
+    top-level spans matching ``prefix`` (see
+    :meth:`Tracer.stage_times`).
+    """
+    times = tracer.stage_times(prefix)
+    shares = tracer.stage_shares(prefix)
+    spans = [s for s in tracer.spans if s.name.startswith(prefix)]
+    return {
+        "stage_times_s": {k: round(v, 6) for k, v in times.items()},
+        "stage_shares": {k: round(v, 4) for k, v in shares.items()},
+        "total_s": round(sum(times.values()), 6),
+        "bytes_in": sum(s.bytes_in or 0 for s in spans),
+        "bytes_out": sum(s.bytes_out or 0 for s in spans),
+        "n_spans": len(spans),
+    }

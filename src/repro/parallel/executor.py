@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
 from repro.errors import ConfigError
+from repro.observability import counter_add, span, tracing_enabled
 
 __all__ = ["ParallelConfig", "parallel_map", "resolve_jobs"]
 
@@ -68,8 +69,31 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
     """
     config = config or ParallelConfig()
     workers = resolve_jobs(config.n_jobs)
-    if workers <= 1 or len(items) < config.min_chunk:
-        return [fn(item) for item in items]
-    workers = min(workers, len(items))
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(fn, items))
+    serial = workers <= 1 or len(items) < config.min_chunk
+    if not tracing_enabled():
+        # Untraced fast path: zero instrumentation overhead.
+        if serial:
+            return [fn(item) for item in items]
+        workers = min(workers, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+
+    # Traced path: one parent span for the map, one child span per
+    # chunk (emitted from the worker thread), so thread scaling and
+    # per-chunk skew are visible in the trace.
+    counter_add("parallel.maps")
+    counter_add("parallel.chunks", len(items))
+
+    def run_chunk(pair):
+        i, item = pair
+        with span("parallel.chunk", index=i):
+            return fn(item)
+
+    with span("parallel.map", n_items=len(items),
+              workers=1 if serial else min(workers, len(items)),
+              serial=serial):
+        if serial:
+            return [run_chunk(p) for p in enumerate(items)]
+        workers = min(workers, len(items))
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_chunk, enumerate(items)))

@@ -1,0 +1,152 @@
+"""Corrupt-input robustness: parsers must fail with FormatError only.
+
+Strategy: build small but fully featured archives (DPZ single-field and
+multi-field bundles), then
+
+* truncate at **every** byte boundary -- any strict prefix must raise
+  :class:`FormatError` (the container length-prefixes every section, so
+  no prefix can parse cleanly), and
+* flip bytes at sampled positions -- the parser may reject
+  (``FormatError``) or, for payload bits the checksums do not cover,
+  still parse; it must never leak ``struct.error`` / ``IndexError`` /
+  ``zlib.error`` or any other low-level exception.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.archive import FieldArchive
+from repro.codecs.container import pack_sections
+from repro.core.compressor import DPZCompressor
+from repro.core.config import DPZ_L
+from repro.core.stream import deserialize
+from repro.errors import FormatError
+
+
+@pytest.fixture(scope="module")
+def dpz_blob():
+    rng = np.random.default_rng(4242)
+    x = np.linspace(0, 2 * np.pi, 24)
+    field = (np.sin(x)[:, None] * np.cos(2 * x)[None, :]
+             + 0.01 * rng.standard_normal((24, 24))).astype(np.float32)
+    # max_error exercises the correction sections (5-6) too.
+    cfg = dataclasses.replace(DPZ_L, max_error=1e-3)
+    return DPZCompressor(cfg).compress(field)
+
+
+@pytest.fixture(scope="module")
+def bundle_blob():
+    rng = np.random.default_rng(777)
+    ar = FieldArchive()
+    ar.add("a", rng.standard_normal((12, 12)).astype(np.float32), codec="raw")
+    ar.add("b", rng.standard_normal(64).astype(np.float64), codec="raw")
+    return ar.to_bytes()
+
+
+def _boundary_buckets(n: int) -> list[int]:
+    """Every truncation point for small blobs; stratified cover for big.
+
+    Always includes the first 64 cut points (header territory), the
+    last 64 (tail section), and an even sweep in between, so every
+    region of the frame -- magic, version, section-length varints,
+    section interiors -- gets cut somewhere.
+    """
+    if n <= 1024:
+        return list(range(n))
+    pts = set(range(64)) | set(range(n - 64, n))
+    pts |= set(int(i) for i in np.linspace(0, n - 1, 512))
+    return sorted(pts)
+
+
+def test_dpz_truncation_every_boundary(dpz_blob):
+    for cut in _boundary_buckets(len(dpz_blob)):
+        with pytest.raises(FormatError):
+            deserialize(dpz_blob[:cut])
+
+
+def test_dpz_decompress_rejects_truncation(dpz_blob):
+    # The public entry point wraps the same parser.
+    for cut in (0, 1, 3, len(dpz_blob) // 2, len(dpz_blob) - 1):
+        with pytest.raises(FormatError):
+            DPZCompressor.decompress(dpz_blob[:cut])
+
+
+def test_dpz_byteflip_never_leaks_low_level_errors(dpz_blob):
+    rng = np.random.default_rng(31337)
+    positions = rng.choice(len(dpz_blob), size=min(256, len(dpz_blob)),
+                           replace=False)
+    for pos in positions:
+        for flip in (0x01, 0x80, 0xFF):
+            bad = bytearray(dpz_blob)
+            bad[pos] ^= flip
+            try:
+                deserialize(bytes(bad))
+            except FormatError:
+                pass  # rejected cleanly -- the contract
+            # Benign flips (e.g. in a float that stays finite) may parse.
+
+
+def test_bundle_truncation_every_boundary(bundle_blob):
+    for cut in _boundary_buckets(len(bundle_blob)):
+        with pytest.raises(FormatError):
+            FieldArchive.from_bytes(bundle_blob[:cut])
+
+
+def test_bundle_byteflip_never_leaks_low_level_errors(bundle_blob):
+    rng = np.random.default_rng(2718)
+    positions = rng.choice(len(bundle_blob), size=min(256, len(bundle_blob)),
+                           replace=False)
+    for pos in positions:
+        bad = bytearray(bundle_blob)
+        bad[pos] ^= 0xFF
+        try:
+            ar = FieldArchive.from_bytes(bytes(bad))
+            for name in ar.names():  # lazy payloads: force decode too
+                try:
+                    ar.get(name)
+                except FormatError:
+                    pass
+        except FormatError:
+            pass
+
+
+def test_bundle_malformed_entry_headers():
+    magic, version = b"DPZA", 1
+    # nlen runs past the section end.
+    with pytest.raises(FormatError):
+        FieldArchive.from_bytes(pack_sections(magic, version, [b"\x05ab"]))
+    # codec tag runs past the section end.
+    with pytest.raises(FormatError):
+        FieldArchive.from_bytes(
+            pack_sections(magic, version, [b"\x01a\x09raw"]))
+    # unknown codec name.
+    with pytest.raises(FormatError):
+        FieldArchive.from_bytes(
+            pack_sections(magic, version, [b"\x01a\x03xyz\x00"]))
+    # non-UTF8 field name.
+    with pytest.raises(FormatError):
+        FieldArchive.from_bytes(
+            pack_sections(magic, version, [b"\x02\xff\xfe\x03raw\x00"]))
+
+
+def test_wrong_magic_and_version(dpz_blob, bundle_blob):
+    with pytest.raises(FormatError):
+        deserialize(b"NOPE" + dpz_blob[4:])
+    with pytest.raises(FormatError):
+        FieldArchive.from_bytes(b"NOPE" + bundle_blob[4:])
+    with pytest.raises(FormatError):
+        deserialize(b"")
+    with pytest.raises(FormatError):
+        FieldArchive.from_bytes(b"")
+
+
+def test_dpz_wrong_section_count(dpz_blob):
+    # A frame with too few sections must be rejected up front.
+    from repro.codecs.container import unpack_sections
+    sections = unpack_sections(dpz_blob, b"DPZ1", 1)
+    with pytest.raises(FormatError):
+        deserialize(pack_sections(b"DPZ1", 1, sections[:5]))

@@ -1,0 +1,126 @@
+"""NDJSON emitter, trace summaries, counters, and the traced pipeline."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import DPZCompressor
+from repro.core.config import DPZ_L
+from repro.observability import (
+    Tracer,
+    counter_add,
+    counters_reset,
+    counters_snapshot,
+    spans_to_ndjson,
+    trace_summary,
+    use_tracer,
+    write_ndjson,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_counters():
+    counters_reset()
+    yield
+    counters_reset()
+
+
+@pytest.fixture
+def traced_run(smooth_2d):
+    tracer = Tracer()
+    comp = DPZCompressor(DPZ_L)
+    with use_tracer(tracer):
+        blob = comp.compress(smooth_2d.astype(np.float32))
+        DPZCompressor.decompress(blob)
+    return tracer, blob
+
+
+def test_ndjson_structure(traced_run, tmp_path):
+    tracer, _ = traced_run
+    path = tmp_path / "trace.ndjson"
+    n = write_ndjson(tracer, str(path), meta={"dataset": "smooth_2d"})
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert lines[0]["event"] == "meta"
+    assert lines[0]["format"] == "repro-trace"
+    assert lines[0]["dataset"] == "smooth_2d"
+    span_lines = [rec for rec in lines if rec["event"] == "span"]
+    assert len(span_lines) == n > 0
+    for rec in span_lines:
+        assert {"name", "t0", "dur", "span_id", "depth"} <= set(rec)
+    # Compression emits zlib counters, so a counters trailer appears.
+    assert lines[-1]["event"] == "counters"
+    assert lines[-1]["zlib.compress.calls"] >= 1
+
+
+def test_ndjson_covers_all_dpz_stages(traced_run):
+    tracer, _ = traced_run
+    names = {s.name for s in tracer.spans}
+    for stage in ("dpz.decompose", "dpz.dct", "dpz.pca", "dpz.quantize",
+                  "dpz.encode", "dpz.serialize", "dpz.deserialize",
+                  "dpz.dequantize", "dpz.inverse_pca",
+                  "dpz.inverse_transform", "dpz.reassemble"):
+        assert stage in names, f"missing span {stage}"
+
+
+def test_serialize_span_carries_section_sizes(traced_run):
+    tracer, blob = traced_run
+    ser = next(s for s in tracer.spans if s.name == "dpz.serialize")
+    assert ser.bytes_out == len(blob)
+    sections = {k: v for k, v in ser.meta.items() if k.startswith("sec_")}
+    assert sections and all(v >= 0 for v in sections.values())
+    # Sections plus frame overhead account for the blob.
+    assert sum(sections.values()) <= len(blob)
+
+
+def test_trace_summary_shape(traced_run):
+    tracer, _ = traced_run
+    summary = trace_summary(tracer, prefix="dpz.")
+    assert summary["n_spans"] > 0
+    assert summary["total_s"] > 0
+    assert abs(sum(summary["stage_shares"].values()) - 1.0) < 0.01
+    assert set(summary["stage_times_s"]) == set(summary["stage_shares"])
+
+
+def test_spans_to_ndjson_empty_tracer():
+    text = spans_to_ndjson([], meta=None, counters={})
+    lines = text.splitlines()
+    assert len(lines) == 1
+    assert json.loads(lines[0])["event"] == "meta"
+
+
+def test_counters_gated_on_tracing():
+    counter_add("x.calls")  # no tracer installed: dropped
+    assert counters_snapshot() == {}
+    with use_tracer(Tracer()):
+        counter_add("x.calls")
+        counter_add("x.bytes", 100)
+        counter_add("x.bytes", 23)
+    snap = counters_snapshot()
+    assert snap == {"x.bytes": 123, "x.calls": 1}
+    counters_reset()
+    assert counters_snapshot() == {}
+
+
+def test_tracing_does_not_change_output(smooth_2d):
+    data = smooth_2d.astype(np.float32)
+    comp = DPZCompressor(DPZ_L)
+    plain = comp.compress(data)
+    with use_tracer(Tracer()):
+        traced = comp.compress(data)
+    assert plain == traced
+
+
+def test_stats_times_match_span_names(smooth_2d):
+    # DPZStats.times (the fig9 input) and the trace must agree on the
+    # stage vocabulary.
+    tracer = Tracer()
+    comp = DPZCompressor(DPZ_L)
+    with use_tracer(tracer):
+        _, stats = comp.compress_with_stats(smooth_2d.astype(np.float32))
+    span_stages = {s.name.removeprefix("dpz.")
+                   for s in tracer.spans if s.name.startswith("dpz.")}
+    for stage in stats.times:
+        assert stage in span_stages

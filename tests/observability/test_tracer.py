@@ -1,0 +1,149 @@
+"""Unit tests for the tracing core: spans, nesting, and the off switch."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.observability import (
+    Tracer,
+    get_tracer,
+    set_tracer,
+    span,
+    tracing_enabled,
+    use_tracer,
+)
+from repro.observability.tracer import _NULL_SPAN
+
+
+def test_disabled_span_is_shared_null_singleton():
+    assert get_tracer() is None
+    assert not tracing_enabled()
+    # The disabled path allocates nothing: same object every call.
+    s1 = span("anything", bytes_in=123, foo="bar")
+    s2 = span("other")
+    assert s1 is s2 is _NULL_SPAN
+    with s1 as sp:
+        sp.add(k=5)  # no-op, must not raise
+
+
+def test_use_tracer_installs_and_restores():
+    tracer = Tracer()
+    assert get_tracer() is None
+    with use_tracer(tracer):
+        assert get_tracer() is tracer
+        assert tracing_enabled()
+        with span("work", bytes_in=10) as sp:
+            sp.add(bytes_out=4, note="hi")
+    assert get_tracer() is None
+    assert len(tracer.spans) == 1
+    sp = tracer.spans[0]
+    assert sp.name == "work"
+    assert sp.bytes_in == 10 and sp.bytes_out == 4
+    assert sp.meta["note"] == "hi"
+    assert sp.dur >= 0.0
+
+
+def test_use_tracer_restores_on_exception():
+    with pytest.raises(RuntimeError):
+        with use_tracer(Tracer()):
+            raise RuntimeError("boom")
+    assert get_tracer() is None
+
+
+def test_set_tracer_returns_previous():
+    t1, t2 = Tracer(), Tracer()
+    assert set_tracer(t1) is None
+    assert set_tracer(t2) is t1
+    assert set_tracer(None) is t2
+    assert get_tracer() is None
+
+
+def test_span_nesting_depth_and_parent():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("outer"):
+            with span("inner"):
+                with span("leaf"):
+                    pass
+            with span("inner2"):
+                pass
+    by_name = {s.name: s for s in tracer.spans}
+    assert by_name["outer"].depth == 0
+    assert by_name["outer"].parent_id is None
+    assert by_name["inner"].depth == 1
+    assert by_name["inner"].parent_id == by_name["outer"].span_id
+    assert by_name["leaf"].depth == 2
+    assert by_name["leaf"].parent_id == by_name["inner"].span_id
+    assert by_name["inner2"].parent_id == by_name["outer"].span_id
+
+
+def test_span_records_duration():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("sleep"):
+            time.sleep(0.01)
+    assert tracer.spans[0].dur >= 0.009
+
+
+def test_stage_times_top_level_only():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("dpz.encode"):
+            with span("dpz.correction"):
+                pass
+        with span("dpz.pca"):
+            pass
+        with span("huffman.encode"):
+            pass
+    times = tracer.stage_times(prefix="dpz.")
+    # Nested dpz.correction must not appear at top level.
+    assert set(times) == {"dpz.encode", "dpz.pca"}
+    shares = tracer.stage_shares(prefix="dpz.")
+    assert abs(sum(shares.values()) - 1.0) < 1e-9
+    all_times = tracer.stage_times(prefix="dpz.", top_level_only=False)
+    assert "dpz.correction" in all_times
+
+
+def test_clear():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("a"):
+            pass
+    assert tracer.spans
+    tracer.clear()
+    assert tracer.spans == []
+
+
+def test_thread_safety_of_collection():
+    tracer = Tracer()
+    n_threads, per_thread = 8, 50
+
+    def work():
+        for i in range(per_thread):
+            with span("t.work", index=i):
+                pass
+
+    with use_tracer(tracer):
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    assert len(tracer.spans) == n_threads * per_thread
+    ids = [s.span_id for s in tracer.spans]
+    assert len(set(ids)) == len(ids), "span ids must be unique across threads"
+
+
+def test_throughput_property():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("x", bytes_in=1_000_000):
+            time.sleep(0.005)
+    sp = tracer.spans[0]
+    assert sp.throughput_mb_s is not None
+    assert sp.throughput_mb_s > 0
+    d = sp.to_dict()
+    assert d["name"] == "x" and d["bytes_in"] == 1_000_000

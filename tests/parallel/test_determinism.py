@@ -1,0 +1,70 @@
+"""Parallelism must not change results.
+
+DPZ chunks work row-wise and reassembles in task order, so archives
+must be byte-identical whatever ``n_jobs`` is -- serial (1), a fixed
+thread count (2), or auto-sized (0).  Anything else would make
+compression irreproducible across machines.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import DPZCompressor
+from repro.core.config import DPZ_L, DPZ_S
+from repro.observability import Tracer, use_tracer
+from repro.parallel.executor import ParallelConfig, parallel_map
+
+
+@pytest.fixture(scope="module")
+def field():
+    rng = np.random.default_rng(20260805)
+    x = np.linspace(0, 6 * np.pi, 48)
+    base = np.sin(x)[:, None, None] * np.cos(x)[None, :, None] * x[None, None, :]
+    return (base + 0.05 * rng.standard_normal((48, 48, 48))).astype(np.float32)
+
+
+@pytest.mark.parametrize("config", [DPZ_L, DPZ_S], ids=["dpz-l", "dpz-s"])
+def test_dpz_archive_identical_across_n_jobs(field, config):
+    blobs = {}
+    for n_jobs in (1, 2, 0):
+        cfg = dataclasses.replace(config, n_jobs=n_jobs)
+        blobs[n_jobs] = DPZCompressor(cfg).compress(field)
+    assert blobs[1] == blobs[2], "n_jobs=2 produced a different archive"
+    assert blobs[1] == blobs[0], "n_jobs=0 (auto) produced a different archive"
+
+
+def test_dpz_archive_identical_under_tracing(field):
+    cfg = dataclasses.replace(DPZ_L, n_jobs=2)
+    comp = DPZCompressor(cfg)
+    plain = comp.compress(field)
+    with use_tracer(Tracer()):
+        traced = comp.compress(field)
+    assert plain == traced, "tracing changed the compressed output"
+
+
+@pytest.mark.parametrize("n_jobs", [1, 2, 0])
+def test_parallel_map_matches_serial(n_jobs):
+    rng = np.random.default_rng(99)
+    items = [rng.standard_normal(64) for _ in range(17)]
+    expected = [float(np.sum(np.sort(a))) for a in items]
+    got = parallel_map(lambda a: float(np.sum(np.sort(a))), items,
+                       config=ParallelConfig(n_jobs=n_jobs, min_chunk=1))
+    assert got == expected
+
+
+def test_parallel_map_preserves_order_with_uneven_work():
+    # Later items finish first when earlier ones are heavier; results
+    # must still come back in task order.
+    def work(n):
+        acc = 0
+        for i in range(n * 1000):
+            acc += i
+        return n
+
+    items = list(range(20, 0, -1))
+    got = parallel_map(work, items, config=ParallelConfig(n_jobs=4, min_chunk=1))
+    assert got == items

@@ -78,3 +78,38 @@ def test_sampling_flag(tmp_path, field_file):
     comp = tmp_path / "s.dpz"
     assert main(["compress", str(field_file), str(comp),
                  "--sampling", "--nines", "4"]) == 0
+
+
+def test_trace_command_to_file(tmp_path, field_file, capsys):
+    import json
+
+    out = tmp_path / "trace.ndjson"
+    assert main(["trace", str(field_file), "--out", str(out)]) == 0
+    printed = capsys.readouterr().out
+    assert "spans ->" in printed and "dpz.pca" in printed
+    lines = [json.loads(line) for line in out.read_text().splitlines()]
+    assert lines[0]["event"] == "meta"
+    assert lines[0]["dataset"] == str(field_file)
+    names = {rec["name"] for rec in lines if rec["event"] == "span"}
+    # Both directions of the pipeline appear in one trace.
+    assert "dpz.pca" in names and "dpz.serialize" in names
+    assert "dpz.deserialize" in names and "dpz.reassemble" in names
+
+
+def test_trace_command_registry_dataset_stdout(capsys):
+    import json
+
+    assert main(["trace", "CLDLOW", "--size", "small"]) == 0
+    lines = [json.loads(line)
+             for line in capsys.readouterr().out.splitlines()]
+    meta = lines[0]
+    assert meta["event"] == "meta" and meta["dataset"] == "CLDLOW"
+    assert meta["cr"] > 1.0
+    assert any(rec["event"] == "span" for rec in lines)
+
+
+def test_trace_command_parser():
+    parser = build_parser()
+    args = parser.parse_args(["trace", "Isotropic", "--scheme", "s",
+                              "--nines", "5", "--out", "t.ndjson"])
+    assert args.command == "trace" and args.scheme == "s"
