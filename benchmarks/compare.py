@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Bench-regression gate: diff two ``BENCH_*.json`` files.
+
+Compares a candidate bench record against a committed baseline,
+per field:
+
+* **compression ratio** -- a relative *drop* beyond ``--cr-tol`` fails
+  (CR is machine-independent, so the default tolerance is tight);
+* **throughput** (compress and decompress MB/s) -- a relative drop
+  beyond ``--throughput-tol`` fails.  Wall-clock numbers shift with the
+  host, so the default is loose; CI pins a machine-drift-tolerant value
+  and relies on the trajectory of same-machine reruns for precision;
+* **stage shares** -- any stage whose share of compress time *grows* by
+  more than ``--share-tol`` (absolute) fails, catching a stage-level
+  regression even when total time hides it.
+
+Exit status is 0 when everything is within tolerance, 1 otherwise, so
+CI can gate on it directly.  ``--run`` benches the current tree first
+(writing ``--out``) and compares that, which is the one-command local
+workflow::
+
+    PYTHONPATH=src python benchmarks/compare.py BENCH_pr1.json --run
+    PYTHONPATH=src python benchmarks/compare.py BENCH_pr1.json BENCH_pr2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+__all__ = ["compare", "main"]
+
+
+def _check(failures: list[str], ok: bool, msg: str) -> str:
+    if not ok:
+        failures.append(msg)
+    return "FAIL" if not ok else "ok"
+
+
+def compare(baseline: dict, candidate: dict, *, cr_tol: float = 0.02,
+            throughput_tol: float = 0.5, share_tol: float = 0.10,
+            log=print) -> list[str]:
+    """Diff two bench records; returns the list of failure messages."""
+    failures: list[str] = []
+    base_fields = baseline.get("fields", {})
+    cand_fields = candidate.get("fields", {})
+    missing = sorted(set(base_fields) - set(cand_fields))
+    if missing:
+        failures.append(f"fields missing from candidate: {missing}")
+    for name in sorted(set(base_fields) & set(cand_fields)):
+        b, c = base_fields[name], cand_fields[name]
+        log(f"[compare] {name}")
+
+        rel = (c["cr"] - b["cr"]) / b["cr"]
+        st = _check(failures, rel >= -cr_tol,
+                    f"{name}: cr dropped {-rel:.1%} (> {cr_tol:.1%}): "
+                    f"{b['cr']} -> {c['cr']}")
+        log(f"[compare]   cr          {b['cr']:>10.3f} -> {c['cr']:>10.3f}"
+            f"  ({rel:+.2%})  {st}")
+
+        for key in ("throughput_mb_s", "decompress_mb_s"):
+            rel = (c[key] - b[key]) / b[key]
+            st = _check(failures, rel >= -throughput_tol,
+                        f"{name}: {key} dropped {-rel:.1%} "
+                        f"(> {throughput_tol:.1%}): {b[key]} -> {c[key]}")
+            log(f"[compare]   {key:<12}{b[key]:>10.1f} -> {c[key]:>10.1f}"
+                f"  ({rel:+.2%})  {st}")
+
+        for stage, b_share in sorted(b.get("stage_shares", {}).items()):
+            c_share = c.get("stage_shares", {}).get(stage, 0.0)
+            delta = c_share - b_share
+            st = _check(failures, delta <= share_tol,
+                        f"{name}: stage '{stage}' share grew "
+                        f"{delta:+.3f} (> +{share_tol}): "
+                        f"{b_share:.3f} -> {c_share:.3f}")
+            log(f"[compare]   share {stage:<14}{b_share:>7.3f} -> "
+                f"{c_share:>7.3f}  ({delta:+.3f})  {st}")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline", help="committed BENCH_*.json to compare against")
+    ap.add_argument("candidate", nargs="?", default=None,
+                    help="fresh BENCH_*.json (omit with --run)")
+    ap.add_argument("--run", action="store_true",
+                    help="bench the current tree into --out, then compare")
+    ap.add_argument("--out", default=str(
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr2.json"),
+        help="where --run writes the fresh bench record")
+    ap.add_argument("--smoke", action="store_true",
+                    help="pass --smoke through to the bench run")
+    ap.add_argument("--cr-tol", type=float, default=0.02,
+                    help="max relative CR drop (default 0.02)")
+    ap.add_argument("--throughput-tol", type=float, default=0.5,
+                    help="max relative throughput drop (default 0.5; "
+                         "loose because wall clock tracks the host)")
+    ap.add_argument("--share-tol", type=float, default=0.10,
+                    help="max absolute stage-share growth (default 0.10)")
+    args = ap.parse_args(argv)
+
+    baseline = json.loads(pathlib.Path(args.baseline).read_text())
+    if args.run:
+        sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+        from run_bench import run
+        candidate = run(smoke=args.smoke, out=args.out)
+    elif args.candidate:
+        candidate = json.loads(pathlib.Path(args.candidate).read_text())
+    else:
+        ap.error("either a candidate file or --run is required")
+
+    failures = compare(baseline, candidate, cr_tol=args.cr_tol,
+                       throughput_tol=args.throughput_tol,
+                       share_tol=args.share_tol)
+    if failures:
+        print(f"[compare] REGRESSION: {len(failures)} check(s) failed")
+        for msg in failures:
+            print(f"[compare]   - {msg}")
+        return 1
+    print("[compare] all checks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,9 +28,13 @@ _BYTE_WEIGHTS = (1 << np.arange(7, -1, -1)).astype(np.uint8)
 class BitWriter:
     """Accumulates bits MSB-first and renders them as :class:`bytes`.
 
-    The writer buffers whole bits in a growable ``uint8`` array holding
-    one bit per element (simple and fast to extend with NumPy), and
-    packs to bytes only once in :meth:`getvalue`.
+    Scalar writes pack straight into a Python-int accumulator and flush
+    whole bytes into a :class:`bytearray` -- no per-call array
+    allocation on the hot path (the ZFP-style coder calls
+    :meth:`write` per value).  Vectorized writes expand to a bit array
+    once and pack with ``np.packbits``, threading the sub-byte
+    remainder through the same accumulator so scalar and array writes
+    interleave freely.
 
     Example
     -------
@@ -41,10 +45,12 @@ class BitWriter:
     b'\\xb0'
     """
 
-    __slots__ = ("_chunks", "_nbits")
+    __slots__ = ("_buf", "_acc", "_accbits", "_nbits")
 
     def __init__(self) -> None:
-        self._chunks: list[np.ndarray] = []
+        self._buf = bytearray()
+        self._acc = 0        # pending sub-byte bits, MSB-aligned low
+        self._accbits = 0    # number of pending bits, always < 8
         self._nbits = 0
 
     def __len__(self) -> int:
@@ -64,14 +70,49 @@ class BitWriter:
         value = int(value)
         if value < 0 or (nbits < 64 and value >> nbits):
             raise CodecError(f"value {value} does not fit in {nbits} bits")
-        shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
-        bits = ((value >> shifts) & 1).astype(np.uint8)
-        self._chunks.append(bits)
+        if nbits >= 64:
+            value &= (1 << nbits) - 1
+        acc = (self._acc << nbits) | value
+        total = self._accbits + nbits
+        rem = total & 7
+        if total >= 8:
+            self._buf += (acc >> rem).to_bytes(total >> 3, "big")
+            acc &= (1 << rem) - 1
+        self._acc = acc
+        self._accbits = rem
         self._nbits += nbits
 
     def write_bit(self, bit: int) -> None:
         """Append a single bit (0 or 1)."""
         self.write(bit & 1, 1)
+
+    def _append_bit_array(self, bits: np.ndarray) -> None:
+        """Append a 0/1 ``uint8`` array, honoring pending sub-byte bits."""
+        nb = int(bits.size)
+        if nb == 0:
+            return
+        a = self._accbits
+        total = a + nb
+        nfull = total >> 3
+        rem = total & 7
+        if nfull:
+            head = np.empty(nfull * 8, dtype=np.uint8)
+            acc = self._acc
+            for i in range(a):
+                head[i] = (acc >> (a - 1 - i)) & 1
+            head[a:] = bits[: nfull * 8 - a]
+            self._buf += np.packbits(head).tobytes()
+            acc = 0
+            for b in bits[nfull * 8 - a :].tolist():
+                acc = (acc << 1) | b
+            self._acc = acc
+        else:
+            acc = self._acc
+            for b in bits.tolist():
+                acc = (acc << 1) | b
+            self._acc = acc
+        self._accbits = rem
+        self._nbits += nb
 
     def write_bits_array(self, values: np.ndarray, nbits: int) -> None:
         """Append every element of ``values`` as an ``nbits``-wide field.
@@ -86,21 +127,22 @@ class BitWriter:
             raise CodecError(f"some values do not fit in {nbits} bits")
         shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
         bits = ((values.reshape(-1, 1) >> shifts) & np.uint64(1)).astype(np.uint8)
-        self._chunks.append(bits.reshape(-1))
-        self._nbits += nbits * values.size
+        self._append_bit_array(bits.reshape(-1))
 
     def write_bitplane(self, plane: np.ndarray) -> None:
         """Append a raw 0/1 plane (one bit per element, in array order)."""
         plane = np.ascontiguousarray(plane, dtype=np.uint8).reshape(-1)
-        self._chunks.append(plane & 1)
-        self._nbits += plane.size
+        self._append_bit_array(plane & 1)
 
     def getvalue(self) -> bytes:
-        """Pack all written bits into bytes (zero-padded at the tail)."""
-        if not self._chunks:
-            return b""
-        bits = np.concatenate(self._chunks)
-        return np.packbits(bits).tobytes()
+        """Pack all written bits into bytes (zero-padded at the tail).
+
+        Non-destructive: the writer can keep appending afterwards.
+        """
+        if self._accbits:
+            tail = (self._acc << (8 - self._accbits)) & 0xFF
+            return bytes(self._buf) + bytes((tail,))
+        return bytes(self._buf)
 
 
 class BitReader:

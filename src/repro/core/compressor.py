@@ -253,14 +253,16 @@ class DPZCompressor:
                 res = fit_kpca(
                     features, k_mode=cfg.k_mode, tve=cfg.tve,
                     knee_fit=cfg.knee_fit, fixed_k=cfg.fixed_k,
-                    standardize=standardize,
+                    standardize=standardize, compute_scores=False,
                 )
                 pca, k, tve_at_k = res.pca, res.k, res.tve_at_k
             # Round the basis to its stored (float32) precision *before*
             # projecting, so encoder and decoder share one basis exactly.
             comp32 = pca.components_[:k].astype(np.float32)
             basis = comp32.astype(np.float64)
-            centered = features - pca.mean_
+            # (x - 0.0) is bitwise x: skip centering on the all-zero
+            # mean of the uncentered default.
+            centered = features - pca.mean_ if pca.mean_.any() else features
             if pca.scale_ is not None:
                 centered = centered / pca.scale_
             scores = centered @ basis.T

@@ -112,7 +112,7 @@ def decompose(data: np.ndarray,
     """
     data = np.asarray(data)
     plan = plan_decomposition(data.shape, max_ratio)
-    flat = data.reshape(-1).astype(np.float64)
+    flat = data.reshape(-1).astype(np.float64, copy=False)
     if plan.pad:
         flat = np.concatenate([flat, np.full(plan.pad, flat[-1])])
     return flat.reshape(plan.m_blocks, plan.n_points), plan

@@ -23,12 +23,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse.linalg
 
 from repro.analysis.knee import detect_knee
-from repro.errors import ConfigError
-from repro.transforms.pca import PCA
+from repro.errors import ConfigError, DataShapeError
+from repro.transforms.pca import PCA, _fix_signs
 
 __all__ = ["KPCAResult", "fit_kpca"]
+
+#: Below this feature count a single dense ``eigh`` (full spectrum) is
+#: cheaper than a ``eigvalsh`` curve pass plus a truncated extraction.
+_DENSE_FEATURES = 256
 
 
 @dataclass
@@ -50,7 +55,7 @@ class KPCAResult:
 
     pca: PCA
     k: int
-    scores: np.ndarray
+    scores: np.ndarray | None
     tve_at_k: float
 
     def reconstruct(self, scores: np.ndarray | None = None) -> np.ndarray:
@@ -63,11 +68,35 @@ class KPCAResult:
         return self.pca.inverse_transform(y)
 
 
+def _select_k(curve: np.ndarray, k_mode: str, tve: float, knee_fit: str,
+              fixed_k: int | None) -> int:
+    """Pick ``k`` from a cumulative-TVE curve (Alg. 1 selection step).
+
+    Mirrors :meth:`PCA.components_for_tve` for ``'tve'`` (including its
+    validation and epsilon) so selection is identical whichever path
+    computed the curve.
+    """
+    if k_mode == "tve":
+        if not 0.0 < tve <= 1.0:
+            raise ConfigError(f"tve must be in (0, 1], got {tve}")
+        hits = np.flatnonzero(curve >= tve - 1e-12)
+        return int(hits[0]) + 1 if hits.size else int(curve.size)
+    if k_mode == "knee":
+        return detect_knee(curve, method=knee_fit).k
+    if k_mode == "fixed":
+        if fixed_k is None:
+            raise ConfigError("k_mode='fixed' requires fixed_k")
+        return max(1, min(int(fixed_k), curve.size))
+    raise ConfigError(f"unknown k_mode {k_mode!r}")
+
+
 def fit_kpca(features: np.ndarray, *, k_mode: str = "tve",
              tve: float = 0.999, knee_fit: str = "1d",
              fixed_k: int | None = None,
              standardize: bool = False,
-             center: bool = False) -> KPCAResult:
+             center: bool = False,
+             cov: np.ndarray | None = None,
+             compute_scores: bool = True) -> KPCAResult:
     """Fit PCA over DCT-domain features and select ``k`` (Alg. 1).
 
     Parameters
@@ -84,19 +113,86 @@ def fit_kpca(features: np.ndarray, *, k_mode: str = "tve",
         here) so component scores stay symmetric about zero, which is
         what stage 3's symmetric quantizer assumes; see
         :class:`repro.transforms.pca.PCA` for the discussion.
+    cov:
+        Optional precomputed ``(M, M)`` second-moment matrix of the
+        *raw* features (``X.T @ X / (n - 1)``), e.g. shared with the
+        sampling probe.  Only consulted on the uncentered,
+        unstandardized path; ignored otherwise.
+    compute_scores:
+        When False, skip the projection and return ``scores=None``
+        (the compressor reprojects against the float32-rounded basis
+        anyway, so the full-precision projection here is wasted work).
+
+    Notes
+    -----
+    On the default DPZ configuration (uncentered, ``M <= N``) this
+    avoids the generic :meth:`PCA.fit`: the covariance is computed once
+    and reused for both TVE selection and component extraction, and for
+    wide feature matrices (``M > 256``) the TVE curve comes from an
+    eigenvalues-only ``eigvalsh`` while only the leading-``k``
+    eigenvectors are extracted (dense slice or Lanczos ``eigsh``) --
+    the paper's "k-PCA time complexity can be reduced" claim
+    (Section IV-D1).  The dense ``M <= 256`` path is arithmetically
+    identical to the pre-existing full fit, bit for bit.
     """
-    pca = PCA(standardize=standardize, center=center).fit(features)
-    curve = pca.tve_curve()
-    if k_mode == "tve":
-        k = pca.components_for_tve(tve)
-    elif k_mode == "knee":
-        k = detect_knee(curve, method=knee_fit).k
-    elif k_mode == "fixed":
-        if fixed_k is None:
-            raise ConfigError("k_mode='fixed' requires fixed_k")
-        k = max(1, min(int(fixed_k), curve.size))
+    X = np.asarray(features, dtype=np.float64)
+    if X.ndim != 2:
+        raise DataShapeError(f"PCA expects a 2-D matrix, got {X.ndim}-D")
+    n, f = X.shape
+    if n < 2:
+        raise DataShapeError("PCA needs at least 2 samples")
+
+    if center or f > n:
+        # Centered (or feature-heavy SVD) request: the generic solver
+        # already does the right thing; nothing to share or truncate.
+        pca = PCA(standardize=standardize, center=center).fit(X)
+        curve = pca.tve_curve()
+        k = _select_k(curve, k_mode, tve, knee_fit, fixed_k)
+        scores = pca.transform(X, k=k) if compute_scores else None
+        return KPCAResult(pca=pca, k=k, scores=scores,
+                          tve_at_k=float(curve[k - 1]))
+
+    # Uncentered fast path (the DPZ hot path).
+    if standardize:
+        std = np.sqrt((X * X).sum(axis=0) / (n - 1))
+        std[std == 0] = 1.0
+        Xs = X / std
+        cov = None  # a caller-supplied cov describes the raw features
     else:
-        raise ConfigError(f"unknown k_mode {k_mode!r}")
-    scores = pca.transform(features, k=k)
+        std = None
+        Xs = X
+    if cov is None:
+        cov = (Xs.T @ Xs) / (n - 1)
+    total = max(float(np.trace(cov)), 0.0)
+    denom = total if total > 0 else 1.0
+
+    if f <= _DENSE_FEATURES:
+        # One dense solve, full spectrum kept (tests and diagnostics
+        # read the discarded tail of explained_variance_).
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        order = np.argsort(eigvals)[::-1]
+        eigvals = np.maximum(eigvals[order], 0.0)
+        components = _fix_signs(np.ascontiguousarray(eigvecs[:, order].T))
+        curve = np.cumsum(eigvals) / denom
+        k = _select_k(curve, k_mode, tve, knee_fit, fixed_k)
+    else:
+        # Eigenvalues-only pass for the TVE curve, then extract just
+        # the leading-k eigenvectors.
+        evals_full = np.maximum(np.linalg.eigvalsh(cov)[::-1], 0.0)
+        curve = np.cumsum(evals_full) / denom
+        k = _select_k(curve, k_mode, tve, knee_fit, fixed_k)
+        if k >= f - 1 or k > f // 4:
+            eigvals, eigvecs = np.linalg.eigh(cov)
+            order = np.argsort(eigvals)[::-1][:k]
+        else:
+            eigvals, eigvecs = scipy.sparse.linalg.eigsh(cov, k=k,
+                                                         which="LA")
+            order = np.argsort(eigvals)[::-1]
+        eigvals = np.maximum(eigvals[order], 0.0)
+        components = _fix_signs(np.ascontiguousarray(eigvecs[:, order].T))
+
+    pca = PCA.from_spectrum(components, eigvals, total_variance=total,
+                            scale=std, standardize=standardize)
+    scores = pca.transform(X, k=k) if compute_scores else None
     return KPCAResult(pca=pca, k=k, scores=scores,
                       tve_at_k=float(curve[k - 1]))

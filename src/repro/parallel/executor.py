@@ -10,6 +10,15 @@ A thin, dependency-free layer over :mod:`concurrent.futures`:
   real speedup without the serialization cost of processes;
 * ``n_jobs=0`` or ``None`` auto-sizes to ``os.cpu_count()``.
 
+The thread pool is process-lifetime: the first parallel call creates
+it, later calls reuse it, and it is lazily grown (replaced) when a call
+asks for more workers than the current pool has.  Spinning up threads
+per stage call costs ~100us each; a pipeline with several parallel
+stages per field pays that once instead of per stage.  Pool reuse is
+observable through the ``parallel.pool.created`` / ``parallel.pool.reused``
+counters.  Calls made *from inside* a pool worker (nested parallelism)
+use a transient pool so they cannot deadlock waiting on their own pool.
+
 Results are always returned in task order regardless of completion
 order, so callers can concatenate chunk outputs directly.
 """
@@ -17,6 +26,7 @@ order, so callers can concatenate chunk outputs directly.
 from __future__ import annotations
 
 import os
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
@@ -24,7 +34,7 @@ from typing import Callable, Sequence, TypeVar
 from repro.errors import ConfigError
 from repro.observability import counter_add, span, tracing_enabled
 
-__all__ = ["ParallelConfig", "parallel_map", "resolve_jobs"]
+__all__ = ["ParallelConfig", "parallel_map", "resolve_jobs", "shutdown_pool"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -60,6 +70,53 @@ def resolve_jobs(n_jobs: int | None) -> int:
     return n_jobs
 
 
+# -- process-lifetime pool ---------------------------------------------------
+
+_pool: ThreadPoolExecutor | None = None
+_pool_workers = 0
+_pool_lock = threading.Lock()
+_in_worker = threading.local()
+
+
+def _worker_init() -> None:
+    _in_worker.flag = True
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (mainly for tests / interpreter exit)."""
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is not None:
+            _pool.shutdown(wait=True)
+        _pool = None
+        _pool_workers = 0
+
+
+def _get_pool(workers: int) -> ThreadPoolExecutor:
+    """Return the shared pool, growing it by replacement if too small.
+
+    The pool only ever grows: a stage that needs 2 workers happily runs
+    on an 8-worker pool, but not vice versa.  Replacement shuts the old
+    pool down without waiting -- its threads finish their (already
+    completed, since calls are serialized by the caller) work and exit.
+    """
+    global _pool, _pool_workers
+    with _pool_lock:
+        if _pool is None or _pool_workers < workers:
+            if _pool is not None:
+                _pool.shutdown(wait=False)
+            _pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-parallel",
+                initializer=_worker_init,
+            )
+            _pool_workers = workers
+            counter_add("parallel.pool.created")
+        else:
+            counter_add("parallel.pool.reused")
+        return _pool
+
+
 def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
                  config: ParallelConfig | None = None) -> list[R]:
     """Apply ``fn`` to every item, possibly in parallel; ordered results.
@@ -68,15 +125,27 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
     encountered in task order), matching serial semantics.
     """
     config = config or ParallelConfig()
-    workers = resolve_jobs(config.n_jobs)
+    # Cap by the number of items *before* deciding serial: n_jobs=0 on a
+    # 2-item input is a 2-worker job, and with min_chunk=4 it runs
+    # serially even on a many-core box.
+    workers = min(resolve_jobs(config.n_jobs), max(len(items), 1))
     serial = workers <= 1 or len(items) < config.min_chunk
+
+    nested = getattr(_in_worker, "flag", False)
+    if nested and not serial:
+        counter_add("parallel.pool.nested")
+
+    def submit(pool: ThreadPoolExecutor, task, payload) -> list:
+        return list(pool.map(task, payload))
+
     if not tracing_enabled():
         # Untraced fast path: zero instrumentation overhead.
         if serial:
             return [fn(item) for item in items]
-        workers = min(workers, len(items))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(fn, items))
+        if nested:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return submit(pool, fn, items)
+        return submit(_get_pool(workers), fn, items)
 
     # Traced path: one parent span for the map, one child span per
     # chunk (emitted from the worker thread), so thread scaling and
@@ -90,10 +159,10 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
             return fn(item)
 
     with span("parallel.map", n_items=len(items),
-              workers=1 if serial else min(workers, len(items)),
-              serial=serial):
+              workers=1 if serial else workers, serial=serial):
         if serial:
             return [run_chunk(p) for p in enumerate(items)]
-        workers = min(workers, len(items))
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_chunk, enumerate(items)))
+        if nested:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                return submit(pool, run_chunk, enumerate(items))
+        return submit(_get_pool(workers), run_chunk, enumerate(items))

@@ -113,7 +113,8 @@ class PCA:
         if n < 2:
             raise DataShapeError("PCA needs at least 2 samples")
         self.mean_ = X.mean(axis=0) if self.center else np.zeros(f)
-        Xc = X - self.mean_ if self.center else X.astype(np.float64, copy=True)
+        # Uncentered: no copy -- every use below is read-only.
+        Xc = X - self.mean_ if self.center else X
         if self.standardize:
             # With centering this is the sample std; without, the RMS
             # (second moment) -- the natural scale in either case.
@@ -210,6 +211,35 @@ class PCA:
         pca.explained_variance_ratio_ = pca.explained_variance_ / denom
         return pca
 
+    @classmethod
+    def from_spectrum(cls, components: np.ndarray,
+                      explained_variance: np.ndarray, *,
+                      total_variance: float,
+                      mean: np.ndarray | None = None,
+                      scale: np.ndarray | None = None,
+                      standardize: bool = False,
+                      center: bool = False) -> "PCA":
+        """Assemble a fitted PCA from an already-solved eigensystem.
+
+        Used by :func:`repro.core.kpca.fit_kpca`'s fast path, which
+        solves the eigenproblem itself (full or truncated spectrum) so
+        the covariance can be shared with the selection step.  The
+        attribute bookkeeping here matches :meth:`fit` exactly.
+        """
+        components = np.asarray(components, dtype=np.float64)
+        f = components.shape[1]
+        pca = cls(n_components=components.shape[0], standardize=standardize,
+                  center=center)
+        pca.mean_ = np.zeros(f) if mean is None else mean
+        pca.scale_ = scale
+        pca.components_ = components
+        pca.explained_variance_ = np.asarray(explained_variance,
+                                             dtype=np.float64)
+        pca.total_variance_ = max(float(total_variance), 0.0)
+        denom = pca.total_variance_ if pca.total_variance_ > 0 else 1.0
+        pca.explained_variance_ratio_ = pca.explained_variance_ / denom
+        return pca
+
     def _require_fitted(self) -> None:
         if self.components_ is None:
             raise ConfigError("PCA instance is not fitted; call fit() first")
@@ -224,7 +254,9 @@ class PCA:
         """
         self._require_fitted()
         X = np.asarray(X, dtype=np.float64)
-        Xc = X - self.mean_
+        # (x - 0.0) is bitwise x, so the all-zero mean of the uncentered
+        # path can skip the subtraction (and its full-size temporary).
+        Xc = X - self.mean_ if self.mean_.any() else X
         if self.scale_ is not None:
             Xc = Xc / self.scale_
         comp = self.components_ if k is None else self.components_[:k]

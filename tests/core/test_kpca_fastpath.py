@@ -1,0 +1,195 @@
+"""Differential tests for the fit_kpca fast path (PR-2 tentpole).
+
+The uncentered dense path (``M <= 256``) must be *bit-identical* to the
+pre-rewrite implementation (a generic full :meth:`PCA.fit` followed by
+selection and projection); the truncated wide path (``M > 256``) must
+agree functionally (same k, same leading subspace, orthonormal basis).
+A whole-archive test pins the compressor output byte-for-byte against a
+reference pipeline running the old fit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.compressor as compressor_mod
+from repro.analysis.knee import detect_knee
+from repro.core.compressor import DPZCompressor
+from repro.core.config import DPZ_L, DPZ_S
+from repro.core.kpca import KPCAResult, fit_kpca
+from repro.errors import ConfigError, DataShapeError
+from repro.transforms.pca import PCA
+
+
+def _fit_kpca_reference(features, *, k_mode="tve", tve=0.999, knee_fit="1d",
+                        fixed_k=None, standardize=False, center=False,
+                        **_ignored):
+    """Verbatim pre-rewrite fit_kpca (generic full fit + selection)."""
+    pca = PCA(standardize=standardize, center=center).fit(features)
+    curve = pca.tve_curve()
+    if k_mode == "tve":
+        k = pca.components_for_tve(tve)
+    elif k_mode == "knee":
+        k = detect_knee(curve, method=knee_fit).k
+    elif k_mode == "fixed":
+        if fixed_k is None:
+            raise ConfigError("k_mode='fixed' requires fixed_k")
+        k = max(1, min(int(fixed_k), curve.size))
+    else:
+        raise ConfigError(f"unknown k_mode {k_mode!r}")
+    scores = pca.transform(features, k=k)
+    return KPCAResult(pca=pca, k=k, scores=scores,
+                      tve_at_k=float(curve[k - 1]))
+
+
+def _smoothish(rng, n, f):
+    """Features with a decaying spectrum (DCT-like energy compaction)."""
+    base = rng.standard_normal((n, f))
+    decay = 1.0 / (1.0 + np.arange(f)) ** 1.5
+    return base * decay
+
+
+@pytest.mark.parametrize("standardize", [False, True])
+@pytest.mark.parametrize("kwargs", [
+    {"k_mode": "tve", "tve": 0.999},
+    {"k_mode": "tve", "tve": 0.99},
+    {"k_mode": "knee"},
+    {"k_mode": "fixed", "fixed_k": 7},
+    {"k_mode": "fixed", "fixed_k": 10_000},  # clamps to f
+], ids=["tve3", "tve2", "knee", "fixed7", "fixed-clamp"])
+def test_dense_path_bit_identical(standardize, kwargs):
+    rng = np.random.default_rng(11)
+    X = _smoothish(rng, 300, 48)
+    got = fit_kpca(X, standardize=standardize, **kwargs)
+    ref = _fit_kpca_reference(X, standardize=standardize, **kwargs)
+    assert got.k == ref.k
+    assert got.tve_at_k == ref.tve_at_k
+    np.testing.assert_array_equal(got.pca.components_, ref.pca.components_)
+    np.testing.assert_array_equal(got.pca.explained_variance_,
+                                  ref.pca.explained_variance_)
+    assert got.pca.total_variance_ == ref.pca.total_variance_
+    np.testing.assert_array_equal(got.scores, ref.scores)
+    if standardize:
+        np.testing.assert_array_equal(got.pca.scale_, ref.pca.scale_)
+    # The fast dense path keeps the full spectrum (diagnostics read the
+    # discarded tail).
+    assert got.pca.explained_variance_.size == X.shape[1]
+
+
+def test_dense_path_full_spectrum_tail():
+    rng = np.random.default_rng(12)
+    X = _smoothish(rng, 120, 16)
+    res = fit_kpca(X, k_mode="fixed", fixed_k=2)
+    discarded = res.pca.explained_variance_[2:]
+    assert discarded.size == 14 and np.all(discarded >= 0)
+
+
+def test_wide_path_truncated_extraction():
+    """M > 256: eigvalsh curve + leading-k extraction, same answer."""
+    rng = np.random.default_rng(13)
+    X = _smoothish(rng, 800, 300)
+    got = fit_kpca(X, tve=0.999)
+    ref = _fit_kpca_reference(X, tve=0.999)
+    assert got.k == ref.k
+    # Only the leading k are extracted on the wide path.
+    assert got.pca.components_.shape == (got.k, 300)
+    assert got.pca.explained_variance_.size == got.k
+    assert got.tve_at_k == pytest.approx(ref.tve_at_k, rel=1e-10)
+    np.testing.assert_allclose(got.pca.components_,
+                               ref.pca.components_[:got.k], atol=1e-8)
+    np.testing.assert_allclose(got.scores, ref.scores, atol=1e-8)
+    # Orthonormal basis.
+    gram = got.pca.components_ @ got.pca.components_.T
+    np.testing.assert_allclose(gram, np.eye(got.k), atol=1e-10)
+
+
+def test_wide_path_forces_eigsh_branch():
+    """Small k on a wide matrix takes the Lanczos branch (k <= f // 4)."""
+    rng = np.random.default_rng(14)
+    n, f = 700, 280
+    base = rng.standard_normal((n, f))
+    decay = np.concatenate([np.full(5, 10.0), np.full(f - 5, 1e-3)])
+    X = base * decay
+    res = fit_kpca(X, tve=0.999)
+    assert res.k <= f // 4  # precondition for the eigsh branch
+    ref = _fit_kpca_reference(X, tve=0.999)
+    assert res.k == ref.k
+    np.testing.assert_allclose(res.pca.components_,
+                               ref.pca.components_[:res.k], atol=1e-7)
+
+
+def test_cov_reuse_bit_identical():
+    rng = np.random.default_rng(15)
+    X = _smoothish(rng, 200, 32)
+    cov = (X.T @ X) / (X.shape[0] - 1)
+    a = fit_kpca(X)
+    b = fit_kpca(X, cov=cov)
+    assert a.k == b.k
+    np.testing.assert_array_equal(a.pca.components_, b.pca.components_)
+    np.testing.assert_array_equal(a.scores, b.scores)
+
+
+def test_compute_scores_false():
+    rng = np.random.default_rng(16)
+    X = _smoothish(rng, 150, 24)
+    full = fit_kpca(X)
+    lean = fit_kpca(X, compute_scores=False)
+    assert lean.scores is None
+    assert lean.k == full.k
+    np.testing.assert_array_equal(lean.pca.components_, full.pca.components_)
+
+
+def test_centered_fallback_bit_identical():
+    rng = np.random.default_rng(17)
+    X = _smoothish(rng, 100, 20) + 3.0
+    got = fit_kpca(X, center=True)
+    ref = _fit_kpca_reference(X, center=True)
+    assert got.k == ref.k
+    np.testing.assert_array_equal(got.pca.components_, ref.pca.components_)
+    np.testing.assert_array_equal(got.pca.mean_, ref.pca.mean_)
+    np.testing.assert_array_equal(got.scores, ref.scores)
+
+
+def test_wide_samples_fallback_svd():
+    """f > n routes through the generic SVD fit, identical to before."""
+    rng = np.random.default_rng(18)
+    X = _smoothish(rng, 30, 64)
+    got = fit_kpca(X)
+    ref = _fit_kpca_reference(X)
+    assert got.k == ref.k
+    np.testing.assert_array_equal(got.pca.components_, ref.pca.components_)
+    np.testing.assert_array_equal(got.scores, ref.scores)
+
+
+def test_validation_errors_preserved():
+    rng = np.random.default_rng(19)
+    X = _smoothish(rng, 50, 8)
+    with pytest.raises(ConfigError, match="unknown k_mode"):
+        fit_kpca(X, k_mode="bogus")
+    with pytest.raises(ConfigError, match="requires fixed_k"):
+        fit_kpca(X, k_mode="fixed")
+    with pytest.raises(ConfigError, match="tve must be in"):
+        fit_kpca(X, tve=1.5)
+    with pytest.raises(DataShapeError, match="2-D"):
+        fit_kpca(X[None])
+    with pytest.raises(DataShapeError, match="at least 2 samples"):
+        fit_kpca(X[:1])
+
+
+# -- whole-archive byte identity --------------------------------------------
+
+
+@pytest.mark.parametrize("cfg", [DPZ_L, DPZ_S], ids=["DPZ_L", "DPZ_S"])
+def test_archive_bytes_identical_to_reference_fit(cfg, monkeypatch):
+    """Compressing with the old fit_kpca yields the same archive bytes."""
+    rng = np.random.default_rng(20)
+    x = np.linspace(0, 6.0, 48)
+    field = (np.sin(x)[:, None] * np.cos(2 * x)[None, :]
+             + 0.05 * rng.standard_normal((48, 48))).astype(np.float32)
+    blob_new = DPZCompressor(cfg).compress(field)
+    monkeypatch.setattr(compressor_mod, "fit_kpca", _fit_kpca_reference)
+    blob_ref = DPZCompressor(cfg).compress(field)
+    assert blob_new == blob_ref
+    recon = DPZCompressor.decompress(blob_new)
+    assert recon.shape == field.shape and recon.dtype == field.dtype

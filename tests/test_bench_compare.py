@@ -1,0 +1,107 @@
+"""Tests for the bench-regression gate (``benchmarks/compare.py``)."""
+
+from __future__ import annotations
+
+import copy
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent
+                       / "benchmarks"))
+
+from compare import compare, main  # noqa: E402
+
+
+def _record(cr=10.0, thr=50.0, dec=200.0, shares=None):
+    return {
+        "fields": {
+            "Isotropic": {
+                "cr": cr,
+                "throughput_mb_s": thr,
+                "decompress_mb_s": dec,
+                "stage_shares": shares or {"dpz.pca": 0.6, "dpz.encode": 0.2},
+            }
+        }
+    }
+
+
+def _quiet(*_a, **_k):
+    pass
+
+
+def test_identical_records_pass():
+    base = _record()
+    assert compare(base, copy.deepcopy(base), log=_quiet) == []
+
+
+def test_improvements_pass():
+    base = _record()
+    better = _record(cr=12.0, thr=80.0, dec=300.0,
+                     shares={"dpz.pca": 0.4, "dpz.encode": 0.2})
+    assert compare(base, better, log=_quiet) == []
+
+
+def test_cr_drop_beyond_tolerance_fails():
+    base = _record(cr=10.0)
+    worse = _record(cr=9.5)  # -5%
+    failures = compare(base, worse, cr_tol=0.02, log=_quiet)
+    assert len(failures) == 1 and "cr dropped" in failures[0]
+    # Within tolerance: fine.
+    assert compare(base, _record(cr=9.9), cr_tol=0.02, log=_quiet) == []
+
+
+def test_throughput_collapse_fails():
+    base = _record(thr=50.0)
+    worse = _record(thr=20.0)  # -60%
+    failures = compare(base, worse, throughput_tol=0.5, log=_quiet)
+    assert len(failures) == 1 and "throughput_mb_s" in failures[0]
+
+
+def test_stage_share_growth_fails():
+    base = _record()
+    worse = _record(shares={"dpz.pca": 0.75, "dpz.encode": 0.2})  # +0.15
+    failures = compare(base, worse, share_tol=0.10, log=_quiet)
+    assert len(failures) == 1 and "dpz.pca" in failures[0]
+
+
+def test_missing_field_fails():
+    base = _record()
+    failures = compare(base, {"fields": {}}, log=_quiet)
+    assert failures and "missing" in failures[0]
+
+
+@pytest.mark.parametrize("worse,code", [
+    (_record(), 0),
+    (_record(cr=5.0), 1),
+])
+def test_main_exit_codes(tmp_path, capsys, worse, code):
+    b = tmp_path / "base.json"
+    c = tmp_path / "cand.json"
+    b.write_text(json.dumps(_record()))
+    c.write_text(json.dumps(worse))
+    assert main([str(b), str(c)]) == code
+    out = capsys.readouterr().out
+    if code:
+        assert "REGRESSION" in out
+    else:
+        assert "within tolerance" in out
+
+
+def test_main_requires_candidate_or_run(tmp_path):
+    b = tmp_path / "base.json"
+    b.write_text(json.dumps(_record()))
+    with pytest.raises(SystemExit):
+        main([str(b)])
+
+
+def test_committed_baseline_parses_with_current_gate():
+    """The in-repo BENCH files stay consumable by compare()."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    base = json.loads((root / "BENCH_pr1.json").read_text())
+    cand = json.loads((root / "BENCH_pr2.json").read_text())
+    failures = compare(base, cand, throughput_tol=0.75, share_tol=0.15,
+                       log=_quiet)
+    assert failures == []
