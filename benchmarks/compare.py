@@ -12,15 +12,21 @@ per field:
   and relies on the trajectory of same-machine reruns for precision;
 * **stage shares** -- any stage whose share of compress time *grows* by
   more than ``--share-tol`` (absolute) fails, catching a stage-level
-  regression even when total time hides it.
+  regression even when total time hides it;
+* **chunk latency** -- when both records embed a metric-registry
+  snapshot with a ``parallel.chunk.seconds`` histogram, its p50/p95
+  may not grow by more than ``--chunk-latency-tol`` (relative).  The
+  quantiles come from fixed log-scale buckets, so they are comparable
+  across runs; records predating the snapshot (BENCH_pr1/pr2) skip
+  this check silently.
 
 Exit status is 0 when everything is within tolerance, 1 otherwise, so
 CI can gate on it directly.  ``--run`` benches the current tree first
 (writing ``--out``) and compares that, which is the one-command local
 workflow::
 
-    PYTHONPATH=src python benchmarks/compare.py BENCH_pr1.json --run
-    PYTHONPATH=src python benchmarks/compare.py BENCH_pr1.json BENCH_pr2.json
+    PYTHONPATH=src python benchmarks/compare.py BENCH_pr2.json --run
+    PYTHONPATH=src python benchmarks/compare.py BENCH_pr2.json BENCH_pr3.json
 """
 
 from __future__ import annotations
@@ -39,8 +45,35 @@ def _check(failures: list[str], ok: bool, msg: str) -> str:
     return "FAIL" if not ok else "ok"
 
 
+def _chunk_latency_gate(failures: list[str], baseline: dict,
+                        candidate: dict, tol: float, log) -> None:
+    """p50/p95 gate on the embedded ``parallel.chunk.seconds`` histogram.
+
+    Applies only when *both* records carry the histogram with observed
+    samples; older baselines (or runs where nothing went parallel) skip
+    silently so the gate stays usable across the whole trajectory.
+    """
+    def hist(rec: dict) -> dict:
+        return (rec.get("metrics", {}).get("histograms", {})
+                .get("parallel.chunk.seconds", {}))
+
+    b, c = hist(baseline), hist(candidate)
+    if not b.get("count") or not c.get("count"):
+        return
+    log("[compare] chunk latency (parallel.chunk.seconds)")
+    for q in ("p50", "p95"):
+        bv, cv = float(b[q]), float(c[q])
+        rel = (cv - bv) / bv if bv > 0 else 0.0
+        st = _check(failures, rel <= tol,
+                    f"chunk latency {q} grew {rel:.1%} (> {tol:.1%}): "
+                    f"{bv * 1e3:.3f} -> {cv * 1e3:.3f} ms")
+        log(f"[compare]   {q:<12}{bv * 1e3:>10.3f} -> {cv * 1e3:>10.3f} ms"
+            f"  ({rel:+.2%})  {st}")
+
+
 def compare(baseline: dict, candidate: dict, *, cr_tol: float = 0.02,
             throughput_tol: float = 0.5, share_tol: float = 0.10,
+            chunk_latency_tol: float = 1.0,
             log=print) -> list[str]:
     """Diff two bench records; returns the list of failure messages."""
     failures: list[str] = []
@@ -77,6 +110,8 @@ def compare(baseline: dict, candidate: dict, *, cr_tol: float = 0.02,
                         f"{b_share:.3f} -> {c_share:.3f}")
             log(f"[compare]   share {stage:<14}{b_share:>7.3f} -> "
                 f"{c_share:>7.3f}  ({delta:+.3f})  {st}")
+    _chunk_latency_gate(failures, baseline, candidate,
+                        chunk_latency_tol, log)
     return failures
 
 
@@ -88,7 +123,7 @@ def main(argv=None) -> int:
     ap.add_argument("--run", action="store_true",
                     help="bench the current tree into --out, then compare")
     ap.add_argument("--out", default=str(
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr2.json"),
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr3.json"),
         help="where --run writes the fresh bench record")
     ap.add_argument("--smoke", action="store_true",
                     help="pass --smoke through to the bench run")
@@ -99,6 +134,10 @@ def main(argv=None) -> int:
                          "loose because wall clock tracks the host)")
     ap.add_argument("--share-tol", type=float, default=0.10,
                     help="max absolute stage-share growth (default 0.10)")
+    ap.add_argument("--chunk-latency-tol", type=float, default=1.0,
+                    help="max relative p50/p95 chunk-latency growth "
+                         "(default 1.0 = 2x; loose because per-chunk "
+                         "wall clock tracks host load)")
     args = ap.parse_args(argv)
 
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
@@ -113,7 +152,8 @@ def main(argv=None) -> int:
 
     failures = compare(baseline, candidate, cr_tol=args.cr_tol,
                        throughput_tol=args.throughput_tol,
-                       share_tol=args.share_tol)
+                       share_tol=args.share_tol,
+                       chunk_latency_tol=args.chunk_latency_tol)
     if failures:
         print(f"[compare] REGRESSION: {len(failures)} check(s) failed")
         for msg in failures:

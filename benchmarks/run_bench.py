@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf-trajectory bench harness: writes ``BENCH_pr2.json``.
+"""Perf-trajectory bench harness: writes ``BENCH_pr3.json``.
 
 Measures, for one field of each of the paper's three dataset families
 (turbulence / climate / cosmology):
@@ -22,6 +22,14 @@ compare against: re-run after a perf change and diff the numbers with
 decode micro-benchmark (vectorized vs. reference scalar decoder on a
 1M-symbol seeded stream).
 
+The record additionally embeds a full **metric-registry snapshot**
+(``"metrics"``) from one untimed, quality-telemetry-on, ``n_jobs=2``
+compress+decompress of the isotropic field.  The timed repeats above
+stay quality-off so throughput numbers remain comparable across the
+trajectory; the snapshot pass exists so the gate can check
+histogram-derived chunk-latency quantiles (``parallel.chunk.seconds``
+p50/p95) and so every bench record carries a quality data point.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
@@ -42,13 +50,18 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402
 
+from dataclasses import replace  # noqa: E402
+
 from repro.core.compressor import DPZCompressor  # noqa: E402
 from repro.core.config import DPZ_L  # noqa: E402
 from repro.datasets.registry import get_dataset, get_spec  # noqa: E402
 from repro.observability import (  # noqa: E402
     Tracer,
     counters_reset,
+    metrics_reset,
+    metrics_snapshot,
     trace_summary,
+    use_quality,
     use_tracer,
 )
 
@@ -109,6 +122,28 @@ def bench_field(name: str, size: str, repeats: int) -> dict:
         "stage_shares": summary_c["stage_shares"],
         "decompress_stage_shares": summary_d["stage_shares"],
     }
+
+
+def capture_metrics_snapshot(size: str) -> dict:
+    """One untimed, fully-instrumented run; returns the registry snapshot.
+
+    Runs quality telemetry on and ``n_jobs=2`` (the DPZ_L default of 1
+    bypasses ``parallel_map`` entirely, so the chunk-latency histogram
+    would stay empty).  Output is n_jobs-deterministic, so this pass
+    measures the same pipeline the timed repeats ran.
+    """
+    data = get_dataset("Isotropic", size)
+    comp = DPZCompressor(replace(DPZ_L, n_jobs=2))
+    counters_reset()
+    metrics_reset()
+    with use_tracer(Tracer()), use_quality():
+        blob, stats = comp.compress_with_stats(data)
+        recon = DPZCompressor.decompress(blob)
+    assert recon.shape == data.shape
+    snap = metrics_snapshot()
+    snap["snapshot_field"] = "Isotropic"
+    snap["snapshot_cr"] = round(stats.cr, 4)
+    return snap
 
 
 def measure_tracing_overhead(size: str, repeats: int) -> dict:
@@ -212,7 +247,7 @@ def run(fields=DEFAULT_FIELDS, *, size: str = "small", repeats: int = 3,
         # to trip the CI regression gate on a one-off scheduler stall.
         repeats = 2
     result: dict = {
-        "bench": "pr2-hotpath",
+        "bench": "pr3-observability",
         "size": size,
         "repeats": repeats,
         "smoke": smoke,
@@ -228,6 +263,17 @@ def run(fields=DEFAULT_FIELDS, *, size: str = "small", repeats: int = 3,
         print(f"[bench]   CR {f['cr']:.2f}x  "
               f"compress {f['throughput_mb_s']:.1f} MB/s  "
               f"decompress {f['decompress_mb_s']:.1f} MB/s", flush=True)
+    print("[bench] metrics snapshot pass (quality on, n_jobs=2) ...",
+          flush=True)
+    result["metrics"] = capture_metrics_snapshot(size)
+    chunk = result["metrics"]["histograms"].get("parallel.chunk.seconds", {})
+    if chunk:
+        print(f"[bench]   chunk latency p50 {chunk['p50'] * 1e3:.2f} ms  "
+              f"p95 {chunk['p95'] * 1e3:.2f} ms  "
+              f"({chunk['count']} chunks)", flush=True)
+    psnr = result["metrics"]["gauges"].get("quality.psnr_db")
+    if psnr is not None:
+        print(f"[bench]   quality PSNR {psnr:.2f} dB", flush=True)
     if not smoke:
         print("[bench] tracing overhead ...", flush=True)
         result["tracing_overhead"] = measure_tracing_overhead(
@@ -258,7 +304,7 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="single repeat, skip the overhead study (CI)")
     ap.add_argument("--out", default=str(
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr2.json"))
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr3.json"))
     args = ap.parse_args(argv)
     run(args.fields, size=args.size, repeats=args.repeats,
         smoke=args.smoke, out=args.out)

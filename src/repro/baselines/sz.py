@@ -29,6 +29,7 @@ Usage
 from __future__ import annotations
 
 import struct
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -52,7 +53,7 @@ from repro.baselines.szstream import (
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.codecs.zlibc import zlib_compress, zlib_decompress
 from repro.errors import ConfigError, DataShapeError, FormatError
-from repro.observability import span
+from repro.observability import counter_inc, gauge_set, observe, span
 
 __all__ = ["SZCompressor", "sz_compress", "sz_decompress", "MODES"]
 
@@ -144,6 +145,7 @@ class SZCompressor:
 
     def compress(self, data: np.ndarray) -> bytes:
         """Compress an n-D float array to a self-describing byte string."""
+        t_start = time.perf_counter()
         data = np.asarray(data)
         if data.dtype == np.float32:
             dtype_tag = "f4"
@@ -217,6 +219,11 @@ class SZCompressor:
             blob = pack_sections(_MAGIC, _VERSION,
                                  [bytes(meta), selectors, coeffs, payload])
             sp.add(bytes_out=len(blob))
+        counter_inc("sz.compress.runs")
+        counter_inc("sz.compress.bytes_in", int(data.nbytes))
+        counter_inc("sz.compress.bytes_out", len(blob))
+        gauge_set("sz.last.cr", data.nbytes / max(len(blob), 1))
+        observe("sz.compress.seconds", time.perf_counter() - t_start)
         return blob
 
     # -- decompression -----------------------------------------------------
@@ -224,6 +231,9 @@ class SZCompressor:
     @staticmethod
     def decompress(blob: bytes) -> np.ndarray:
         """Decompress a container produced by :meth:`compress`."""
+        t_start = time.perf_counter()
+        counter_inc("sz.decompress.runs")
+        counter_inc("sz.decompress.bytes_in", len(blob))
         meta, selectors, coeffs, payload = unpack_sections(
             blob, _MAGIC, _VERSION
         )
@@ -256,6 +266,7 @@ class SZCompressor:
             with span("sz.reconstruct", mode=mode):
                 lattice = lorenzo_inverse(residuals.reshape(shape_t))
                 out = lattice_dequantize(lattice, eps)
+            observe("sz.decompress.seconds", time.perf_counter() - t_start)
             return out.astype(_DTYPES[dtype_tag])
 
         nb = int(np.prod([n // block_size for n in padded_t]))
@@ -282,6 +293,7 @@ class SZCompressor:
                 lor = _block_lorenzo_inverse(residuals[~choose_reg])
                 blocks[~choose_reg] = lattice_dequantize(lor, eps)
             out = _merge_blocks(blocks, padded_t, shape_t)
+        observe("sz.decompress.seconds", time.perf_counter() - t_start)
         return out.astype(_DTYPES[dtype_tag])
 
 

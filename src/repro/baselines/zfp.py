@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import math
 import struct
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,7 +47,7 @@ from repro.baselines.zfptransform import (
 from repro.codecs.negabinary import int_to_negabinary, negabinary_to_int
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.errors import ConfigError, DataShapeError, FormatError
-from repro.observability import span
+from repro.observability import counter_inc, gauge_set, observe, span
 
 __all__ = ["ZFPCompressor", "zfp_compress", "zfp_decompress", "ZFP_MODES"]
 
@@ -226,6 +227,7 @@ class ZFPCompressor:
 
     def compress(self, data: np.ndarray) -> bytes:
         """Compress an n-D (1-3) float array."""
+        t_start = time.perf_counter()
         data = np.asarray(data)
         if data.dtype == np.float32:
             dtype_tag = "f4"
@@ -334,14 +336,23 @@ class ZFPCompressor:
 
         kmin_bytes = (kmin_all.astype(np.uint8).tobytes()
                       if tol is not None else b"")
-        return pack_sections(_MAGIC, _VERSION,
+        blob = pack_sections(_MAGIC, _VERSION,
                              [bytes(meta), kmin_bytes, payload])
+        counter_inc("zfp.compress.runs")
+        counter_inc("zfp.compress.bytes_in", int(data.nbytes))
+        counter_inc("zfp.compress.bytes_out", len(blob))
+        gauge_set("zfp.last.cr", data.nbytes / max(len(blob), 1))
+        observe("zfp.compress.seconds", time.perf_counter() - t_start)
+        return blob
 
     # -- decompression -----------------------------------------------------
 
     @staticmethod
     def decompress(blob: bytes) -> np.ndarray:
         """Decompress a container produced by :meth:`compress`."""
+        t_start = time.perf_counter()
+        counter_inc("zfp.decompress.runs")
+        counter_inc("zfp.decompress.bytes_in", len(blob))
         meta, kmin_bytes, payload = unpack_sections(blob, _MAGIC, _VERSION)
         mode_id, pos = decode_uvarint(meta, 0)
         mode = ZFP_MODES[mode_id]
@@ -414,6 +425,7 @@ class ZFPCompressor:
             blocks[~nonzero] = 0.0
             out = merge_blocks(blocks, tuple(padded), tuple(shape))
             sp.add(bytes_out=int(out.nbytes))
+        observe("zfp.decompress.seconds", time.perf_counter() - t_start)
         return out.astype(_DTYPES[dtype_tag])
 
 

@@ -102,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
     pt = sub.add_parser("trace",
                         help="trace a DPZ compress+decompress run "
                              "(per-stage NDJSON spans)")
-    pt.add_argument("input",
+    pt.add_argument("input", nargs="?", default=None,
                     help="built-in dataset name (see 'dpz datasets') or "
                          "input file (.npy / raw .f32)")
     pt.add_argument("--shape", type=int, nargs="+", default=None,
@@ -115,6 +115,31 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--out", default=None,
                     help="write NDJSON here instead of stdout (stdout "
                          "then carries the stage summary)")
+    pt.add_argument("--flamegraph", default=None, metavar="OUT.html",
+                    help="also render the trace as a self-contained "
+                         "flamegraph HTML file")
+    pt.add_argument("--diff", nargs=2, default=None,
+                    metavar=("A.ndjson", "B.ndjson"),
+                    help="compare two existing trace files per stage "
+                         "instead of running a new trace")
+    pt.add_argument("--runlog", default=None, metavar="PATH",
+                    help="run-registry file to append to "
+                         "(default: $DPZ_RUNLOG or ./runs.ndjson)")
+    pt.add_argument("--no-runlog", action="store_true",
+                    help="do not append this run to the run registry")
+
+    pr = sub.add_parser("runs",
+                        help="inspect the persistent run registry "
+                             "(runs.ndjson)")
+    pr.add_argument("action", choices=["list", "show", "diff"],
+                    help="list all runs, show one record as JSON, or "
+                         "diff two records")
+    pr.add_argument("keys", nargs="*",
+                    help="run selector(s): an index (0, -1, ...) or a "
+                         "run_id prefix; 'show' takes one, 'diff' two")
+    pr.add_argument("--file", default=None, metavar="PATH",
+                    help="registry file (default: $DPZ_RUNLOG or "
+                         "./runs.ndjson)")
 
     pk = sub.add_parser("pack", help="bundle fields into an archive")
     pk.add_argument("output", help="archive file (.dpza)")
@@ -251,13 +276,24 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+class _CLIError(Exception):
+    """User-facing CLI failure: printed as one line, exit code 2."""
+
+
 def _load_trace_input(args) -> tuple[str, np.ndarray]:
     """Resolve the trace input: registry name first, then file path."""
     try:
         get_spec(args.input)
     except Exception:
         shape = tuple(args.shape) if args.shape else None
-        return args.input, load_field(args.input, shape)
+        try:
+            return args.input, load_field(args.input, shape)
+        except FileNotFoundError:
+            raise _CLIError(
+                f"{args.input!r} is neither a built-in dataset (see "
+                f"'dpz datasets') nor an existing file") from None
+        except (ValueError, OSError) as exc:
+            raise _CLIError(f"cannot load {args.input!r}: {exc}") from None
     from repro.datasets.registry import get_dataset
     return args.input, get_dataset(args.input, args.size)
 
@@ -265,19 +301,39 @@ def _load_trace_input(args) -> tuple[str, np.ndarray]:
 def _cmd_trace(args) -> int:
     from repro.observability import (
         Tracer,
+        append_record,
+        build_record,
         counters_reset,
+        metrics_reset,
+        metrics_snapshot,
+        trace_diff,
+        use_quality,
         use_tracer,
+        write_flamegraph,
         write_ndjson,
     )
+
+    if args.diff:
+        print(trace_diff(args.diff[0], args.diff[1]))
+        return 0
+    if args.input is None:
+        raise _CLIError("trace needs a dataset/file argument "
+                        "(or --diff A.ndjson B.ndjson)")
+
+    import time as _time
 
     name, data = _load_trace_input(args)
     cfg = scheme_config(args.scheme, tve_nines=args.nines)
     comp = DPZCompressor(cfg)
     counters_reset()
+    metrics_reset()
     tracer = Tracer()
-    with use_tracer(tracer):
+    t0 = _time.perf_counter()
+    with use_tracer(tracer), use_quality():
         blob, stats = comp.compress_with_stats(data)
         recon = DPZCompressor.decompress(blob)
+    wall_s = _time.perf_counter() - t0
+    snapshot = metrics_snapshot()
     meta = {
         "dataset": name, "shape": list(data.shape),
         "dtype": str(data.dtype), "scheme": args.scheme,
@@ -296,9 +352,73 @@ def _cmd_trace(args) -> int:
         print(f"  {'total':<22s} {total*1e3:9.2f} ms")
     else:
         write_ndjson(tracer, sys.stdout, meta=meta)
+    if args.flamegraph:
+        n_roots = write_flamegraph(tracer, args.flamegraph,
+                                   title=f"dpz trace: {name}")
+        print(f"flamegraph ({n_roots} root frames) -> {args.flamegraph}")
+    if not args.no_runlog:
+        quality = {
+            g[len("quality."):]: v for g, v in snapshot["gauges"].items()
+            if g.startswith("quality.")
+        }
+        record = build_record(
+            dataset=name, shape=data.shape, dtype=str(data.dtype),
+            config=cfg, cr=stats.cr, compressed_nbytes=len(blob),
+            original_nbytes=int(data.nbytes), wall_s=wall_s,
+            tracer=tracer, k=stats.k, m_blocks=stats.m_blocks,
+            quality=quality or None, metrics=snapshot,
+            extra={"scheme": args.scheme},
+        )
+        path = append_record(record, args.runlog)
+        # Keep stdout pure NDJSON when the trace itself went there.
+        print(f"run {record['run_id']} -> {path}",
+              file=sys.stdout if args.out else sys.stderr)
     # Tracing must not perturb the archive: quick shape sanity check.
     assert recon.shape == data.shape
     return 0
+
+
+def _cmd_runs(args) -> int:
+    import json as _json
+
+    from repro.observability import (
+        diff_runs,
+        find_run,
+        format_run_table,
+        load_runs,
+    )
+    from repro.observability.runlog import resolve_runlog
+
+    path = resolve_runlog(args.file)
+    try:
+        runs = load_runs(path)
+    except FileNotFoundError:
+        raise _CLIError(f"no run registry at {path!r} "
+                        f"(run 'dpz trace DATASET --out t.ndjson' "
+                        f"first)") from None
+    if args.action == "list":
+        if not runs:
+            print(f"{path}: no runs recorded")
+            return 0
+        print(format_run_table(runs))
+        return 0
+    try:
+        if args.action == "show":
+            if len(args.keys) != 1:
+                raise _CLIError("'runs show' takes exactly one run "
+                                "selector (index or run_id prefix)")
+            print(_json.dumps(find_run(runs, args.keys[0]), indent=2,
+                              sort_keys=True))
+            return 0
+        if len(args.keys) != 2:
+            raise _CLIError("'runs diff' takes exactly two run "
+                            "selectors (index or run_id prefix)")
+        print(diff_runs(find_run(runs, args.keys[0]),
+                        find_run(runs, args.keys[1])))
+        return 0
+    except KeyError as exc:
+        raise _CLIError(str(exc.args[0]) if exc.args else str(exc)) \
+            from None
 
 
 def _cmd_pack(args) -> int:
@@ -358,6 +478,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "runs": _cmd_runs,
     "pack": _cmd_pack,
     "unpack": _cmd_unpack,
     "list": _cmd_list,
@@ -365,9 +486,19 @@ _COMMANDS = {
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Anticipated failures (bad input path, malformed container, unknown
+    run id) print one line to stderr and exit 2 -- no traceback.
+    """
+    from repro.errors import ReproError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except (_CLIError, ReproError) as exc:
+        print(f"dpz {args.command}: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -40,7 +40,7 @@ import numpy as np
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.codecs.zlibc import zlib_compress, zlib_decompress
 from repro.errors import CodecError
-from repro.observability import counter_add, span
+from repro.observability import counter_add, observe, span
 
 __all__ = ["HuffmanTable", "huffman_encode", "huffman_decode", "MAX_CODE_LENGTH"]
 
@@ -359,6 +359,7 @@ def huffman_encode(symbols: np.ndarray, table: HuffmanTable) -> bytes:
         sp.add(bytes_out=len(out))
     counter_add("huffman.encode.symbols", n)
     counter_add("huffman.encode.bytes_out", len(out))
+    observe("huffman.encode.symbols_per_call", n, lo=1.0, hi=1e9)
     return out
 
 
@@ -590,6 +591,7 @@ def huffman_decode(data: bytes, table: HuffmanTable,
     if n == 0:
         return np.zeros(0, dtype=np.int64), pos
     counter_add("huffman.decode.symbols", n)
+    observe("huffman.decode.symbols_per_call", n, lo=1.0, hi=1e9)
     with span("huffman.decode", n_symbols=n) as sp:
         sym_tab, len_tab, L = table.decode_tables()
         if L == 0:

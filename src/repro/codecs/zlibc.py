@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.errors import CodecError
-from repro.observability import counter_add
+from repro.observability import counter_add, observe
 
 __all__ = ["zlib_compress", "zlib_decompress", "DEFAULT_LEVEL"]
 
@@ -41,6 +41,12 @@ def zlib_compress(data: bytes | bytearray | memoryview | np.ndarray,
     packed = zlib.compress(data, level)
     counter_add("zlib.compress.calls")
     counter_add("zlib.compress.bytes_in", len(data))
+    observe("zlib.compress.frame_bytes",
+            min(len(packed), len(data)), lo=1.0, hi=1e12)
+    if data:
+        observe("zlib.compress.ratio",
+                len(data) / max(min(len(packed), len(data)), 1),
+                lo=1e-3, hi=1e6)
     if len(packed) < len(data):
         counter_add("zlib.compress.bytes_out", len(packed))
         return bytes([_DEFLATE]) + encode_uvarint(len(data)) + packed

@@ -47,7 +47,8 @@ from repro.core.sampling import (
 )
 from repro.core.stream import DPZArchive, deserialize, serialize
 from repro.errors import DataShapeError
-from repro.observability import span
+from repro.observability import counter_inc, gauge_set, observe, span
+from repro.observability import quality as _quality
 from repro.transforms.pca import PCA
 
 __all__ = ["DPZCompressor", "DPZStats"]
@@ -169,6 +170,7 @@ class DPZCompressor:
         (once from unquantized and once from quantized scores) to fill
         ``psnr_stage12`` / ``psnr_final`` -- roughly doubling runtime.
         """
+        t_start = time.perf_counter()
         cfg = self.config
         data = np.asarray(data)
         dtype_tag = _DTYPE_TAGS.get(np.dtype(data.dtype))
@@ -355,6 +357,24 @@ class DPZCompressor:
             recon3 = self._reconstruct(
                 archive, dequantize_scores(q) * score_scale)
             stats.psnr_final = psnr(data, recon3)
+
+        # Quality telemetry (opt-in, Z-checker style): reconstruct once
+        # more and record the rate-distortion point as gauges + span
+        # metadata.  Purely read-only -- the blob is already final, so
+        # the archive stays byte-identical with telemetry on or off.
+        if _quality.quality_enabled():
+            with _stage(stats, "quality", bytes_in=stats.original_nbytes):
+                recon_q = self._reconstruct(
+                    archive, dequantize_scores(q) * score_scale)
+                _quality.record_quality(data, recon_q, len(blob),
+                                        tve_at_k=stats.tve_at_k)
+
+        counter_inc("dpz.compress.runs")
+        counter_inc("dpz.compress.bytes_in", stats.original_nbytes)
+        counter_inc("dpz.compress.bytes_out", len(blob))
+        gauge_set("dpz.last.cr", stats.cr)
+        gauge_set("dpz.last.k", float(k))
+        observe("dpz.compress.seconds", time.perf_counter() - t_start)
         return blob, stats
 
     # -- decompression --------------------------------------------------------
@@ -413,6 +433,7 @@ class DPZCompressor:
         calibrated for the full-``k`` reconstruction and is skipped for
         partial decodes.
         """
+        t_start = time.perf_counter()
         with span("dpz.deserialize", bytes_in=len(blob)):
             archive = deserialize(blob)
         with span("dpz.dequantize",
@@ -433,6 +454,14 @@ class DPZCompressor:
             if k < archive.k:
                 scores = scores.copy()
                 scores[:, k:] = 0.0
-                return DPZCompressor._reconstruct(archive, scores,
-                                                  corrections=False)
-        return DPZCompressor._reconstruct(archive, scores)
+                out = DPZCompressor._reconstruct(archive, scores,
+                                                 corrections=False)
+            else:
+                out = DPZCompressor._reconstruct(archive, scores)
+        else:
+            out = DPZCompressor._reconstruct(archive, scores)
+        counter_inc("dpz.decompress.runs")
+        counter_inc("dpz.decompress.bytes_in", len(blob))
+        counter_inc("dpz.decompress.bytes_out", int(out.nbytes))
+        observe("dpz.decompress.seconds", time.perf_counter() - t_start)
+        return out

@@ -1,16 +1,20 @@
-"""Process-wide performance counters.
+"""Process-wide performance counters (compat shims).
 
-Monotonic named counters for quantities that are cheap to accumulate
-but expensive to recompute -- bytes through the zlib framing layer,
-Huffman symbols coded, parallel chunks dispatched.  Counters complement
-spans: a span tells you *where time went* in one run, counters tell you
-*how much work* the process has done across runs.
+Historically this module owned its own ``dict``-based counter store;
+it is now a thin facade over the typed metric registry in
+:mod:`repro.observability.metrics` -- ``counter_add`` writes the same
+:class:`~repro.observability.metrics.Counter` objects that gauges and
+histograms live next to, so one snapshot / one Prometheus exposition
+covers everything.  The three original functions keep their exact
+signatures and semantics:
 
-Counting is gated on the same switch as tracing
-(:func:`repro.observability.tracer.tracing_enabled`), so the
-instrumented hot paths stay at zero overhead when observability is off:
-:func:`counter_add` is then a global load, a ``None`` test and a
-return.
+* :func:`counter_add` is gated on the tracing switch (zero overhead
+  when observability is off: a global load, a ``None`` test, a
+  return);
+* :func:`counters_snapshot` returns the counter values only, sorted by
+  name -- gauges and histograms are reported by
+  :func:`repro.observability.metrics.metrics_snapshot`;
+* :func:`counters_reset` zeroes counters only.
 
 >>> from repro.observability import counters_snapshot, Tracer, use_tracer
 >>> with use_tracer(Tracer()):
@@ -21,31 +25,25 @@ return.
 
 from __future__ import annotations
 
-import threading
-
+from repro.observability import metrics as _metrics
 from repro.observability import tracer as _tracer
 
 __all__ = ["counter_add", "counters_snapshot", "counters_reset"]
-
-_LOCK = threading.Lock()
-_COUNTERS: dict[str, int] = {}
 
 
 def counter_add(name: str, value: int = 1) -> None:
     """Add ``value`` to counter ``name`` (no-op when tracing is off)."""
     if _tracer._ACTIVE is None:
         return
-    with _LOCK:
-        _COUNTERS[name] = _COUNTERS.get(name, 0) + int(value)
+    _metrics.get_registry().counter(name).add(value)
 
 
 def counters_snapshot() -> dict[str, int]:
-    """Copy of all counters, sorted by name."""
-    with _LOCK:
-        return dict(sorted(_COUNTERS.items()))
+    """Copy of all counter values, sorted by name."""
+    snap = _metrics.get_registry().snapshot()["counters"]
+    return {name: value for name, value in snap.items() if value}
 
 
 def counters_reset() -> None:
     """Zero every counter (typically paired with a fresh Tracer)."""
-    with _LOCK:
-        _COUNTERS.clear()
+    _metrics.get_registry().reset(kinds=("counter",))

@@ -1,15 +1,18 @@
-"""Render traces and counters as NDJSON / JSON.
+"""Render traces and counters as NDJSON / JSON; load and diff traces.
 
 NDJSON (one JSON object per line) is the trace interchange format: it
 streams, ``grep``s, and loads into any dataframe library.  A trace file
 contains one ``{"event": "meta", ...}`` header line, one
 ``{"event": "span", ...}`` line per finished span (in completion
-order), and a final ``{"event": "counters", ...}`` line when any
-counters fired.
+order), a ``{"event": "counters", ...}`` line when any counters fired,
+and a final ``{"event": "metrics", ...}`` line carrying the gauge /
+histogram snapshot when any exist.
 
 :func:`trace_summary` folds a tracer's spans into the JSON shape the
 bench harness stores in ``BENCH_*.json``: per-stage seconds and shares
-plus total bytes moved.
+plus total bytes moved.  :func:`load_trace` reads a trace file back,
+and :func:`trace_diff` renders the per-stage regression triage behind
+``dpz trace --diff A.ndjson B.ndjson``.
 """
 
 from __future__ import annotations
@@ -18,15 +21,18 @@ import json
 from typing import IO, Iterable
 
 from repro.observability.counters import counters_snapshot
+from repro.observability.metrics import metrics_snapshot
 from repro.observability.tracer import Span, Tracer
 
-__all__ = ["spans_to_ndjson", "write_ndjson", "trace_summary"]
+__all__ = ["spans_to_ndjson", "write_ndjson", "trace_summary",
+           "load_trace", "trace_diff"]
 
 
 def spans_to_ndjson(spans: Iterable[Span], *,
                     meta: dict | None = None,
-                    counters: dict[str, int] | None = None) -> str:
-    """Serialize spans (plus optional header/counters) as NDJSON text."""
+                    counters: dict[str, int] | None = None,
+                    metrics: dict | None = None) -> str:
+    """Serialize spans (plus optional header/counters/metrics) as NDJSON."""
     lines = []
     header = {"event": "meta", "format": "repro-trace", "version": 1}
     if meta:
@@ -41,6 +47,13 @@ def spans_to_ndjson(spans: Iterable[Span], *,
     if counters:
         lines.append(json.dumps(
             {"event": "counters", **counters}, sort_keys=True))
+    if metrics is None:
+        snap = metrics_snapshot()
+        metrics = {k: v for k, v in snap.items()
+                   if k in ("gauges", "histograms") and v}
+    if metrics:
+        lines.append(json.dumps(
+            {"event": "metrics", **metrics}, sort_keys=True))
     return "\n".join(lines) + "\n"
 
 
@@ -76,3 +89,94 @@ def trace_summary(tracer: Tracer, prefix: str = "") -> dict:
         "bytes_out": sum(s.bytes_out or 0 for s in spans),
         "n_spans": len(spans),
     }
+
+
+def load_trace(path_or_fh: str | IO[str]) -> dict:
+    """Read a trace NDJSON file back into parts.
+
+    Returns ``{"meta", "spans", "counters", "metrics"}`` where
+    ``spans`` is a list of plain span dicts.  Raises
+    :class:`~repro.errors.FormatError` when the file is not a
+    repro-trace.
+    """
+    from repro.errors import FormatError
+
+    if hasattr(path_or_fh, "read"):
+        text = path_or_fh.read()
+    else:
+        with open(path_or_fh) as fh:
+            text = fh.read()
+    out: dict = {"meta": {}, "spans": [], "counters": {}, "metrics": {}}
+    first = True
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise FormatError(f"not a trace file: bad JSON line "
+                              f"({exc})") from exc
+        event = rec.pop("event", None)
+        if first:
+            if event != "meta" or rec.get("format") != "repro-trace":
+                raise FormatError(
+                    "not a repro-trace file (missing meta header)")
+            out["meta"] = rec
+            first = False
+        elif event == "span":
+            out["spans"].append(rec)
+        elif event == "counters":
+            out["counters"] = rec
+        elif event == "metrics":
+            out["metrics"] = rec
+    if first:
+        raise FormatError("empty trace file")
+    return out
+
+
+def _stage_times_from_records(spans: list[dict],
+                              prefix: str = "dpz.") -> dict[str, float]:
+    """Per-name total seconds over minimum-depth records (mirrors
+    :meth:`Tracer.stage_times`)."""
+    matching = [s for s in spans
+                if str(s.get("name", "")).startswith(prefix)]
+    if not matching:
+        return {}
+    dmin = min(int(s.get("depth", 0)) for s in matching)
+    out: dict[str, float] = {}
+    for s in matching:
+        if int(s.get("depth", 0)) == dmin:
+            name = s["name"]
+            out[name] = out.get(name, 0.0) + float(s.get("dur", 0.0))
+    return out
+
+
+def trace_diff(path_a: str, path_b: str, *,
+               prefix: str = "dpz.") -> str:
+    """Per-stage wall-time diff of two trace files (regression triage).
+
+    Stages are aggregated exactly like :meth:`Tracer.stage_times`, so
+    the numbers line up with ``trace_summary`` and the bench records.
+    """
+    a, b = load_trace(path_a), load_trace(path_b)
+    ta = _stage_times_from_records(a["spans"], prefix)
+    tb = _stage_times_from_records(b["spans"], prefix)
+    tot_a, tot_b = sum(ta.values()), sum(tb.values())
+    lines = [f"A: {path_a}  ({a['meta'].get('dataset', '?')}, "
+             f"{len(a['spans'])} spans)",
+             f"B: {path_b}  ({b['meta'].get('dataset', '?')}, "
+             f"{len(b['spans'])} spans)",
+             f"{'stage':<22s} {'A ms':>10s} {'B ms':>10s} "
+             f"{'delta':>8s}  {'A share':>8s} {'B share':>8s}"]
+    for stage in sorted(set(ta) | set(tb)):
+        va, vb = ta.get(stage, 0.0), tb.get(stage, 0.0)
+        delta = f"{(vb - va) / va:+.1%}" if va > 0 else "new"
+        sh_a = f"{va / tot_a:7.1%}" if tot_a > 0 else "      -"
+        sh_b = f"{vb / tot_b:7.1%}" if tot_b > 0 else "      -"
+        lines.append(f"{stage:<22s} {va * 1e3:>10.2f} {vb * 1e3:>10.2f} "
+                     f"{delta:>8s}  {sh_a:>8s} {sh_b:>8s}")
+    delta_tot = f"{(tot_b - tot_a) / tot_a:+.1%}" if tot_a > 0 else "n/a"
+    lines.append(f"{'total':<22s} {tot_a * 1e3:>10.2f} "
+                 f"{tot_b * 1e3:>10.2f} {delta_tot:>8s}")
+    return "\n".join(lines)

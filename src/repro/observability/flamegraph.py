@@ -1,0 +1,188 @@
+"""Folded-stack flamegraphs from span trees.
+
+Turns one trace (live :class:`Tracer` spans or NDJSON span records)
+into
+
+* **folded stacks** -- the ``parent;child;leaf <microseconds>`` text
+  format every flamegraph toolchain understands, with one line per
+  unique stack and *self time* (span duration minus child durations)
+  as the value, and
+* a **self-contained HTML flamegraph** -- a single file with the span
+  tree embedded as JSON and a dependency-free renderer (hover for
+  exact timings, click to zoom, zero network access), so ``dpz trace
+  --flamegraph out.html`` produces an artifact CI can upload and
+  anyone can open.
+
+Spans recorded from worker threads have no parent in the main-thread
+stack (parent linkage is per-thread by design), so they surface as
+additional roots -- the graph then shows per-thread towers side by
+side, which is exactly what you want when diagnosing pool skew.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Iterable, Mapping
+
+from repro.observability.tracer import Span, Tracer
+
+__all__ = [
+    "fold_spans",
+    "folded_to_text",
+    "render_html",
+    "write_flamegraph",
+]
+
+
+def _as_record(s) -> dict:
+    if isinstance(s, Span):
+        return {"name": s.name, "dur": s.dur, "span_id": s.span_id,
+                "parent_id": s.parent_id}
+    if isinstance(s, Mapping):
+        return {"name": s.get("name", "?"), "dur": float(s.get("dur", 0.0)),
+                "span_id": s.get("span_id"), "parent_id": s.get("parent_id")}
+    raise TypeError(f"cannot fold {type(s).__name__}")
+
+
+def _build_tree(spans: Iterable) -> list[dict]:
+    """Span records -> forest of ``{name, dur, self, children}`` nodes."""
+    records = [_as_record(s) for s in spans]
+    nodes = {r["span_id"]: {"name": r["name"], "dur": r["dur"],
+                            "children": []}
+             for r in records if r["span_id"] is not None}
+    roots: list[dict] = []
+    for r in records:
+        node = nodes.get(r["span_id"])
+        if node is None:
+            continue
+        parent = nodes.get(r["parent_id"])
+        if parent is not None:
+            parent["children"].append(node)
+        else:
+            roots.append(node)
+    def finish(node: dict) -> None:
+        child_total = sum(c["dur"] for c in node["children"])
+        node["self"] = max(node["dur"] - child_total, 0.0)
+        for c in node["children"]:
+            finish(c)
+    for root in roots:
+        finish(root)
+    return roots
+
+
+def fold_spans(spans: Iterable) -> dict[str, float]:
+    """Collapse a trace into ``{"a;b;c": self_seconds}`` folded stacks."""
+    folded: dict[str, float] = {}
+
+    def walk(node: dict, prefix: str) -> None:
+        path = f"{prefix};{node['name']}" if prefix else node["name"]
+        if node["self"] > 0.0:
+            folded[path] = folded.get(path, 0.0) + node["self"]
+        for child in node["children"]:
+            walk(child, path)
+
+    for root in _build_tree(spans):
+        walk(root, "")
+    return folded
+
+
+def folded_to_text(folded: Mapping[str, float]) -> str:
+    """Folded stacks as text, one ``stack <microseconds>`` per line."""
+    lines = [f"{path} {max(int(round(v * 1e6)), 1)}"
+             for path, v in sorted(folded.items())]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_HTML_TEMPLATE = """<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>__TITLE__</title>
+<style>
+ body { margin: 0; font: 12px/1.4 system-ui, sans-serif; background: #fff; }
+ h1 { font-size: 14px; margin: 10px 12px 2px; }
+ #hint { color: #666; margin: 0 12px 8px; }
+ #fg { position: relative; margin: 0 12px 12px; }
+ .frame { position: absolute; height: 17px; box-sizing: border-box;
+   overflow: hidden; white-space: nowrap; text-overflow: ellipsis;
+   border: 1px solid #fff; border-radius: 2px; padding: 0 3px;
+   cursor: pointer; color: #222; }
+ .frame:hover { filter: brightness(0.9); }
+</style></head><body>
+<h1>__TITLE__</h1>
+<p id="hint">click a frame to zoom &middot; click the root to reset</p>
+<div id="fg"></div>
+<script>
+var DATA = __DATA__;
+var ROW = 18, fg = document.getElementById("fg");
+var root = {name: "all", dur: 0, self: 0, children: DATA};
+DATA.forEach(function (n) { root.dur += n.dur; });
+function depth(n) { return 1 + Math.max.apply(null,
+  [0].concat(n.children.map(depth))); }
+function color(name) {
+  var h = 0;
+  for (var i = 0; i < name.length; i++) h = (h * 31 + name.charCodeAt(i)) | 0;
+  return "hsl(" + (20 + (Math.abs(h) % 40)) + ",70%," +
+         (62 + (Math.abs(h >> 8) % 18)) + "%)";
+}
+function fmt(s) {
+  return s >= 1 ? s.toFixed(3) + " s" : (s * 1e3).toFixed(2) + " ms";
+}
+function render(zoom) {
+  fg.innerHTML = "";
+  fg.style.height = (depth(zoom) * ROW + 4) + "px";
+  var total = zoom.dur || 1;
+  function draw(node, x0, x1, row) {
+    if ((x1 - x0) * fg.clientWidth < 1) return;
+    var div = document.createElement("div");
+    div.className = "frame";
+    div.style.left = (100 * x0) + "%";
+    div.style.width = (100 * (x1 - x0)) + "%";
+    div.style.top = (row * ROW) + "px";
+    div.style.background = node === root ? "#ddd" : color(node.name);
+    div.textContent = node.name;
+    div.title = node.name + " — " + fmt(node.dur) + " (" +
+      (100 * node.dur / (root.dur || 1)).toFixed(1) + "% of trace)";
+    div.onclick = function () { render(node === zoom ? root : node); };
+    fg.appendChild(div);
+    var childSum = node.children.reduce(function (a, c) {
+      return a + c.dur; }, 0);
+    var scale = (x1 - x0) / Math.max(node.dur, childSum, 1e-12);
+    var x = x0;
+    node.children.forEach(function (c) {
+      draw(c, x, x + c.dur * scale, row + 1);
+      x += c.dur * scale;
+    });
+  }
+  draw(zoom === root ? root : zoom, 0, 1, 0);
+}
+render(root);
+window.addEventListener("resize", function () { render(root); });
+</script></body></html>
+"""
+
+
+def _strip(node: dict) -> dict:
+    return {"name": node["name"], "dur": round(node["dur"], 9),
+            "self": round(node["self"], 9),
+            "children": [_strip(c) for c in node["children"]]}
+
+
+def render_html(spans: Iterable, title: str = "repro trace") -> str:
+    """Self-contained flamegraph HTML for one trace."""
+    forest = [_strip(n) for n in _build_tree(spans)]
+    return (_HTML_TEMPLATE
+            .replace("__TITLE__", title)
+            .replace("__DATA__", json.dumps(forest)))
+
+
+def write_flamegraph(tracer_or_spans, path_or_fh: str | IO[str], *,
+                     title: str = "repro trace") -> int:
+    """Write the flamegraph HTML; returns the number of root frames."""
+    spans = (tracer_or_spans.spans if isinstance(tracer_or_spans, Tracer)
+             else list(tracer_or_spans))
+    html = render_html(spans, title=title)
+    if hasattr(path_or_fh, "write"):
+        path_or_fh.write(html)
+    else:
+        with open(path_or_fh, "w") as fh:
+            fh.write(html)
+    return sum(1 for s in spans
+               if _as_record(s)["parent_id"] is None)

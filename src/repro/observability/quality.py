@@ -1,0 +1,164 @@
+"""Z-checker-style quality telemetry for traced runs.
+
+Rate-distortion assessment usually means a *separate* evaluation pass:
+compress, decompress, diff, compute PSNR.  Z-checker's observation is
+that the assessment framework should be co-resident with the
+compressor so every run is a complete data point.  This module does
+that for the repro pipeline: when enabled (it is off by default, like
+tracing), :meth:`DPZCompressor.compress_with_stats` performs an extra
+in-memory reconstruction and records
+
+* **PSNR** (dB), **max absolute error**, **mean relative error** --
+  computed on a *deterministic sampled slab* of the field so the cost
+  is bounded and two runs over the same shape compare the exact same
+  points;
+* **CR**, **bit-rate** (bits/value), and the achieved **TVE at k** --
+  from the container sizes and the eigenanalysis;
+
+as gauges in the metric registry *and* as metadata on the enclosing
+span, so a single NDJSON trace line is a full rate-distortion record.
+
+Determinism: the slab is an evenly strided index set, a pure function
+of ``(field size, max_points)``.  No RNG, no run-to-run jitter.
+
+Usage::
+
+    from repro.observability import Tracer, use_tracer, use_quality
+
+    with use_tracer(Tracer()), use_quality():
+        blob, stats = DPZCompressor(cfg).compress_with_stats(field)
+    # metrics_snapshot()["gauges"]["quality.psnr_db"] is now set
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.metrics import (
+    max_abs_error,
+    mean_relative_error,
+    psnr,
+)
+from repro.observability.metrics import counter_inc, gauge_set
+from repro.observability.tracer import current_span
+
+__all__ = [
+    "QualityConfig",
+    "quality_enabled",
+    "get_quality",
+    "set_quality",
+    "use_quality",
+    "slab_indices",
+    "record_quality",
+]
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """How much of the field the telemetry pass looks at.
+
+    ``max_points`` caps the sampled slab; fields at or below the cap
+    are measured exactly.  64k points keeps the metric arithmetic under
+    a millisecond while estimating PSNR to well under 0.1 dB on the
+    bundled datasets.
+    """
+
+    max_points: int = 1 << 16
+
+    def __post_init__(self) -> None:
+        if self.max_points < 1:
+            raise ValueError(
+                f"max_points must be >= 1, got {self.max_points}")
+
+
+_ACTIVE: QualityConfig | None = None
+
+
+def quality_enabled() -> bool:
+    """Whether the telemetry pass runs inside ``compress_with_stats``."""
+    return _ACTIVE is not None
+
+
+def get_quality() -> QualityConfig | None:
+    """The installed quality config, or ``None`` when disabled."""
+    return _ACTIVE
+
+
+def set_quality(config: QualityConfig | None) -> QualityConfig | None:
+    """Install (or with ``None`` uninstall) quality telemetry.
+
+    Returns the previous config so callers can restore it.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = config
+    return previous
+
+
+@contextmanager
+def use_quality(config: QualityConfig | None = None):
+    """Enable quality telemetry for the duration of the ``with`` block."""
+    installed = config or QualityConfig()
+    previous = set_quality(installed)
+    try:
+        yield installed
+    finally:
+        set_quality(previous)
+
+
+def slab_indices(n: int, max_points: int) -> np.ndarray:
+    """Deterministic evenly strided sample of ``[0, n)``.
+
+    A pure function of its arguments: the same field shape always
+    yields the same slab, so telemetry from two runs (or two code
+    versions) measures identical points.
+    """
+    if n <= max_points:
+        return np.arange(n, dtype=np.int64)
+    return np.linspace(0, n - 1, max_points).astype(np.int64)
+
+
+def record_quality(original: np.ndarray, reconstructed: np.ndarray,
+                   compressed_nbytes: int, *,
+                   tve_at_k: float | None = None,
+                   config: QualityConfig | None = None) -> dict:
+    """Compute and record one run's quality record; returns it.
+
+    Error metrics are evaluated on the deterministic slab; CR and
+    bit-rate come from the exact byte counts.  Gauges land in the
+    default metric registry and, when a span is open on this thread,
+    the same keys (prefixed ``quality_``) are attached to it.
+    """
+    cfg = config or _ACTIVE or QualityConfig()
+    a = np.asarray(original).reshape(-1)
+    b = np.asarray(reconstructed).reshape(-1)
+    idx = slab_indices(a.size, cfg.max_points)
+    a_s, b_s = a[idx], b[idx]
+    nbytes = int(np.asarray(original).nbytes)
+    bits_per_value = 8 * nbytes / max(a.size, 1)
+    record = {
+        "psnr_db": float(psnr(a_s, b_s)),
+        "max_abs_error": float(max_abs_error(a_s, b_s)),
+        "mean_rel_error": float(mean_relative_error(a_s, b_s)),
+        "cr": nbytes / max(int(compressed_nbytes), 1),
+        "bitrate": bits_per_value * compressed_nbytes / max(nbytes, 1),
+        "sampled_points": int(idx.size),
+        "sample_fraction": idx.size / max(a.size, 1),
+    }
+    if tve_at_k is not None:
+        record["tve_at_k"] = float(tve_at_k)
+
+    counter_inc("quality.runs")
+    for key in ("psnr_db", "max_abs_error", "mean_rel_error", "cr",
+                "bitrate", "tve_at_k"):
+        if key in record and np.isfinite(record[key]):
+            gauge_set("quality." + key, record[key])
+    sp = current_span()
+    if sp is not None:
+        sp.add(**{"quality_" + k: (round(v, 6)
+                                   if isinstance(v, float) else v)
+                  for k, v in record.items()})
+    return record

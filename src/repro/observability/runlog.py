@@ -1,0 +1,244 @@
+"""Persistent run registry: one NDJSON provenance record per run.
+
+SDRBench's lesson is that cross-run / cross-dataset comparability
+requires *standardized, persisted* metric records -- not numbers
+scraped from stdout.  This module is that registry for the repro
+pipeline: every traced run appends one self-describing JSON line to a
+``runs.ndjson`` file, carrying
+
+* identity: ``run_id``, wall-clock timestamp, package version;
+* provenance: dataset id / shape / dtype, the full config as a dict
+  plus a short **config digest** (stable SHA-256 over the sorted
+  JSON), scheme parameters (error bound ``p``, index bytes, k-mode);
+* results: CR, ``k``/``m_blocks``, wall seconds, per-stage times and
+  shares from the tracer, the quality telemetry record when enabled,
+  and the full metric-registry snapshot.
+
+The record schema is specified in FORMATS.md (``run-record v1``).
+``dpz runs list / show / diff`` is the CLI surface; :func:`diff_runs`
+is the library entry the CLI uses for per-stage regression triage.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import time
+from typing import IO
+
+from repro.observability.metrics import metrics_snapshot
+from repro.observability.tracer import Tracer
+
+__all__ = [
+    "RECORD_VERSION",
+    "DEFAULT_RUNLOG",
+    "resolve_runlog",
+    "config_digest",
+    "build_record",
+    "append_record",
+    "load_runs",
+    "find_run",
+    "format_run_table",
+    "diff_runs",
+]
+
+RECORD_VERSION = 1
+
+#: Default registry file; override per call or with ``$DPZ_RUNLOG``.
+DEFAULT_RUNLOG = "runs.ndjson"
+
+
+def resolve_runlog(path: str | None = None) -> str:
+    """Precedence: explicit path, ``$DPZ_RUNLOG``, ``./runs.ndjson``."""
+    return path or os.environ.get("DPZ_RUNLOG") or DEFAULT_RUNLOG
+
+
+def _config_dict(config) -> dict:
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        return dataclasses.asdict(config)
+    if isinstance(config, dict):
+        return dict(config)
+    raise TypeError(f"unsupported config type {type(config).__name__}")
+
+
+def config_digest(config) -> str:
+    """Short stable digest of a config (dataclass or dict).
+
+    Key order never matters; two configs digest equal iff their JSON
+    forms are equal.  Twelve hex chars is plenty for a registry that
+    distinguishes configurations, not adversaries.
+    """
+    payload = json.dumps(_config_dict(config), sort_keys=True, default=str)
+    return hashlib.sha256(payload.encode()).hexdigest()[:12]
+
+
+def build_record(*, dataset: str, shape, dtype: str, config,
+                 cr: float, compressed_nbytes: int, original_nbytes: int,
+                 wall_s: float, tracer: Tracer | None = None,
+                 k: int | None = None, m_blocks: int | None = None,
+                 quality: dict | None = None,
+                 metrics: dict | None = None,
+                 extra: dict | None = None) -> dict:
+    """Assemble one run-record dict (schema ``run-record v1``).
+
+    ``metrics`` defaults to a snapshot of the default registry;
+    stage times/shares are folded from ``tracer`` when given.
+    """
+    from repro import __version__
+
+    cfg = _config_dict(config)
+    digest = config_digest(cfg)
+    ts = time.time()
+    run_id = hashlib.sha256(
+        f"{ts:.6f}|{dataset}|{digest}|{os.getpid()}".encode()
+    ).hexdigest()[:12]
+    record: dict = {
+        "record": "dpz-run",
+        "version": RECORD_VERSION,
+        "run_id": run_id,
+        "timestamp": round(ts, 3),
+        "time_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime(ts)),
+        "package_version": __version__,
+        "dataset": dataset,
+        "shape": [int(n) for n in shape],
+        "dtype": str(dtype),
+        "config_digest": digest,
+        "config": cfg,
+        "error_bound": cfg.get("p"),
+        "original_nbytes": int(original_nbytes),
+        "compressed_nbytes": int(compressed_nbytes),
+        "cr": round(float(cr), 6),
+        "wall_s": round(float(wall_s), 6),
+    }
+    if k is not None:
+        record["k"] = int(k)
+    if m_blocks is not None:
+        record["m_blocks"] = int(m_blocks)
+    if tracer is not None:
+        times = tracer.stage_times("dpz.")
+        shares = tracer.stage_shares("dpz.")
+        record["stage_times_s"] = {n: round(v, 6) for n, v in times.items()}
+        record["stage_shares"] = {n: round(v, 4) for n, v in shares.items()}
+    if quality:
+        record["quality"] = {
+            k_: (round(v, 8) if isinstance(v, float) else v)
+            for k_, v in quality.items()
+        }
+    record["metrics"] = metrics if metrics is not None else metrics_snapshot()
+    if extra:
+        record.update(extra)
+    return record
+
+
+def append_record(record: dict, path_or_fh: str | IO[str] | None = None
+                  ) -> str | None:
+    """Append one record line to the registry; returns the path used."""
+    line = json.dumps(record, sort_keys=True, default=str) + "\n"
+    if hasattr(path_or_fh, "write"):
+        path_or_fh.write(line)
+        return None
+    path = resolve_runlog(path_or_fh)
+    with open(path, "a") as fh:
+        fh.write(line)
+    return path
+
+
+def load_runs(path: str | None = None) -> list[dict]:
+    """All records in the registry file, oldest first.
+
+    Unparseable lines are skipped (a half-written trailing line from a
+    killed process must not take the whole registry down).
+    """
+    runs: list[dict] = []
+    with open(resolve_runlog(path)) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(rec, dict) and rec.get("record") == "dpz-run":
+                runs.append(rec)
+    return runs
+
+
+def find_run(runs: list[dict], key: str) -> dict:
+    """Resolve ``key`` to one record: an index (``0``, ``-1``) or a
+    ``run_id`` prefix."""
+    try:
+        return runs[int(key)]
+    except (ValueError, IndexError):
+        pass
+    matches = [r for r in runs if r.get("run_id", "").startswith(key)]
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise KeyError(f"no run matches {key!r}")
+    raise KeyError(f"run id prefix {key!r} is ambiguous "
+                   f"({len(matches)} matches)")
+
+
+def format_run_table(runs: list[dict]) -> str:
+    """Fixed-width listing: id, time, dataset, shape, CR, PSNR, wall."""
+    lines = [f"{'#':>3s} {'run_id':12s} {'time (UTC)':20s} {'dataset':12s} "
+             f"{'shape':>16s} {'cr':>8s} {'psnr':>8s} {'wall_s':>8s}"]
+    for i, rec in enumerate(runs):
+        psnr_db = rec.get("quality", {}).get("psnr_db")
+        psnr_s = f"{psnr_db:8.2f}" if isinstance(psnr_db, (int, float)) \
+            else f"{'-':>8s}"
+        shape = "x".join(str(n) for n in rec.get("shape", []))
+        lines.append(
+            f"{i:>3d} {rec.get('run_id', '?'):12s} "
+            f"{rec.get('time_utc', '?'):20s} "
+            f"{rec.get('dataset', '?'):12s} {shape:>16s} "
+            f"{rec.get('cr', 0.0):8.2f} {psnr_s} "
+            f"{rec.get('wall_s', 0.0):8.3f}")
+    return "\n".join(lines)
+
+
+def _fmt_delta(a: float, b: float, pct: bool = True) -> str:
+    if a == 0:
+        return "n/a"
+    rel = (b - a) / abs(a)
+    return f"{rel:+.1%}" if pct else f"{b - a:+.4f}"
+
+
+def diff_runs(a: dict, b: dict) -> str:
+    """Human-readable per-stage / per-metric diff of two run records."""
+    lines = [f"run A: {a.get('run_id')}  {a.get('dataset')} "
+             f"{a.get('time_utc')}  (config {a.get('config_digest')})",
+             f"run B: {b.get('run_id')}  {b.get('dataset')} "
+             f"{b.get('time_utc')}  (config {b.get('config_digest')})"]
+    if a.get("config_digest") != b.get("config_digest"):
+        ca, cb = a.get("config", {}), b.get("config", {})
+        changed = sorted(k for k in set(ca) | set(cb)
+                         if ca.get(k) != cb.get(k))
+        lines.append(f"config differs: {', '.join(changed) or '(fields)'}")
+    lines.append(f"{'metric':<22s} {'A':>12s} {'B':>12s} {'delta':>9s}")
+    rows: list[tuple[str, float, float]] = [
+        ("cr", a.get("cr", 0.0), b.get("cr", 0.0)),
+        ("wall_s", a.get("wall_s", 0.0), b.get("wall_s", 0.0)),
+        ("compressed_nbytes", a.get("compressed_nbytes", 0),
+         b.get("compressed_nbytes", 0)),
+    ]
+    qa, qb = a.get("quality", {}), b.get("quality", {})
+    for key in ("psnr_db", "max_abs_error", "mean_rel_error", "bitrate"):
+        if key in qa and key in qb:
+            rows.append(("quality." + key, qa[key], qb[key]))
+    for name, va, vb in rows:
+        lines.append(f"{name:<22s} {va:>12.4f} {vb:>12.4f} "
+                     f"{_fmt_delta(va, vb):>9s}")
+    ta = a.get("stage_times_s", {})
+    tb = b.get("stage_times_s", {})
+    if ta or tb:
+        lines.append(f"{'stage':<22s} {'A ms':>12s} {'B ms':>12s} "
+                     f"{'delta':>9s}")
+        for stage in sorted(set(ta) | set(tb)):
+            va, vb = ta.get(stage, 0.0), tb.get(stage, 0.0)
+            lines.append(f"{stage:<22s} {va * 1e3:>12.2f} "
+                         f"{vb * 1e3:>12.2f} {_fmt_delta(va, vb):>9s}")
+    return "\n".join(lines)

@@ -42,6 +42,7 @@ __all__ = [
     "Span",
     "Tracer",
     "span",
+    "current_span",
     "get_tracer",
     "set_tracer",
     "use_tracer",
@@ -203,6 +204,16 @@ class Tracer:
         with self._lock:
             self._spans.append(record)
 
+    def current(self) -> Span | None:
+        """The innermost span still open on *this* thread, if any.
+
+        Lets instrumentation (e.g. quality telemetry) attach metadata
+        to whatever stage is running without threading a span handle
+        through every call signature.
+        """
+        stack = self._stack()
+        return stack[-1] if stack else None
+
     # -- results ----------------------------------------------------------
 
     @property
@@ -291,3 +302,11 @@ def span(name: str, *, bytes_in: int | None = None,
     if tracer is None:
         return _NULL_SPAN
     return tracer.span(name, bytes_in=bytes_in, bytes_out=bytes_out, **meta)
+
+
+def current_span() -> Span | None:
+    """The installed tracer's innermost open span on this thread."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return None
+    return tracer.current()

@@ -31,8 +31,17 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence, TypeVar
 
+import time
+
 from repro.errors import ConfigError
-from repro.observability import counter_add, span, tracing_enabled
+from repro.observability import (
+    counter_add,
+    gauge_add,
+    gauge_set,
+    observe,
+    span,
+    tracing_enabled,
+)
 
 __all__ = ["ParallelConfig", "parallel_map", "resolve_jobs", "shutdown_pool"]
 
@@ -112,6 +121,7 @@ def _get_pool(workers: int) -> ThreadPoolExecutor:
             )
             _pool_workers = workers
             counter_add("parallel.pool.created")
+            gauge_set("parallel.pool.size", workers)
         else:
             counter_add("parallel.pool.reused")
         return _pool
@@ -149,14 +159,22 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
 
     # Traced path: one parent span for the map, one child span per
     # chunk (emitted from the worker thread), so thread scaling and
-    # per-chunk skew are visible in the trace.
+    # per-chunk skew are visible in the trace.  The queue-depth gauge
+    # tracks chunks dispatched but not yet finished; the chunk-latency
+    # histogram feeds the bench gate's p50/p95 check.
     counter_add("parallel.maps")
     counter_add("parallel.chunks", len(items))
+    gauge_add("parallel.queue.depth", len(items))
 
     def run_chunk(pair):
         i, item = pair
-        with span("parallel.chunk", index=i):
-            return fn(item)
+        t0 = time.perf_counter()
+        try:
+            with span("parallel.chunk", index=i):
+                return fn(item)
+        finally:
+            observe("parallel.chunk.seconds", time.perf_counter() - t0)
+            gauge_add("parallel.queue.depth", -1)
 
     with span("parallel.map", n_items=len(items),
               workers=1 if serial else workers, serial=serial):

@@ -14,6 +14,7 @@ from repro.observability import (
     counter_add,
     counters_reset,
     counters_snapshot,
+    get_registry,
     spans_to_ndjson,
     trace_summary,
     use_tracer,
@@ -23,9 +24,11 @@ from repro.observability import (
 
 @pytest.fixture(autouse=True)
 def _fresh_counters():
-    counters_reset()
+    # clear() (not reset()) so zero-valued metrics registered by other
+    # tests don't leak into snapshot-shape assertions.
+    get_registry().clear()
     yield
-    counters_reset()
+    get_registry().clear()
 
 
 @pytest.fixture
@@ -50,9 +53,15 @@ def test_ndjson_structure(traced_run, tmp_path):
     assert len(span_lines) == n > 0
     for rec in span_lines:
         assert {"name", "t0", "dur", "span_id", "depth"} <= set(rec)
-    # Compression emits zlib counters, so a counters trailer appears.
-    assert lines[-1]["event"] == "counters"
-    assert lines[-1]["zlib.compress.calls"] >= 1
+    # Compression emits zlib counters, so a counters trailer appears;
+    # the gauge/histogram snapshot (when any) is the final line.
+    trailers = [rec["event"] for rec in lines if rec["event"] != "span"]
+    assert trailers[:2] == ["meta", "counters"]
+    counters = next(rec for rec in lines if rec["event"] == "counters")
+    assert counters["zlib.compress.calls"] >= 1
+    metrics = next(rec for rec in lines if rec["event"] == "metrics")
+    assert lines[-1] is metrics
+    assert "zlib.compress.frame_bytes" in metrics["histograms"]
 
 
 def test_ndjson_covers_all_dpz_stages(traced_run):

@@ -1,0 +1,107 @@
+"""Flamegraph export: folded stacks, self time, self-contained HTML."""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import DPZCompressor
+from repro.core.config import DPZ_L
+from repro.observability import (
+    Tracer,
+    fold_spans,
+    folded_to_text,
+    load_trace,
+    render_html,
+    span,
+    use_tracer,
+    write_flamegraph,
+    write_ndjson,
+)
+
+
+@pytest.fixture
+def nested_tracer():
+    tracer = Tracer()
+    with use_tracer(tracer):
+        with span("root"):
+            with span("child_a"):
+                with span("leaf"):
+                    pass
+            with span("child_b"):
+                pass
+    return tracer
+
+
+def test_fold_spans_paths_and_self_time(nested_tracer):
+    folded = fold_spans(nested_tracer.spans)
+    assert set(folded) <= {"root", "root;child_a", "root;child_a;leaf",
+                           "root;child_b"}
+    # A parent's self time is its duration minus its children's.
+    root = next(s for s in nested_tracer.spans if s.name == "root")
+    children = [s for s in nested_tracer.spans
+                if s.name in ("child_a", "child_b")]
+    expect_self = root.dur - sum(c.dur for c in children)
+    assert folded.get("root", 0.0) == pytest.approx(max(expect_self, 0.0),
+                                                    abs=1e-9)
+
+
+def test_folded_to_text_format(nested_tracer):
+    text = folded_to_text(fold_spans(nested_tracer.spans))
+    for line in text.strip().splitlines():
+        m = re.fullmatch(r"(\S+) (\d+)", line)
+        assert m, f"bad folded line: {line!r}"
+        assert int(m.group(2)) >= 1  # microseconds, floored at 1
+    assert folded_to_text({}) == ""
+
+
+def test_render_html_self_contained(nested_tracer):
+    html = render_html(nested_tracer.spans, title="unit test")
+    assert html.startswith("<!DOCTYPE html>")
+    assert "unit test" in html
+    assert "http://" not in html and "https://" not in html
+    m = re.search(r"var DATA = (.*?);\n", html, re.S)
+    assert m, "embedded data missing"
+    forest = json.loads(m.group(1))
+    assert len(forest) == 1 and forest[0]["name"] == "root"
+    names = {c["name"] for c in forest[0]["children"]}
+    assert names == {"child_a", "child_b"}
+
+
+def test_write_flamegraph_counts_roots(nested_tracer, tmp_path):
+    out = tmp_path / "fg.html"
+    assert write_flamegraph(nested_tracer, str(out), title="t") == 1
+    assert out.read_text().startswith("<!DOCTYPE html>")
+    buf = io.StringIO()
+    assert write_flamegraph(nested_tracer.spans, buf) == 1
+    assert buf.getvalue().startswith("<!DOCTYPE html>")
+
+
+def test_flamegraph_from_ndjson_records(tmp_path, smooth_2d):
+    # The CLI path: trace -> NDJSON -> load -> flamegraph from dicts.
+    tracer = Tracer()
+    comp = DPZCompressor(DPZ_L)
+    with use_tracer(tracer):
+        comp.compress(smooth_2d.astype(np.float32))
+    path = tmp_path / "t.ndjson"
+    write_ndjson(tracer, str(path), meta={"dataset": "x"})
+    spans = load_trace(str(path))["spans"]
+    html = render_html(spans)
+    m = re.search(r"var DATA = (.*?);\n", html, re.S)
+    forest = json.loads(m.group(1))
+
+    def count(nodes):
+        return sum(1 + count(n["children"]) for n in nodes)
+
+    assert count(forest) == len(spans)
+    # Folded output from live spans and reloaded dicts is identical
+    # (paths and self-times survive the NDJSON roundtrip).
+    live = fold_spans(tracer.spans)
+    reloaded = fold_spans(spans)
+    assert set(live) == set(reloaded)
+    for key in live:
+        assert reloaded[key] == pytest.approx(live[key], abs=1e-9)

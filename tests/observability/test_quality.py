@@ -1,0 +1,124 @@
+"""Quality telemetry: deterministic slab, gauges, compressor hook."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import max_abs_error, psnr
+from repro.core.compressor import DPZCompressor
+from repro.core.config import DPZ_L
+from repro.observability import (
+    QualityConfig,
+    Tracer,
+    get_registry,
+    metrics_snapshot,
+    quality_enabled,
+    record_quality,
+    use_quality,
+    use_tracer,
+)
+from repro.observability.quality import slab_indices
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    get_registry().clear()
+    yield
+    get_registry().clear()
+
+
+def test_slab_indices_deterministic_and_bounded():
+    a = slab_indices(1_000_000, 1 << 16)
+    b = slab_indices(1_000_000, 1 << 16)
+    assert np.array_equal(a, b)
+    assert a.size == 1 << 16
+    assert a[0] == 0 and a[-1] == 999_999
+    assert np.all(np.diff(a) > 0)
+
+
+def test_slab_indices_small_field_is_exact():
+    idx = slab_indices(100, 1 << 16)
+    assert np.array_equal(idx, np.arange(100))
+
+
+def test_quality_config_validation():
+    with pytest.raises(ValueError):
+        QualityConfig(max_points=0)
+
+
+def test_use_quality_installs_and_restores():
+    assert not quality_enabled()
+    with use_quality() as cfg:
+        assert quality_enabled()
+        assert cfg.max_points == 1 << 16
+        with use_quality(QualityConfig(max_points=10)) as inner:
+            assert inner.max_points == 10
+        assert quality_enabled()
+    assert not quality_enabled()
+
+
+def test_record_quality_matches_direct_metrics():
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=500).astype(np.float32)
+    b = a + rng.normal(scale=1e-3, size=500).astype(np.float32)
+    rec = record_quality(a, b, compressed_nbytes=250,
+                         config=QualityConfig(max_points=1 << 16))
+    # Small field: the slab is the whole array, so values are exact.
+    assert rec["psnr_db"] == pytest.approx(float(psnr(a, b)))
+    assert rec["max_abs_error"] == pytest.approx(float(max_abs_error(a, b)))
+    assert rec["cr"] == pytest.approx(a.nbytes / 250)
+    assert rec["bitrate"] == pytest.approx(8 * 250 / a.size)
+    assert rec["sampled_points"] == a.size
+    assert rec["sample_fraction"] == 1.0
+
+
+def test_record_quality_sets_gauges_and_span_meta():
+    a = np.linspace(0.0, 1.0, 256, dtype=np.float32)
+    b = a + 1e-4
+    tracer = Tracer()
+    with use_tracer(tracer):
+        from repro.observability import span
+        with span("outer"):
+            record_quality(a, b, compressed_nbytes=64, tve_at_k=1e-6)
+    gauges = metrics_snapshot()["gauges"]
+    assert gauges["quality.psnr_db"] > 0
+    assert gauges["quality.max_abs_error"] == pytest.approx(1e-4, rel=1e-2)
+    assert gauges["quality.tve_at_k"] == pytest.approx(1e-6)
+    outer = next(s for s in tracer.spans if s.name == "outer")
+    assert "quality_psnr_db" in outer.meta
+    assert "quality_cr" in outer.meta
+
+
+def test_compressor_runs_quality_stage_when_enabled(smooth_2d):
+    data = smooth_2d.astype(np.float32)
+    comp = DPZCompressor(DPZ_L)
+    with use_tracer(Tracer()), use_quality():
+        blob, stats = comp.compress_with_stats(data)
+    assert "quality" in stats.times
+    gauges = metrics_snapshot()["gauges"]
+    assert gauges["quality.psnr_db"] > 20.0
+    assert gauges["quality.cr"] == pytest.approx(stats.cr, rel=1e-6)
+    # The recorded error must be consistent with a real reconstruction.
+    recon = DPZCompressor.decompress(blob)
+    assert gauges["quality.max_abs_error"] <= float(
+        max_abs_error(data, recon)) * (1.0 + 1e-9)
+
+
+def test_compressor_skips_quality_stage_when_disabled(smooth_2d):
+    comp = DPZCompressor(DPZ_L)
+    with use_tracer(Tracer()):
+        _, stats = comp.compress_with_stats(smooth_2d.astype(np.float32))
+    assert "quality" not in stats.times
+    assert "quality.psnr_db" not in metrics_snapshot()["gauges"]
+
+
+def test_quality_without_tracer_still_returns_record(smooth_2d):
+    # Quality gating is independent of the tracer: the record is
+    # computed, but the gauges are dropped (metrics are tracer-gated).
+    data = smooth_2d.astype(np.float32)
+    comp = DPZCompressor(DPZ_L)
+    with use_quality():
+        _, stats = comp.compress_with_stats(data)
+    assert "quality" in stats.times
+    assert "quality.psnr_db" not in metrics_snapshot()["gauges"]

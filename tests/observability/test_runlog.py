@@ -1,0 +1,131 @@
+"""Run registry: record schema, persistence, lookup, diffing."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.compressor import DPZCompressor
+from repro.core.config import DPZ_L, DPZ_S
+from repro.observability import (
+    Tracer,
+    append_record,
+    build_record,
+    config_digest,
+    diff_runs,
+    find_run,
+    format_run_table,
+    get_registry,
+    load_runs,
+    use_tracer,
+)
+from repro.observability.runlog import RECORD_VERSION, resolve_runlog
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    get_registry().clear()
+    yield
+    get_registry().clear()
+
+
+def _make_record(data, config=DPZ_L, dataset="synthetic"):
+    comp = DPZCompressor(config)
+    tracer = Tracer()
+    with use_tracer(tracer):
+        blob, stats = comp.compress_with_stats(data)
+    return build_record(
+        dataset=dataset, shape=data.shape, dtype=str(data.dtype),
+        config=config, cr=stats.cr, compressed_nbytes=len(blob),
+        original_nbytes=int(data.nbytes), wall_s=0.1, tracer=tracer,
+        k=stats.k, m_blocks=stats.m_blocks,
+    )
+
+
+def test_config_digest_stable_and_order_free():
+    d1 = config_digest({"a": 1, "b": 2})
+    d2 = config_digest({"b": 2, "a": 1})
+    assert d1 == d2 and len(d1) == 12
+    assert config_digest({"a": 1, "b": 3}) != d1
+    # Dataclass and its dict form digest identically.
+    import dataclasses
+    assert config_digest(DPZ_L) == config_digest(dataclasses.asdict(DPZ_L))
+
+
+def test_build_record_schema(smooth_2d):
+    rec = _make_record(smooth_2d.astype(np.float32))
+    assert rec["record"] == "dpz-run"
+    assert rec["version"] == RECORD_VERSION
+    assert len(rec["run_id"]) == 12
+    assert rec["config_digest"] == config_digest(DPZ_L)
+    assert rec["error_bound"] == DPZ_L.p
+    assert rec["cr"] > 1.0
+    assert rec["shape"] == list(smooth_2d.shape)
+    assert "dpz.pca" in rec["stage_times_s"]
+    assert abs(sum(rec["stage_shares"].values()) - 1.0) < 0.02
+    assert set(rec["metrics"]) == {"counters", "gauges", "histograms"}
+    json.dumps(rec)  # must be JSON-serializable as-is
+
+
+def test_append_and_load_roundtrip(tmp_path, smooth_2d):
+    path = tmp_path / "runs.ndjson"
+    data = smooth_2d.astype(np.float32)
+    for _ in range(2):
+        assert append_record(_make_record(data), str(path)) == str(path)
+    runs = load_runs(str(path))
+    assert len(runs) == 2
+    assert runs[0]["run_id"] != runs[1]["run_id"]
+
+
+def test_load_runs_skips_garbage_lines(tmp_path, smooth_2d):
+    path = tmp_path / "runs.ndjson"
+    rec = _make_record(smooth_2d.astype(np.float32))
+    path.write_text(
+        json.dumps(rec) + "\n"
+        + "{this is not json\n"
+        + '{"record": "other-tool", "x": 1}\n'
+        + json.dumps(rec) + "\n"
+        + '{"half written'  # killed-process tail
+    )
+    runs = load_runs(str(path))
+    assert len(runs) == 2
+
+
+def test_find_run_by_index_and_prefix(tmp_path, smooth_2d):
+    data = smooth_2d.astype(np.float32)
+    runs = [_make_record(data) for _ in range(3)]
+    assert find_run(runs, "0") is runs[0]
+    assert find_run(runs, "-1") is runs[-1]
+    rid = runs[1]["run_id"]
+    assert find_run(runs, rid[:6]) is runs[1]
+    with pytest.raises(KeyError):
+        find_run(runs, "zzzz")
+    with pytest.raises(KeyError):
+        find_run(runs, "")  # every id matches the empty prefix
+
+
+def test_format_run_table(smooth_2d):
+    runs = [_make_record(smooth_2d.astype(np.float32))]
+    table = format_run_table(runs)
+    assert runs[0]["run_id"] in table
+    assert "cr" in table.splitlines()[0]
+
+
+def test_diff_runs_reports_config_and_stage_changes(smooth_2d):
+    data = smooth_2d.astype(np.float32)
+    a = _make_record(data, config=DPZ_L)
+    b = _make_record(data, config=DPZ_S)
+    text = diff_runs(a, b)
+    assert "config differs" in text
+    assert "cr" in text and "wall_s" in text
+    assert "dpz.pca" in text
+
+
+def test_resolve_runlog_precedence(monkeypatch):
+    assert resolve_runlog("explicit.ndjson") == "explicit.ndjson"
+    monkeypatch.setenv("DPZ_RUNLOG", "/tmp/env.ndjson")
+    assert resolve_runlog() == "/tmp/env.ndjson"
+    monkeypatch.delenv("DPZ_RUNLOG")
+    assert resolve_runlog() == "runs.ndjson"

@@ -105,3 +105,44 @@ def test_committed_baseline_parses_with_current_gate():
     failures = compare(base, cand, throughput_tol=0.75, share_tol=0.15,
                        log=_quiet)
     assert failures == []
+
+
+def _with_chunk_hist(rec, p50, p95, count=8):
+    rec = copy.deepcopy(rec)
+    rec["metrics"] = {"histograms": {"parallel.chunk.seconds": {
+        "count": count, "p50": p50, "p95": p95}}}
+    return rec
+
+
+def test_chunk_latency_within_tolerance_passes():
+    base = _with_chunk_hist(_record(), p50=1e-3, p95=3e-3)
+    cand = _with_chunk_hist(_record(), p50=1.5e-3, p95=4e-3)  # +50%, +33%
+    assert compare(base, cand, chunk_latency_tol=1.0, log=_quiet) == []
+
+
+def test_chunk_latency_regression_fails():
+    base = _with_chunk_hist(_record(), p50=1e-3, p95=3e-3)
+    cand = _with_chunk_hist(_record(), p50=2.5e-3, p95=3e-3)  # p50 +150%
+    failures = compare(base, cand, chunk_latency_tol=1.0, log=_quiet)
+    assert len(failures) == 1 and "p50" in failures[0]
+
+
+def test_chunk_latency_skipped_without_snapshot():
+    # Baselines predating the metrics snapshot (BENCH_pr1/pr2) or runs
+    # with no parallel work never trip the gate.
+    base = _record()
+    cand = _with_chunk_hist(_record(), p50=1.0, p95=2.0)
+    assert compare(base, cand, log=_quiet) == []
+    empty = _with_chunk_hist(_record(), p50=0.0, p95=0.0, count=0)
+    assert compare(cand, empty, log=_quiet) == []
+
+
+def test_committed_pr3_record_exercises_chunk_gate():
+    root = pathlib.Path(__file__).resolve().parent.parent
+    pr3 = json.loads((root / "BENCH_pr3.json").read_text())
+    assert pr3["bench"] == "pr3-observability"
+    hist = pr3["metrics"]["histograms"]["parallel.chunk.seconds"]
+    assert hist["count"] > 0 and 0 < hist["p50"] <= hist["p95"]
+    assert pr3["metrics"]["gauges"]["quality.psnr_db"] > 0
+    # Self-compare runs the gate (both sides have the histogram).
+    assert compare(pr3, copy.deepcopy(pr3), log=_quiet) == []

@@ -84,7 +84,8 @@ def test_trace_command_to_file(tmp_path, field_file, capsys):
     import json
 
     out = tmp_path / "trace.ndjson"
-    assert main(["trace", str(field_file), "--out", str(out)]) == 0
+    assert main(["trace", str(field_file), "--out", str(out),
+                 "--no-runlog"]) == 0
     printed = capsys.readouterr().out
     assert "spans ->" in printed and "dpz.pca" in printed
     lines = [json.loads(line) for line in out.read_text().splitlines()]
@@ -99,7 +100,8 @@ def test_trace_command_to_file(tmp_path, field_file, capsys):
 def test_trace_command_registry_dataset_stdout(capsys):
     import json
 
-    assert main(["trace", "CLDLOW", "--size", "small"]) == 0
+    assert main(["trace", "CLDLOW", "--size", "small",
+                 "--no-runlog"]) == 0
     lines = [json.loads(line)
              for line in capsys.readouterr().out.splitlines()]
     meta = lines[0]
@@ -113,3 +115,95 @@ def test_trace_command_parser():
     args = parser.parse_args(["trace", "Isotropic", "--scheme", "s",
                               "--nines", "5", "--out", "t.ndjson"])
     assert args.command == "trace" and args.scheme == "s"
+
+
+def test_trace_unknown_input_one_line_error(capsys):
+    assert main(["trace", "no_such_dataset_or_file"]) == 2
+    captured = capsys.readouterr()
+    err_lines = [ln for ln in captured.err.splitlines() if ln]
+    assert len(err_lines) == 1
+    assert "no_such_dataset_or_file" in err_lines[0]
+    assert "Traceback" not in captured.err
+
+
+def test_trace_without_input_or_diff_errors(capsys):
+    assert main(["trace"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_trace_flamegraph_and_runlog(tmp_path, field_file, capsys):
+    out = tmp_path / "t.ndjson"
+    fg = tmp_path / "t.html"
+    runlog = tmp_path / "runs.ndjson"
+    assert main(["trace", str(field_file), "--out", str(out),
+                 "--flamegraph", str(fg), "--runlog", str(runlog)]) == 0
+    printed = capsys.readouterr().out
+    assert "flamegraph" in printed and "run " in printed
+    html = fg.read_text()
+    assert html.startswith("<!DOCTYPE html>") and "var DATA =" in html
+    import json
+    records = [json.loads(line)
+               for line in runlog.read_text().splitlines()]
+    assert len(records) == 1 and records[0]["record"] == "dpz-run"
+    # Quality telemetry is on during traced CLI runs.
+    assert records[0]["quality"]["psnr_db"] > 0
+    assert "metrics" in records[0]
+
+
+def test_trace_diff_mode(tmp_path, field_file, capsys):
+    a, b = tmp_path / "a.ndjson", tmp_path / "b.ndjson"
+    for path in (a, b):
+        assert main(["trace", str(field_file), "--out", str(path),
+                     "--no-runlog"]) == 0
+    capsys.readouterr()
+    assert main(["trace", "--diff", str(a), str(b)]) == 0
+    out = capsys.readouterr().out
+    assert "dpz.pca" in out and "total" in out
+
+
+def test_trace_diff_bad_file_one_line_error(tmp_path, capsys):
+    bad = tmp_path / "bad.ndjson"
+    bad.write_text('{"event": "nope"}\n')
+    assert main(["trace", "--diff", str(bad), str(bad)]) == 2
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err and "error" in captured.err
+
+
+def test_runs_cli_cycle(tmp_path, field_file, capsys):
+    runlog = tmp_path / "runs.ndjson"
+    for nines in ("4", "5"):
+        assert main(["trace", str(field_file), "--nines", nines,
+                     "--out", str(tmp_path / f"t{nines}.ndjson"),
+                     "--runlog", str(runlog)]) == 0
+    capsys.readouterr()
+
+    assert main(["runs", "list", "--file", str(runlog)]) == 0
+    listing = capsys.readouterr().out
+    assert listing.count("\n") >= 2 and "run_id" in listing
+
+    assert main(["runs", "show", "0", "--file", str(runlog)]) == 0
+    import json
+    shown = json.loads(capsys.readouterr().out)
+    assert shown["record"] == "dpz-run"
+
+    assert main(["runs", "diff", "0", "1", "--file", str(runlog)]) == 0
+    diff = capsys.readouterr().out
+    assert "config differs" in diff and "cr" in diff
+
+
+def test_runs_missing_registry_one_line_error(tmp_path, capsys):
+    assert main(["runs", "list", "--file",
+                 str(tmp_path / "absent.ndjson")]) == 2
+    captured = capsys.readouterr()
+    assert "Traceback" not in captured.err
+    assert "no run registry" in captured.err
+
+
+def test_runs_unknown_key_one_line_error(tmp_path, field_file, capsys):
+    runlog = tmp_path / "runs.ndjson"
+    assert main(["trace", str(field_file), "--out",
+                 str(tmp_path / "t.ndjson"),
+                 "--runlog", str(runlog)]) == 0
+    capsys.readouterr()
+    assert main(["runs", "show", "zzzz", "--file", str(runlog)]) == 2
+    assert "no run matches" in capsys.readouterr().err
