@@ -38,7 +38,8 @@ VIF_CLIP = 1e12
 def variance_inflation_factors(X: np.ndarray, *,
                                max_features: int | None = None,
                                contiguous: bool = True,
-                               rng: np.random.Generator | None = None
+                               rng: np.random.Generator | None = None,
+                               seed: int = 0
                                ) -> np.ndarray:
     """Per-feature VIFs of an ``(n_samples, n_features)`` matrix.
 
@@ -60,8 +61,12 @@ def variance_inflation_factors(X: np.ndarray, *,
         scattered subset would under-report it on data whose
         correlations are local (e.g. turbulence).
     rng:
-        Random generator for the feature subset (default: fresh
-        ``default_rng()``).
+        Random generator for the feature subset.  When omitted, a
+        generator seeded with ``seed`` is used, so repeated calls on
+        the same matrix probe the same columns.
+    seed:
+        Seed for the fallback generator (default 0).  Ignored when
+        ``rng`` is given.
 
     Returns
     -------
@@ -86,7 +91,7 @@ def variance_inflation_factors(X: np.ndarray, *,
         max_features = f
     max_features = min(max_features, cap)
     if max_features < f:
-        rng = rng or np.random.default_rng()
+        rng = rng if rng is not None else np.random.default_rng(seed)
         if contiguous:
             start = int(rng.integers(0, f - max_features + 1))
             cols = np.arange(start, start + max_features)

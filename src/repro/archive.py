@@ -47,24 +47,25 @@ __all__ = ["FieldArchive", "CODECS"]
 _MAGIC = b"DPZA"
 _VERSION = 1
 
-_RAW_DTYPES = {"f4": np.float32, "f8": np.float64}
+# Raw payload bytes are little-endian on every host; compare dtype
+# *kinds* (byte-order-insensitively) and pin "<"-dtypes when packing.
+_RAW_DTYPES = {"f4": np.dtype("<f4"), "f8": np.dtype("<f8")}
 
 
 def _raw_compress(data: np.ndarray, **_kw) -> bytes:
     """Lossless fallback codec: dtype tag + shape + zlib payload."""
     data = np.asarray(data)
-    if data.dtype == np.float32:
+    if data.dtype.newbyteorder("=") == np.float32:
         tag = b"f4"
-    elif data.dtype == np.float64:
-        tag = b"f8"
+        data = np.ascontiguousarray(data, dtype="<f4")
     else:
-        data = data.astype(np.float64)
         tag = b"f8"
+        data = np.ascontiguousarray(data, dtype="<f8")
     head = bytearray(tag)
     head += encode_uvarint(data.ndim)
     for n in data.shape:
         head += encode_uvarint(n)
-    return bytes(head) + zlib_compress(np.ascontiguousarray(data))
+    return bytes(head) + zlib_compress(data)
 
 
 def _raw_decompress(blob: bytes) -> np.ndarray:

@@ -36,6 +36,7 @@ from repro.core.quantize import (
     quantize_scores,
 )
 from repro.errors import ConfigError, DataShapeError, FormatError
+from repro.observability import span
 from repro.transforms.dct import dct1d, idct1d
 
 __all__ = ["DCTZCompressor", "dctz_compress", "dctz_decompress"]
@@ -87,9 +88,9 @@ class DCTZCompressor:
     def compress(self, data: np.ndarray) -> bytes:
         """Compress an arbitrary-dimensional float array."""
         data = np.asarray(data)
-        if data.dtype == np.float32:
+        if data.dtype.newbyteorder("=") == np.float32:
             dtype_tag = "f4"
-        elif data.dtype == np.float64:
+        elif data.dtype.newbyteorder("=") == np.float64:
             dtype_tag = "f8"
         else:
             data = data.astype(np.float64)
@@ -97,37 +98,44 @@ class DCTZCompressor:
         if data.size == 0:
             raise DataShapeError("cannot compress an empty array")
 
-        dmin = float(data.min())
-        rng = float(data.max()) - dmin
-        if rng == 0.0:
-            rng = 1.0
-        flat = (data.reshape(-1).astype(np.float64) - dmin) / rng - 0.5
-        bs = self.block_size
-        pad = (-flat.size) % bs
-        if pad:
-            flat = np.concatenate([flat, np.full(pad, flat[-1])])
-        blocks = flat.reshape(-1, bs)
-        coeffs = dct1d(blocks, axis=1)
-        q = quantize_scores(coeffs, self.p, self.n_bins)
+        with span("dctz.compress", bytes_in=int(data.nbytes)):
+            dmin = float(data.min())
+            rng = float(data.max()) - dmin
+            if rng == 0.0:
+                rng = 1.0
+            flat = (data.reshape(-1).astype(np.float64) - dmin) / rng - 0.5
+            bs = self.block_size
+            pad = (-flat.size) % bs
+            if pad:
+                flat = np.concatenate([flat, np.full(pad, flat[-1])])
+            blocks = flat.reshape(-1, bs)
+            coeffs = dct1d(blocks, axis=1)
+            q = quantize_scores(coeffs, self.p, self.n_bins)
 
-        meta = bytearray()
-        meta += dtype_tag.encode()
-        meta += struct.pack("<d", self.p)
-        meta += struct.pack("<d", dmin)
-        meta += struct.pack("<d", rng)
-        meta += encode_uvarint(self.n_bins)
-        meta += encode_uvarint(self.index_bytes)
-        meta += encode_uvarint(bs)
-        meta += encode_uvarint(data.ndim)
-        for n in data.shape:
-            meta += encode_uvarint(n)
-        meta += encode_uvarint(int(q.outliers.size))
+            meta = bytearray()
+            meta += dtype_tag.encode()
+            meta += struct.pack("<d", self.p)
+            meta += struct.pack("<d", dmin)
+            meta += struct.pack("<d", rng)
+            meta += encode_uvarint(self.n_bins)
+            meta += encode_uvarint(self.index_bytes)
+            meta += encode_uvarint(bs)
+            meta += encode_uvarint(data.ndim)
+            for n in data.shape:
+                meta += encode_uvarint(n)
+            meta += encode_uvarint(int(q.outliers.size))
 
-        idx = zlib_compress(np.ascontiguousarray(q.indices),
-                            self.zlib_level)
-        outl = zlib_compress(np.ascontiguousarray(q.outliers),
-                             self.zlib_level)
-        return pack_sections(_MAGIC, _VERSION, [bytes(meta), idx, outl])
+            idx = zlib_compress(
+                np.ascontiguousarray(
+                    q.indices,
+                    dtype="<u1" if self.index_bytes == 1 else "<u2",
+                ),
+                self.zlib_level,
+            )
+            outl = zlib_compress(np.ascontiguousarray(q.outliers,
+                                                      dtype="<f4"),
+                                 self.zlib_level)
+            return pack_sections(_MAGIC, _VERSION, [bytes(meta), idx, outl])
 
     # -- decompression -----------------------------------------------------
 
@@ -155,24 +163,29 @@ class DCTZCompressor:
             shape.append(n)
         n_outliers, pos = decode_uvarint(meta, pos)
 
-        idx_dtype = np.uint8 if index_bytes == 1 else np.uint16
-        indices = np.frombuffer(zlib_decompress(idx), dtype=idx_dtype)
-        outliers = np.frombuffer(zlib_decompress(outl), dtype=np.float32)
-        if outliers.size != n_outliers:
-            raise FormatError("outlier section size mismatch")
-        total = int(np.prod(shape))
-        padded = total + ((-total) % bs)
-        if indices.size != padded:
-            raise FormatError(
-                f"index count {indices.size} != padded size {padded}"
-            )
-        q = QuantizedScores(indices=indices.copy(), outliers=outliers.copy(),
-                            p=p, n_bins=n_bins,
-                            shape=(padded // bs, bs))
-        coeffs = dequantize_scores(q)
-        flat = idct1d(coeffs, axis=1).reshape(-1)[:total]
-        out = (flat + 0.5) * rng + dmin
-        return out.reshape(shape).astype(_DTYPES[dtype_tag])
+        with span("dctz.decompress", bytes_in=len(blob)):
+            idx_dtype = np.dtype("<u1") if index_bytes == 1 \
+                else np.dtype("<u2")
+            indices = np.frombuffer(zlib_decompress(idx), dtype=idx_dtype)
+            outliers = np.frombuffer(zlib_decompress(outl), dtype="<f4")
+            if outliers.size != n_outliers:
+                raise FormatError("outlier section size mismatch")
+            total = int(np.prod(shape))
+            padded = total + ((-total) % bs)
+            if indices.size != padded:
+                raise FormatError(
+                    f"index count {indices.size} != padded size {padded}"
+                )
+            q = QuantizedScores(indices=indices.astype(
+                                    np.uint8 if index_bytes == 1
+                                    else np.uint16),
+                                outliers=outliers.copy(),
+                                p=p, n_bins=n_bins,
+                                shape=(padded // bs, bs))
+            coeffs = dequantize_scores(q)
+            flat = idct1d(coeffs, axis=1).reshape(-1)[:total]
+            out = (flat + 0.5) * rng + dmin
+            return out.reshape(shape).astype(_DTYPES[dtype_tag])
 
 
 def dctz_compress(data: np.ndarray, p: float = 1e-3, *,

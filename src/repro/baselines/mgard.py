@@ -42,6 +42,7 @@ from repro.baselines.szstream import decode_residuals, encode_residuals
 from repro.codecs.container import pack_sections, unpack_sections
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.errors import ConfigError, DataShapeError, FormatError
+from repro.observability import span
 
 __all__ = ["MGARDCompressor", "mgard_compress", "mgard_decompress"]
 
@@ -151,9 +152,9 @@ class MGARDCompressor:
     def compress(self, data: np.ndarray) -> bytes:
         """Compress an n-D float array with a strict pointwise bound."""
         data = np.asarray(data)
-        if data.dtype == np.float32:
+        if data.dtype.newbyteorder("=") == np.float32:
             dtype_tag = "f4"
-        elif data.dtype == np.float64:
+        elif data.dtype.newbyteorder("=") == np.float64:
             dtype_tag = "f8"
         else:
             data = data.astype(np.float64)
@@ -165,6 +166,10 @@ class MGARDCompressor:
         if min(data.shape) < 4:
             raise DataShapeError("every axis needs extent >= 4")
 
+        with span("mgard.compress", bytes_in=int(data.nbytes)):
+            return self._compress_body(data, dtype_tag)
+
+    def _compress_body(self, data: np.ndarray, dtype_tag: str) -> bytes:
         eps = self._resolve_eps(data)
         # Shave one float32 ULP so the bound survives the output cast
         # (same correction as the SZ baseline).
@@ -214,6 +219,11 @@ class MGARDCompressor:
     @staticmethod
     def decompress(blob: bytes) -> np.ndarray:
         """Decompress a container produced by :meth:`compress`."""
+        with span("mgard.decompress", bytes_in=len(blob)):
+            return MGARDCompressor._decompress_body(blob)
+
+    @staticmethod
+    def _decompress_body(blob: bytes) -> np.ndarray:
         sections = unpack_sections(blob, _MAGIC, _VERSION)
         meta = sections[0]
         dtype_tag = meta[:2].decode()

@@ -147,9 +147,9 @@ class SZCompressor:
         """Compress an n-D float array to a self-describing byte string."""
         t_start = time.perf_counter()
         data = np.asarray(data)
-        if data.dtype == np.float32:
+        if data.dtype.newbyteorder("=") == np.float32:
             dtype_tag = "f4"
-        elif data.dtype == np.float64:
+        elif data.dtype.newbyteorder("=") == np.float64:
             dtype_tag = "f8"
         else:
             data = data.astype(np.float64)
@@ -200,7 +200,8 @@ class SZCompressor:
                 residuals = res
                 selectors = zlib_compress(np.packbits(choose_reg).tobytes())
                 # Only regression blocks need their coefficients.
-                coeffs = zlib_compress(coef[choose_reg].tobytes())
+                coeffs = zlib_compress(
+                    np.ascontiguousarray(coef[choose_reg], dtype="<f4"))
 
         meta = bytearray()
         meta += encode_uvarint(_MODE_ID[mode])
@@ -283,7 +284,7 @@ class SZCompressor:
             n_reg = int(choose_reg.sum())
             if n_reg:
                 coef = np.frombuffer(zlib_decompress(coeffs),
-                                     dtype=np.float32)
+                                     dtype="<f4")
                 coef = coef.reshape(n_reg, 1 + ndim)
                 pred = predict_blocks(coef, bshape[1:])
                 blocks[choose_reg] = pred + lattice_dequantize(

@@ -38,6 +38,7 @@ from repro.core.quantize import (
     quantize_scores,
 )
 from repro.errors import ConfigError, DataShapeError, FormatError
+from repro.observability import span
 
 __all__ = ["TuckerCompressor", "tucker_compress", "tucker_decompress",
            "hosvd", "mode_product"]
@@ -138,9 +139,9 @@ class TuckerCompressor:
     def compress(self, data: np.ndarray) -> bytes:
         """Compress a 2-D or 3-D float array."""
         data = np.asarray(data)
-        if data.dtype == np.float32:
+        if data.dtype.newbyteorder("=") == np.float32:
             dtype_tag = "f4"
-        elif data.dtype == np.float64:
+        elif data.dtype.newbyteorder("=") == np.float64:
             dtype_tag = "f8"
         else:
             data = data.astype(np.float64)
@@ -152,40 +153,45 @@ class TuckerCompressor:
         if min(data.shape) < 2:
             raise DataShapeError("every mode needs extent >= 2")
 
-        work = data.astype(np.float64)
-        _, factors, svals = hosvd(work)
-        ranks = _ranks_for_energy(svals, self.target)
-        trunc = [u[:, :r].astype(np.float32) for u, r in zip(factors,
-                                                             ranks)]
-        core = work
-        for mode, u in enumerate(trunc):
-            core = mode_product(core, u.astype(np.float64).T, mode)
+        with span("tucker.compress", bytes_in=int(data.nbytes)):
+            work = data.astype(np.float64)
+            _, factors, svals = hosvd(work)
+            ranks = _ranks_for_energy(svals, self.target)
+            trunc = [u[:, :r].astype("<f4") for u, r in zip(factors,
+                                                            ranks)]
+            core = work
+            for mode, u in enumerate(trunc):
+                core = mode_product(core, u.astype(np.float64).T, mode)
 
-        peak = float(np.max(np.abs(core))) if core.size else 1.0
-        scale = peak if peak > 0 else 1.0
-        q = quantize_scores(core / scale, self.p, self.n_bins)
+            peak = float(np.max(np.abs(core))) if core.size else 1.0
+            scale = peak if peak > 0 else 1.0
+            q = quantize_scores(core / scale, self.p, self.n_bins)
 
-        meta = bytearray()
-        meta += dtype_tag.encode()
-        meta += struct.pack("<d", self.p)
-        meta += struct.pack("<d", scale)
-        meta += encode_uvarint(self.n_bins)
-        meta += encode_uvarint(self.index_bytes)
-        meta += encode_uvarint(data.ndim)
-        for n in data.shape:
-            meta += encode_uvarint(n)
-        for r in ranks:
-            meta += encode_uvarint(r)
-        meta += encode_uvarint(int(q.outliers.size))
+            meta = bytearray()
+            meta += dtype_tag.encode()
+            meta += struct.pack("<d", self.p)
+            meta += struct.pack("<d", scale)
+            meta += encode_uvarint(self.n_bins)
+            meta += encode_uvarint(self.index_bytes)
+            meta += encode_uvarint(data.ndim)
+            for n in data.shape:
+                meta += encode_uvarint(n)
+            for r in ranks:
+                meta += encode_uvarint(r)
+            meta += encode_uvarint(int(q.outliers.size))
 
-        fbytes = b"".join(u.tobytes() for u in trunc)
-        sections = [
-            bytes(meta),
-            zlib_compress(fbytes),
-            zlib_compress(np.ascontiguousarray(q.indices)),
-            zlib_compress(np.ascontiguousarray(q.outliers)),
-        ]
-        return pack_sections(_MAGIC, _VERSION, sections)
+            fbytes = b"".join(u.tobytes() for u in trunc)
+            sections = [
+                bytes(meta),
+                zlib_compress(fbytes),
+                zlib_compress(np.ascontiguousarray(
+                    q.indices,
+                    dtype="<u1" if self.index_bytes == 1 else "<u2",
+                )),
+                zlib_compress(np.ascontiguousarray(q.outliers,
+                                                   dtype="<f4")),
+            ]
+            return pack_sections(_MAGIC, _VERSION, sections)
 
     # -- decompression -----------------------------------------------------
 
@@ -214,29 +220,34 @@ class TuckerCompressor:
             ranks.append(r)
         n_outliers, pos = decode_uvarint(meta, pos)
 
-        raw = zlib_decompress(fsec)
-        factors = []
-        off = 0
-        for n, r in zip(shape, ranks):
-            count = n * r
-            u = np.frombuffer(raw, dtype=np.float32, count=count,
-                              offset=off).reshape(n, r)
-            factors.append(u.astype(np.float64))
-            off += count * 4
-        idx_dtype = np.uint8 if index_bytes == 1 else np.uint16
-        indices = np.frombuffer(zlib_decompress(isec), dtype=idx_dtype)
-        outliers = np.frombuffer(zlib_decompress(osec), dtype=np.float32)
-        if outliers.size != n_outliers:
-            raise FormatError("outlier section size mismatch")
-        if indices.size != int(np.prod(ranks)):
-            raise FormatError("core size mismatch")
-        q = QuantizedScores(indices=indices.copy(), outliers=outliers.copy(),
-                            p=p, n_bins=n_bins, shape=tuple(ranks))
-        core = dequantize_scores(q) * scale
-        out = core
-        for mode, u in enumerate(factors):
-            out = mode_product(out, u, mode)
-        return out.astype(_DTYPES[dtype_tag])
+        with span("tucker.decompress", bytes_in=len(blob)):
+            raw = zlib_decompress(fsec)
+            factors = []
+            off = 0
+            for n, r in zip(shape, ranks):
+                count = n * r
+                u = np.frombuffer(raw, dtype="<f4", count=count,
+                                  offset=off).reshape(n, r)
+                factors.append(u.astype(np.float64))
+                off += count * 4
+            idx_dtype = np.dtype("<u1") if index_bytes == 1 \
+                else np.dtype("<u2")
+            indices = np.frombuffer(zlib_decompress(isec), dtype=idx_dtype)
+            outliers = np.frombuffer(zlib_decompress(osec), dtype="<f4")
+            if outliers.size != n_outliers:
+                raise FormatError("outlier section size mismatch")
+            if indices.size != int(np.prod(ranks)):
+                raise FormatError("core size mismatch")
+            q = QuantizedScores(indices=indices.astype(
+                                    np.uint8 if index_bytes == 1
+                                    else np.uint16),
+                                outliers=outliers.copy(),
+                                p=p, n_bins=n_bins, shape=tuple(ranks))
+            core = dequantize_scores(q) * scale
+            out = core
+            for mode, u in enumerate(factors):
+                out = mode_product(out, u, mode)
+            return out.astype(_DTYPES[dtype_tag])
 
 
 def tucker_compress(data: np.ndarray, target: float = 0.9999, *,

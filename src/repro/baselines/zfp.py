@@ -229,9 +229,9 @@ class ZFPCompressor:
         """Compress an n-D (1-3) float array."""
         t_start = time.perf_counter()
         data = np.asarray(data)
-        if data.dtype == np.float32:
+        if data.dtype.newbyteorder("=") == np.float32:
             dtype_tag = "f4"
-        elif data.dtype == np.float64:
+        elif data.dtype.newbyteorder("=") == np.float64:
             dtype_tag = "f8"
         else:
             data = data.astype(np.float64)

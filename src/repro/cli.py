@@ -40,6 +40,7 @@ from repro.core.compressor import DPZCompressor
 from repro.core.stream import deserialize
 from repro.datasets.io import load_field, save_field
 from repro.datasets.registry import all_dataset_names, get_spec
+from repro.errors import ConfigError
 
 __all__ = ["main", "build_parser"]
 
@@ -164,6 +165,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     pl = sub.add_parser("list", help="list an archive's contents")
     pl.add_argument("input")
+
+    pn = sub.add_parser("lint",
+                        help="run the repo-native static-analysis pass")
+    pn.add_argument("paths", nargs="+",
+                    help="files or directories to lint")
+    pn.add_argument("--format", choices=("human", "json"),
+                    default="human", help="output format")
+    pn.add_argument("--select", default=None,
+                    help="comma-separated rule ids to run "
+                         "(default: all)")
+    pn.add_argument("--out", default=None,
+                    help="also write the report to this file")
     return ap
 
 
@@ -284,7 +297,7 @@ def _load_trace_input(args) -> tuple[str, np.ndarray]:
     """Resolve the trace input: registry name first, then file path."""
     try:
         get_spec(args.input)
-    except Exception:
+    except ConfigError:
         shape = tuple(args.shape) if args.shape else None
         try:
             return args.input, load_field(args.input, shape)
@@ -470,6 +483,25 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from repro.devtools.lint import (
+        lint_paths,
+        resolve_selection,
+        to_json,
+        to_text,
+    )
+
+    rules = resolve_selection(args.select)
+    report = lint_paths(args.paths, rules)
+    rendered = (to_json(report, rules) if args.format == "json"
+                else to_text(report, rules))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+    print(rendered)
+    return 1 if report.findings else 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -482,6 +514,7 @@ _COMMANDS = {
     "pack": _cmd_pack,
     "unpack": _cmd_unpack,
     "list": _cmd_list,
+    "lint": _cmd_lint,
 }
 
 

@@ -16,7 +16,10 @@ the highest bit of the first byte.  This matches the conventional
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import CodecError
 
@@ -86,7 +89,7 @@ class BitWriter:
         """Append a single bit (0 or 1)."""
         self.write(bit & 1, 1)
 
-    def _append_bit_array(self, bits: np.ndarray) -> None:
+    def _append_bit_array(self, bits: NDArray[np.uint8]) -> None:
         """Append a 0/1 ``uint8`` array, honoring pending sub-byte bits."""
         nb = int(bits.size)
         if nb == 0:
@@ -114,7 +117,7 @@ class BitWriter:
         self._accbits = rem
         self._nbits += nb
 
-    def write_bits_array(self, values: np.ndarray, nbits: int) -> None:
+    def write_bits_array(self, values: NDArray[Any], nbits: int) -> None:
         """Append every element of ``values`` as an ``nbits``-wide field.
 
         Vectorized: the whole array is expanded to a bit matrix at once.
@@ -129,7 +132,7 @@ class BitWriter:
         bits = ((values.reshape(-1, 1) >> shifts) & np.uint64(1)).astype(np.uint8)
         self._append_bit_array(bits.reshape(-1))
 
-    def write_bitplane(self, plane: np.ndarray) -> None:
+    def write_bitplane(self, plane: NDArray[Any]) -> None:
         """Append a raw 0/1 plane (one bit per element, in array order)."""
         plane = np.ascontiguousarray(plane, dtype=np.uint8).reshape(-1)
         self._append_bit_array(plane & 1)
@@ -154,8 +157,10 @@ class BitReader:
 
     __slots__ = ("_bits", "_pos")
 
-    def __init__(self, data: bytes | bytearray | memoryview | np.ndarray) -> None:
-        buf = np.frombuffer(bytes(data), dtype=np.uint8)
+    def __init__(self,
+                 data: bytes | bytearray | memoryview | NDArray[Any]) -> None:
+        raw = data.tobytes() if isinstance(data, np.ndarray) else bytes(data)
+        buf = np.frombuffer(raw, dtype=np.uint8)
         self._bits = np.unpackbits(buf)
         self._pos = 0
 
@@ -173,7 +178,7 @@ class BitReader:
         """Number of unread bits."""
         return int(self._bits.size) - self._pos
 
-    def _take(self, nbits: int) -> np.ndarray:
+    def _take(self, nbits: int) -> NDArray[np.uint8]:
         if nbits < 0:
             raise CodecError(f"negative bit count: {nbits}")
         end = self._pos + nbits
@@ -198,7 +203,7 @@ class BitReader:
         """Read a single bit."""
         return int(self._take(1)[0])
 
-    def read_bits_array(self, count: int, nbits: int) -> np.ndarray:
+    def read_bits_array(self, count: int, nbits: int) -> NDArray[np.uint64]:
         """Read ``count`` consecutive ``nbits``-wide fields as ``uint64``.
 
         Inverse of :meth:`BitWriter.write_bits_array`.
@@ -207,9 +212,11 @@ class BitReader:
             return np.zeros(count, dtype=np.uint64)
         bits = self._take(count * nbits).astype(np.uint64).reshape(count, nbits)
         shifts = np.arange(nbits - 1, -1, -1, dtype=np.uint64)
-        return (bits << shifts).sum(axis=1)
+        out: NDArray[np.uint64] = (bits << shifts).sum(axis=1,
+                                                       dtype=np.uint64)
+        return out
 
-    def read_bitplane(self, count: int) -> np.ndarray:
+    def read_bitplane(self, count: int) -> NDArray[np.uint8]:
         """Read ``count`` raw bits as a ``uint8`` 0/1 array."""
         return self._take(count).copy()
 

@@ -34,8 +34,10 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass
 from functools import lru_cache
+from typing import Any, cast
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.codecs.zlibc import zlib_compress, zlib_decompress
@@ -56,7 +58,7 @@ _SCALAR_CUTOFF = 1024
 _CHUNK_SYMBOLS = 256
 
 
-def _huffman_code_lengths(counts: np.ndarray) -> np.ndarray:
+def _huffman_code_lengths(counts: NDArray[np.int64]) -> NDArray[np.int64]:
     """Compute unrestricted Huffman code lengths from symbol counts.
 
     Uses the standard two-queue/heap construction.  Symbols with zero
@@ -89,12 +91,14 @@ def _huffman_code_lengths(counts: np.ndarray) -> np.ndarray:
         if isinstance(node, int):
             lengths[node] = max(depth, 1)
         else:
-            stack.append((node[0], depth + 1))
-            stack.append((node[1], depth + 1))
+            children = cast("list[object]", node)
+            stack.append((children[0], depth + 1))
+            stack.append((children[1], depth + 1))
     return lengths
 
 
-def _limit_lengths(lengths: np.ndarray, max_len: int) -> np.ndarray:
+def _limit_lengths(lengths: NDArray[np.int64],
+                   max_len: int) -> NDArray[np.int64]:
     """Repair code lengths so none exceeds ``max_len`` and Kraft holds.
 
     The Kraft inequality ``sum(2**-len) <= 1`` is what makes a prefix
@@ -131,7 +135,7 @@ def _limit_lengths(lengths: np.ndarray, max_len: int) -> np.ndarray:
     return lens
 
 
-def _canonical_codes_ref(lengths: np.ndarray) -> np.ndarray:
+def _canonical_codes_ref(lengths: NDArray[np.int64]) -> NDArray[np.uint64]:
     """Reference scalar canonical-code assignment.
 
     The pre-vectorization implementation: a Python loop over used
@@ -157,7 +161,7 @@ def _canonical_codes_ref(lengths: np.ndarray) -> np.ndarray:
     return codes
 
 
-def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
+def _canonical_codes(lengths: NDArray[np.int64]) -> NDArray[np.uint64]:
     """Assign canonical codewords given per-symbol code lengths.
 
     Symbols are processed in (length, symbol) order; each receives the
@@ -193,7 +197,8 @@ def _canonical_codes(lengths: np.ndarray) -> np.ndarray:
 
 
 @lru_cache(maxsize=128)
-def _table_from_lengths_bytes(raw: bytes) -> tuple[np.ndarray, np.ndarray]:
+def _table_from_lengths_bytes(
+        raw: bytes) -> tuple[NDArray[np.int64], NDArray[np.uint64]]:
     """Rebuild ``(lengths, codes)`` from a serialized uint8 length array.
 
     Cached so multi-section archives sharing one table header don't
@@ -219,11 +224,11 @@ class HuffmanTable:
         Per-symbol canonical codewords (uint64, MSB-significant).
     """
 
-    lengths: np.ndarray
-    codes: np.ndarray
+    lengths: NDArray[np.int64]
+    codes: NDArray[np.uint64]
 
     @classmethod
-    def from_counts(cls, counts: np.ndarray,
+    def from_counts(cls, counts: NDArray[Any],
                     max_len: int = MAX_CODE_LENGTH) -> "HuffmanTable":
         """Build an (approximately) optimal length-limited code.
 
@@ -245,7 +250,7 @@ class HuffmanTable:
         return cls(lengths=lengths, codes=_canonical_codes(lengths))
 
     @classmethod
-    def from_symbols(cls, symbols: np.ndarray,
+    def from_symbols(cls, symbols: NDArray[Any],
                      alphabet_size: int | None = None,
                      max_len: int = MAX_CODE_LENGTH) -> "HuffmanTable":
         """Build a table from observed symbols (convenience)."""
@@ -265,7 +270,7 @@ class HuffmanTable:
         """Longest codeword in bits (0 for an empty code)."""
         return int(self.lengths.max()) if self.lengths.size else 0
 
-    def expected_bits(self, counts: np.ndarray) -> int:
+    def expected_bits(self, counts: NDArray[Any]) -> int:
         """Total encoded payload size in bits for the given frequencies."""
         counts = np.asarray(counts, dtype=np.int64)
         return int(np.sum(counts * self.lengths))
@@ -293,7 +298,8 @@ class HuffmanTable:
 
     # -- decode table ----------------------------------------------------
 
-    def decode_tables(self) -> tuple[np.ndarray, np.ndarray, int]:
+    def decode_tables(
+            self) -> tuple[NDArray[np.int64], NDArray[np.int64], int]:
         """Flat decode tables ``(symbol_at, length_at, L)``.
 
         Indexing either table with the next ``L`` stream bits (as an
@@ -303,7 +309,9 @@ class HuffmanTable:
         """
         cached = self.__dict__.get("_decode_cache")
         if cached is not None:
-            return cached
+            return cast(
+                "tuple[NDArray[np.int64], NDArray[np.int64], int]", cached
+            )
         L = self.max_length
         if L > 32:
             raise CodecError(
@@ -328,7 +336,7 @@ class HuffmanTable:
         return tables
 
 
-def huffman_encode(symbols: np.ndarray, table: HuffmanTable) -> bytes:
+def huffman_encode(symbols: NDArray[Any], table: HuffmanTable) -> bytes:
     """Encode an integer symbol array; returns ``uvarint(n) || bitstream``.
 
     Fully vectorized: per-symbol codeword bits are expanded with
@@ -363,8 +371,9 @@ def huffman_encode(symbols: np.ndarray, table: HuffmanTable) -> bytes:
     return out
 
 
-def _decode_scalar(buf: np.ndarray, n: int, sym_tab: np.ndarray,
-                   len_tab: np.ndarray, L: int) -> tuple[np.ndarray, int]:
+def _decode_scalar(buf: NDArray[np.uint8], n: int,
+                   sym_tab: NDArray[np.int64], len_tab: NDArray[np.int64],
+                   L: int) -> tuple[NDArray[np.int64], int]:
     """Reference decode: per-offset table gather + Python cursor loop.
 
     For every bit offset we precompute, via the flat table, the
@@ -395,8 +404,10 @@ def _decode_scalar(buf: np.ndarray, n: int, sym_tab: np.ndarray,
     return np.asarray(out, dtype=np.int64), cursor
 
 
-def _decode_vectorized(buf: np.ndarray, n: int, sym_tab: np.ndarray,
-                       len_tab: np.ndarray, L: int) -> tuple[np.ndarray, int]:
+def _decode_vectorized(buf: NDArray[np.uint8], n: int,
+                       sym_tab: NDArray[np.int64],
+                       len_tab: NDArray[np.int64],
+                       L: int) -> tuple[NDArray[np.int64], int]:
     """Chunked speculative decode (see module docstring).
 
     The stream is cut into ``S`` fixed-width bit chunks, each decoded
@@ -581,7 +592,7 @@ def _decode_vectorized(buf: np.ndarray, n: int, sym_tab: np.ndarray,
 
 
 def huffman_decode(data: bytes, table: HuffmanTable,
-                   offset: int = 0) -> tuple[np.ndarray, int]:
+                   offset: int = 0) -> tuple[NDArray[np.int64], int]:
     """Decode ``huffman_encode`` output; returns ``(symbols, next_offset)``.
 
     ``next_offset`` is the byte offset just past the (byte-aligned)

@@ -19,7 +19,10 @@ negative in base -2.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 __all__ = ["int_to_negabinary", "negabinary_to_int", "NB_MASK64"]
 
@@ -28,7 +31,7 @@ __all__ = ["int_to_negabinary", "negabinary_to_int", "NB_MASK64"]
 NB_MASK64 = np.uint64(0xAAAAAAAAAAAAAAAA)
 
 
-def int_to_negabinary(values: np.ndarray) -> np.ndarray:
+def int_to_negabinary(values: NDArray[Any]) -> NDArray[np.uint64]:
     """Map signed int64 values to their uint64 negabinary representation.
 
     Vectorized; the result can be bit-plane coded directly.  Inverse is
@@ -37,10 +40,11 @@ def int_to_negabinary(values: np.ndarray) -> np.ndarray:
     arr = np.asarray(values).astype(np.int64, copy=False)
     u = arr.astype(np.uint64)
     with np.errstate(over="ignore"):
-        return (u + NB_MASK64) ^ NB_MASK64
+        out: NDArray[np.uint64] = (u + NB_MASK64) ^ NB_MASK64
+        return out
 
 
-def negabinary_to_int(values: np.ndarray) -> np.ndarray:
+def negabinary_to_int(values: NDArray[Any]) -> NDArray[np.int64]:
     """Inverse of :func:`int_to_negabinary` (uint64 -> int64)."""
     u = np.asarray(values).astype(np.uint64, copy=False)
     with np.errstate(over="ignore"):

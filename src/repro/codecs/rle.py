@@ -8,7 +8,10 @@ length)`` pairs; the decoder therefore needs no alphabet metadata.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import DTypeLike, NDArray
 
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.errors import CodecError
@@ -16,7 +19,7 @@ from repro.errors import CodecError
 __all__ = ["rle_encode", "rle_decode"]
 
 
-def rle_encode(values: np.ndarray) -> bytes:
+def rle_encode(values: NDArray[Any]) -> bytes:
     """Run-length encode a 1-D non-negative integer array.
 
     Returns a self-describing byte string: a uvarint element count, then
@@ -38,7 +41,7 @@ def rle_encode(values: np.ndarray) -> bytes:
     return bytes(out)
 
 
-def rle_decode(data: bytes, dtype=np.int64) -> np.ndarray:
+def rle_decode(data: bytes, dtype: DTypeLike = np.int64) -> NDArray[Any]:
     """Inverse of :func:`rle_encode`."""
     total, pos = decode_uvarint(data, 0)
     symbols: list[int] = []

@@ -9,7 +9,10 @@ the same scheme protobuf uses.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.errors import CodecError
 
@@ -61,25 +64,31 @@ def decode_uvarint(data: bytes | memoryview, offset: int = 0) -> tuple[int, int]
             raise CodecError("uvarint too long (exceeds 64 bits)")
 
 
-def zigzag_encode(values: np.ndarray | int) -> np.ndarray | int:
+def zigzag_encode(values: NDArray[Any] | int) -> NDArray[np.uint64] | int:
     """Map signed integers to unsigned: 0,-1,1,-2,... -> 0,1,2,3,...
 
     Accepts a scalar or an integer array; arrays are mapped elementwise
     to ``uint64``.
     """
-    if np.isscalar(values):
+    if isinstance(values, (int, np.integer)):
         v = int(values)
         return (v << 1) ^ (v >> 63) if v >= 0 else ((-v) << 1) - 1
     arr = np.asarray(values).astype(np.int64, copy=False)
-    return ((arr.astype(np.uint64) << np.uint64(1))
-            ^ (arr >> np.int64(63)).astype(np.uint64))
+    out: NDArray[np.uint64] = (
+        (arr.astype(np.uint64) << np.uint64(1))
+        ^ (arr >> np.int64(63)).astype(np.uint64)
+    )
+    return out
 
 
-def zigzag_decode(values: np.ndarray | int) -> np.ndarray | int:
+def zigzag_decode(values: NDArray[Any] | int) -> NDArray[np.int64] | int:
     """Inverse of :func:`zigzag_encode`."""
-    if np.isscalar(values):
+    if isinstance(values, (int, np.integer)):
         v = int(values)
         return (v >> 1) ^ -(v & 1)
     arr = np.asarray(values).astype(np.uint64, copy=False)
-    return ((arr >> np.uint64(1)).astype(np.int64)
-            ^ -(arr & np.uint64(1)).astype(np.int64))
+    out: NDArray[np.int64] = (
+        (arr >> np.uint64(1)).astype(np.int64)
+        ^ -(arr & np.uint64(1)).astype(np.int64)
+    )
+    return out

@@ -10,8 +10,10 @@ stored raw (flag byte 0) instead of growing.
 from __future__ import annotations
 
 import zlib
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.errors import CodecError
@@ -27,7 +29,7 @@ _RAW = 0
 _DEFLATE = 1
 
 
-def zlib_compress(data: bytes | bytearray | memoryview | np.ndarray,
+def zlib_compress(data: bytes | bytearray | memoryview | NDArray[Any],
                   level: int = DEFAULT_LEVEL) -> bytes:
     """Compress ``data`` with zlib inside a self-describing frame.
 
@@ -35,9 +37,10 @@ def zlib_compress(data: bytes | bytearray | memoryview | np.ndarray,
     so the frame never costs more than ``len(data) + ~11`` bytes.
     """
     if isinstance(data, np.ndarray):
-        data = data.tobytes()
+        raw = data.tobytes()
     else:
-        data = bytes(data)
+        raw = bytes(data)
+    data = raw
     packed = zlib.compress(data, level)
     counter_add("zlib.compress.calls")
     counter_add("zlib.compress.bytes_in", len(data))

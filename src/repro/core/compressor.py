@@ -173,7 +173,9 @@ class DPZCompressor:
         t_start = time.perf_counter()
         cfg = self.config
         data = np.asarray(data)
-        dtype_tag = _DTYPE_TAGS.get(np.dtype(data.dtype))
+        # Byte-order-insensitive lookup: a '>f4' input is still an f4
+        # field and must produce the same archive as its '<f4' twin.
+        dtype_tag = _DTYPE_TAGS.get(data.dtype.newbyteorder("="))
         if dtype_tag is None:
             data = data.astype(np.float64)
             dtype_tag = "f8"

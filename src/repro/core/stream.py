@@ -25,8 +25,10 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
+from numpy.typing import NDArray
 
 from repro.codecs.container import pack_sections, unpack_sections
 from repro.codecs.varint import decode_uvarint, encode_uvarint
@@ -38,7 +40,9 @@ __all__ = ["DPZArchive", "SectionSizes", "serialize", "deserialize"]
 
 _MAGIC = b"DPZ1"
 _VERSION = 1
-_DTYPES = {"f4": np.float32, "f8": np.float64}
+# Archive bytes are little-endian regardless of host byte order, so the
+# serialization dtypes are spelled as explicit "<"-prefixed strings.
+_DTYPES = {"f4": np.dtype("<f4"), "f8": np.dtype("<f8")}
 _DTYPE_TAGS = {np.dtype(np.float32): "f4", np.dtype(np.float64): "f8"}
 
 
@@ -77,19 +81,19 @@ class DPZArchive:
     norm_scale: float         # data range (input normalization)
     score_scale: float        # global score divisor applied before
                               # quantization (1.0 unless standardized)
-    outlier_dtype_tag: str    # "f4"/"f8"
-    components: np.ndarray    # (k, M) float32
-    mean: np.ndarray          # (M,) float64
-    scale: np.ndarray | None  # (M,) float64 or None
-    indices: np.ndarray       # (N*k,) uint8/uint16
-    outliers: np.ndarray      # out-of-range scores
-    transform: str = "dct"    # stage-1b transform id
-    corr_bound: float = 0.0   # lattice bound of the correction pass
-    corr_indices: np.ndarray | None = None  # flat positions (int64)
-    corr_codes: np.ndarray | None = None    # lattice codes (int64)
+    outlier_dtype_tag: str        # "f4"/"f8"
+    components: NDArray[Any]      # (k, M) float32
+    mean: NDArray[Any]            # (M,) float64
+    scale: NDArray[Any] | None    # (M,) float64 or None
+    indices: NDArray[Any]         # (N*k,) uint8/uint16
+    outliers: NDArray[Any]        # out-of-range scores
+    transform: str = "dct"        # stage-1b transform id
+    corr_bound: float = 0.0       # lattice bound of the correction pass
+    corr_indices: NDArray[Any] | None = None  # flat positions (int64)
+    corr_codes: NDArray[Any] | None = None    # lattice codes (int64)
 
     @property
-    def original_dtype(self):
+    def original_dtype(self) -> np.dtype[Any]:
         """NumPy dtype of the original data."""
         return _DTYPES[self.dtype_tag]
 
@@ -122,14 +126,20 @@ def serialize(archive: DPZArchive,
     meta += encode_uvarint(int(n_corr))
 
     comp = zlib_compress(
-        np.ascontiguousarray(archive.components, dtype=np.float32),
+        np.ascontiguousarray(archive.components, dtype="<f4"),
         zlib_level,
     )
-    ms = np.ascontiguousarray(archive.mean, dtype=np.float64).tobytes()
+    ms = np.ascontiguousarray(archive.mean, dtype="<f8").tobytes()
     if archive.scale is not None:
-        ms += np.ascontiguousarray(archive.scale, dtype=np.float64).tobytes()
+        ms += np.ascontiguousarray(archive.scale, dtype="<f8").tobytes()
     mean_scale = zlib_compress(ms, zlib_level)
-    idx = zlib_compress(np.ascontiguousarray(archive.indices), zlib_level)
+    idx = zlib_compress(
+        np.ascontiguousarray(
+            archive.indices,
+            dtype="<u1" if archive.index_bytes == 1 else "<u2",
+        ),
+        zlib_level,
+    )
     out_dtype = _DTYPES[archive.outlier_dtype_tag]
     outl = zlib_compress(
         np.ascontiguousarray(archive.outliers, dtype=out_dtype), zlib_level
@@ -140,9 +150,11 @@ def serialize(archive: DPZArchive,
             np.asarray(archive.corr_indices, dtype=np.int64),
             prepend=np.int64(0),
         )
-        corr_pos = zlib_compress(deltas.tobytes(), zlib_level)
+        corr_pos = zlib_compress(
+            np.ascontiguousarray(deltas, dtype="<i8"), zlib_level
+        )
         corr_val = zlib_compress(
-            np.asarray(archive.corr_codes, dtype=np.int64).tobytes(),
+            np.ascontiguousarray(archive.corr_codes, dtype="<i8"),
             zlib_level,
         )
     else:
@@ -220,9 +232,9 @@ def _deserialize(blob: bytes) -> DPZArchive:
     pos += 8
     n_corr, pos = decode_uvarint(meta, pos)
 
-    components = np.frombuffer(zlib_decompress(comp), dtype=np.float32)
+    components = np.frombuffer(zlib_decompress(comp), dtype="<f4")
     components = components.reshape(k, m_blocks).copy()
-    ms = np.frombuffer(zlib_decompress(mean_scale), dtype=np.float64)
+    ms = np.frombuffer(zlib_decompress(mean_scale), dtype="<f8")
     if standardized:
         if ms.size != 2 * m_blocks:
             raise FormatError("mean/scale section size mismatch")
@@ -231,7 +243,7 @@ def _deserialize(blob: bytes) -> DPZArchive:
         if ms.size != m_blocks:
             raise FormatError("mean section size mismatch")
         mean, scale = ms.copy(), None
-    idx_dtype = np.uint8 if index_bytes == 1 else np.uint16
+    idx_dtype = np.dtype("<u1") if index_bytes == 1 else np.dtype("<u2")
     indices = np.frombuffer(zlib_decompress(idx), dtype=idx_dtype).copy()
     if indices.size != n_points * k:
         raise FormatError(
@@ -244,8 +256,8 @@ def _deserialize(blob: bytes) -> DPZArchive:
     if outliers.size != n_outliers:
         raise FormatError("outlier section size mismatch")
     if n_corr:
-        deltas = np.frombuffer(zlib_decompress(corr_pos), dtype=np.int64)
-        codes = np.frombuffer(zlib_decompress(corr_val), dtype=np.int64)
+        deltas = np.frombuffer(zlib_decompress(corr_pos), dtype="<i8")
+        codes = np.frombuffer(zlib_decompress(corr_val), dtype="<i8")
         if deltas.size != n_corr or codes.size != n_corr:
             raise FormatError("correction section size mismatch")
         corr_indices = np.cumsum(deltas)

@@ -1,0 +1,6 @@
+"""Developer tooling for the repro codebase.
+
+Nothing in this subpackage is imported by the runtime compression
+pipeline; it holds tools that operate *on* the codebase, chiefly
+:mod:`repro.devtools.lint` (the ``dpz lint`` static-analysis pass).
+"""

@@ -1,0 +1,254 @@
+"""AST-walking lint engine: file contexts, suppressions, orchestration.
+
+The engine is deliberately small: it parses each file once, extracts
+``# dpzlint:`` directives from the token stream, derives the dotted
+module name (so rules can scope themselves to layers such as
+``repro.codecs``), runs every selected rule, and filters findings
+through the suppression map.
+
+Directives (comments, anywhere a comment is legal):
+
+``# dpzlint: ignore[DPZ101]`` / ``# dpzlint: ignore[DPZ101,DPZ301]``
+    Suppress the listed rules on this physical line.
+``# dpzlint: ignore``
+    Suppress every rule on this physical line.
+``# dpzlint: skip-file``
+    Skip the whole file (must appear in the first 10 lines).
+``# dpzlint: module=repro.codecs.something``
+    Override the derived module name; used by out-of-tree fixture
+    files (e.g. the lint test suite) to opt into layer-scoped rules.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.devtools.lint.registry import Rule, all_rules
+from repro.errors import ConfigError
+
+__all__ = ["Finding", "FileContext", "LintReport", "lint_file",
+           "lint_paths", "iter_python_files", "PARSE_ERROR_ID"]
+
+#: Pseudo-rule id attached to findings for unparseable files.
+PARSE_ERROR_ID = "DPZ000"
+
+_DIRECTIVE = re.compile(r"#\s*dpzlint:\s*(?P<body>.+?)\s*$")
+_IGNORE = re.compile(r"^ignore(?:\[(?P<ids>[A-Z0-9,\s]+)\])?$")
+_MODULE = re.compile(r"^module\s*=\s*(?P<mod>[A-Za-z_][\w.]*)$")
+_SKIP_FILE = "skip-file"
+#: A skip-file directive must appear near the top to take effect.
+_SKIP_FILE_WINDOW = 10
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """Human one-liner (``path:line:col: RULE message``)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+class FileContext:
+    """A parsed source file plus everything rules need to scope checks.
+
+    Attributes
+    ----------
+    path:
+        Path string as given (echoed into findings).
+    source:
+        Full file text.
+    tree:
+        Parsed :class:`ast.Module`.
+    module:
+        Dotted module name (``repro.core.stream``), derived from the
+        path or overridden by a ``module=`` directive.  Files outside a
+        ``repro`` package get their bare stem.
+    """
+
+    def __init__(self, path: str, source: str,
+                 module: str | None = None) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self._suppress_all: set[int] = set()
+        self._suppress: dict[int, set[str]] = {}
+        self.skip_file = False
+        directive_module = self._scan_directives(source)
+        self.module = (module or directive_module
+                       or _derive_module(path))
+
+    # -- directives ------------------------------------------------------
+
+    def _scan_directives(self, source: str) -> str | None:
+        module_override: str | None = None
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            comments = [(tok.start[0], tok.string) for tok in tokens
+                        if tok.type == tokenize.COMMENT]
+        except (tokenize.TokenError, IndentationError):
+            comments = []
+        for line, text in comments:
+            m = _DIRECTIVE.search(text)
+            if not m:
+                continue
+            body = m.group("body")
+            ig = _IGNORE.match(body)
+            if ig:
+                ids = ig.group("ids")
+                if ids is None:
+                    self._suppress_all.add(line)
+                else:
+                    bucket = self._suppress.setdefault(line, set())
+                    bucket.update(i.strip() for i in ids.split(",")
+                                  if i.strip())
+                continue
+            if body == _SKIP_FILE and line <= _SKIP_FILE_WINDOW:
+                self.skip_file = True
+                continue
+            mm = _MODULE.match(body)
+            if mm:
+                module_override = mm.group("mod")
+        return module_override
+
+    def suppressed(self, finding: Finding) -> bool:
+        """True if a directive on the finding's line silences it."""
+        if finding.line in self._suppress_all:
+            return True
+        return finding.rule in self._suppress.get(finding.line, set())
+
+    # -- rule helpers ----------------------------------------------------
+
+    def in_layer(self, *prefixes: str) -> bool:
+        """True if this module sits under any dotted prefix.
+
+        ``in_layer("repro.codecs")`` matches ``repro.codecs`` itself and
+        every submodule, but not ``repro.codecs_extra``.
+        """
+        return any(self.module == p or self.module.startswith(p + ".")
+                   for p in prefixes)
+
+    def finding(self, rule_id: str, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at an AST node."""
+        return Finding(rule=rule_id, path=self.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message)
+
+
+def _derive_module(path: str) -> str:
+    """Dotted module name from a file path.
+
+    Anchors at the *last* path component named ``repro`` so both
+    ``src/repro/...`` and installed-layout paths resolve; anything else
+    falls back to the file stem.
+    """
+    parts = Path(path).parts
+    anchor = None
+    for i, part in enumerate(parts):
+        if part == "repro":
+            anchor = i
+    if anchor is None:
+        return Path(path).stem
+    dotted = list(parts[anchor:])
+    dotted[-1] = Path(dotted[-1]).stem
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted)
+
+
+@dataclass
+class LintReport:
+    """Aggregate result of one lint run."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Findings per rule id."""
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return dict(sorted(out.items()))
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen: set[Path] = set()
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            candidates = sorted(
+                f for f in p.rglob("*.py")
+                if "__pycache__" not in f.parts
+                and not any(part.startswith(".") for part in f.parts)
+            )
+        elif p.is_file():
+            candidates = [p]
+        else:
+            raise ConfigError(f"no such file or directory: {p}")
+        for f in candidates:
+            if f not in seen:
+                seen.add(f)
+                yield f
+
+
+def lint_file(path: str | Path, rules: dict[str, Rule] | None = None,
+              *, module: str | None = None) -> tuple[list[Finding], int]:
+    """Lint one file; returns ``(findings, n_suppressed)``.
+
+    Unparseable files yield a single :data:`PARSE_ERROR_ID` finding
+    rather than aborting the whole run.
+    """
+    if rules is None:
+        rules = all_rules()
+    text = Path(path).read_text(encoding="utf-8")
+    try:
+        ctx = FileContext(str(path), text, module=module)
+    except SyntaxError as exc:
+        return [Finding(rule=PARSE_ERROR_ID, path=str(path),
+                        line=exc.lineno or 1, col=exc.offset or 0,
+                        message=f"could not parse file: {exc.msg}")], 0
+    if ctx.skip_file:
+        return [], 0
+    findings: list[Finding] = []
+    suppressed = 0
+    for r in rules.values():
+        for f in r.check(ctx):
+            if ctx.suppressed(f):
+                suppressed += 1
+            else:
+                findings.append(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, suppressed
+
+
+def lint_paths(paths: Iterable[str | Path],
+               rules: dict[str, Rule] | None = None) -> LintReport:
+    """Lint every Python file under ``paths``."""
+    if rules is None:
+        rules = all_rules()
+    findings: list[Finding] = []
+    suppressed = 0
+    n_files = 0
+    for f in iter_python_files(paths):
+        n_files += 1
+        file_findings, file_suppressed = lint_file(f, rules)
+        findings.extend(file_findings)
+        suppressed += file_suppressed
+    return LintReport(findings=findings, files_checked=n_files,
+                      suppressed=suppressed)

@@ -1,0 +1,116 @@
+"""Rule registry for the ``dpzlint`` engine.
+
+A *rule* is a pure function from a parsed file (a
+:class:`~repro.devtools.lint.engine.FileContext`) to an iterable of
+findings, registered under a stable id (``DPZ101``, ``DPZ201``, ...).
+Ids are what suppression comments (``# dpzlint: ignore[DPZ101]``),
+``--select`` filters and the JSON report refer to, so they must never
+be renumbered once shipped.
+
+Rules register themselves at import time via the :func:`rule`
+decorator; importing :mod:`repro.devtools.lint.rules` populates the
+registry.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterable
+
+from repro.errors import ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint.engine import FileContext, Finding
+
+__all__ = ["Rule", "rule", "all_rules", "get_rule", "resolve_selection"]
+
+_RULE_ID = re.compile(r"^DPZ\d{3}$")
+
+#: Callable signature every rule check implements.
+CheckFn = Callable[["FileContext"], Iterable["Finding"]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule.
+
+    Attributes
+    ----------
+    id:
+        Stable identifier (``DPZ###``); referenced by suppressions.
+    name:
+        Short kebab-case slug (``serialization-endianness``).
+    summary:
+        One-line statement of the enforced invariant.
+    rationale:
+        Why violating the invariant is a real hazard in this repo.
+    check:
+        The checker callable.
+    """
+
+    id: str
+    name: str
+    summary: str
+    rationale: str
+    check: CheckFn
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def rule(rule_id: str, name: str, summary: str,
+         rationale: str = "") -> Callable[[CheckFn], CheckFn]:
+    """Register a checker under ``rule_id`` (decorator).
+
+    Duplicate or malformed ids are programming errors and raise
+    :class:`~repro.errors.ConfigError` at import time.
+    """
+    if not _RULE_ID.match(rule_id):
+        raise ConfigError(f"bad rule id {rule_id!r} (want DPZ###)")
+
+    def deco(fn: CheckFn) -> CheckFn:
+        if rule_id in _RULES:
+            raise ConfigError(f"duplicate rule id {rule_id}")
+        _RULES[rule_id] = Rule(id=rule_id, name=name, summary=summary,
+                               rationale=rationale, check=fn)
+        return fn
+
+    return deco
+
+
+def all_rules() -> dict[str, Rule]:
+    """Registered rules keyed by id (import side effect populates it)."""
+    # Importing the rules package is what fills the registry; do it
+    # lazily so `registry` itself stays import-cycle free.
+    import repro.devtools.lint.rules  # noqa: F401
+
+    return dict(sorted(_RULES.items()))
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id."""
+    rules = all_rules()
+    try:
+        return rules[rule_id]
+    except KeyError:
+        raise ConfigError(
+            f"unknown lint rule {rule_id!r}; have {sorted(rules)}"
+        ) from None
+
+
+def resolve_selection(select: str | None) -> dict[str, Rule]:
+    """Resolve a ``--select`` string ("DPZ101,DPZ301") to rules.
+
+    ``None`` or empty selects every registered rule.
+    """
+    rules = all_rules()
+    if not select:
+        return rules
+    chosen = {}
+    for rule_id in select.split(","):
+        rule_id = rule_id.strip()
+        if not rule_id:
+            continue
+        chosen[rule_id] = get_rule(rule_id)
+    return chosen

@@ -1,0 +1,26 @@
+"""Built-in dpzlint rules.
+
+Importing this package registers every rule with
+:mod:`repro.devtools.lint.registry`.  Rule numbering groups by
+invariant family:
+
+========  ==============================================
+ range     family
+========  ==============================================
+ DPZ1xx    serialization / bitstream discipline
+ DPZ2xx    determinism
+ DPZ3xx    exception taxonomy
+ DPZ4xx    metrics catalog
+ DPZ5xx    tracing coverage
+ DPZ6xx    API hygiene (mutable defaults)
+ DPZ7xx    documentation coverage
+========  ==============================================
+"""
+
+from repro.devtools.lint.rules import (  # noqa: F401  (import = register)
+    determinism,
+    exceptions,
+    hygiene,
+    observability,
+    serialization,
+)

@@ -1,0 +1,61 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = ["dotted_name", "call_name", "keyword_arg", "walk_functions",
+           "NUMPY_ALIASES"]
+
+#: Names the repo (and fixtures) use for the NumPy module.
+NUMPY_ALIASES = ("np", "numpy")
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; ``None`` for anything else."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = dotted_name(node.value)
+        if base is None:
+            return None
+        return f"{base}.{node.attr}"
+    return None
+
+
+def call_name(call: ast.Call) -> str | None:
+    """Dotted name of a call's target (``np.frombuffer`` / ``observe``)."""
+    return dotted_name(call.func)
+
+
+def keyword_arg(call: ast.Call, name: str,
+                pos: int | None = None) -> ast.expr | None:
+    """Fetch an argument by keyword, falling back to position ``pos``."""
+    for kw in call.keywords:
+        if kw.arg == name:
+            return kw.value
+    if pos is not None and len(call.args) > pos:
+        return call.args[pos]
+    return None
+
+
+def walk_functions(tree: ast.Module) -> Iterator[
+        tuple[ast.FunctionDef | ast.AsyncFunctionDef, list[str]]]:
+    """Yield every function with its enclosing name stack.
+
+    The stack holds enclosing class and function names outermost-first,
+    e.g. ``(["DPZCompressor"], compress_node)`` for a method.
+    """
+    def visit(node: ast.AST, stack: list[str]) -> Iterator[
+            tuple[ast.FunctionDef | ast.AsyncFunctionDef, list[str]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, stack
+                yield from visit(child, stack + [child.name])
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, stack + [child.name])
+            else:
+                yield from visit(child, stack)
+
+    yield from visit(tree, [])

@@ -1,0 +1,94 @@
+"""DPZ201: randomness must be explicitly and reproducibly seeded.
+
+Every analysis and sampling routine in this repo feeds numbers that
+end up in papers, benchmark baselines and regression gates; an
+unseeded RNG makes those numbers drift run-to-run and machine-to-
+machine.  The rule bans the three classic leaks:
+
+* ``np.random.default_rng()`` with no seed argument,
+* the legacy global-state API (``np.random.seed``,
+  ``np.random.RandomState``, module-level draws like
+  ``np.random.normal(...)``),
+* wall-clock seeding (``default_rng(time.time())`` and friends),
+  which is unseeded randomness with extra steps.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext, Finding
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.rules._ast_utils import NUMPY_ALIASES, call_name
+
+__all__ = ["check_determinism"]
+
+#: Legacy module-level draw functions on np.random (global hidden state).
+_LEGACY_DRAWS = frozenset({
+    "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "exponential", "poisson", "binomial", "beta",
+    "gamma", "bytes",
+})
+
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns", "time.monotonic", "time.perf_counter",
+    "datetime.now", "datetime.utcnow", "datetime.datetime.now",
+})
+
+
+def _uses_wall_clock(expr: ast.expr) -> bool:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name is not None and (name in _WALL_CLOCK
+                                     or name.endswith(".time")
+                                     or name.endswith(".time_ns")):
+                return True
+    return False
+
+
+@rule("DPZ201", "seeded-randomness",
+      "no unseeded default_rng(), legacy np.random global state, or "
+      "wall-clock seeds",
+      "Unseeded RNGs make feature-subset selection, sampling probes "
+      "and synthetic datasets unreproducible run-to-run, which breaks "
+      "the repo's bit-exactness and benchmark-gating guarantees.")
+def check_determinism(ctx: FileContext) -> Iterator[Finding]:
+    """Flag unseeded or globally-stateful randomness anywhere in repro."""
+    random_prefixes = {f"{a}.random" for a in NUMPY_ALIASES}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        if name is None:
+            continue
+        head, _, tail = name.rpartition(".")
+        if head not in random_prefixes:
+            continue
+        if tail == "default_rng" or tail == "Generator":
+            if not node.args and not node.keywords:
+                yield ctx.finding(
+                    "DPZ201", node,
+                    "np.random.default_rng() without a seed is "
+                    "unreproducible; pass an explicit seed")
+            else:
+                seed = node.args[0] if node.args else node.keywords[0].value
+                if _uses_wall_clock(seed):
+                    yield ctx.finding(
+                        "DPZ201", node,
+                        "wall-clock value used as an RNG seed; use a "
+                        "fixed or configured seed")
+            continue
+        if tail == "seed" or tail == "RandomState":
+            yield ctx.finding(
+                "DPZ201", node,
+                f"legacy np.random.{tail} relies on hidden global "
+                f"state; use a seeded np.random.default_rng(...)")
+            continue
+        if tail in _LEGACY_DRAWS:
+            yield ctx.finding(
+                "DPZ201", node,
+                f"module-level np.random.{tail}(...) draws from hidden "
+                f"global state; draw from a seeded Generator instead")

@@ -1,0 +1,119 @@
+"""DPZ301/DPZ302: the repro error taxonomy is the only failure channel.
+
+Callers (the CLI's one-line error handler, ``FieldArchive``'s
+corruption wrapping, the test suite's negative-path assertions) all
+dispatch on :mod:`repro.errors` types.  A stray ``ValueError`` in a
+codec bypasses every one of those contracts, and a broad ``except``
+swallows the taxonomy wholesale.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext, Finding
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.rules._ast_utils import walk_functions
+
+__all__ = ["check_raise_taxonomy", "check_broad_except"]
+
+#: Layers whose raises must come from repro.errors.
+TAXONOMY_LAYERS = ("repro.codecs", "repro.core", "repro.baselines")
+
+#: Allowed exception class names in taxonomy layers.  The repro.errors
+#: hierarchy, plus NotImplementedError for abstract hooks.
+ALLOWED_RAISES = frozenset({
+    "ReproError", "CodecError", "FormatError", "ConfigError",
+    "DataShapeError", "NotImplementedError",
+})
+
+#: The one place a catch-all is legitimate: the CLI's top-level
+#: handler, which turns anything anticipated into a one-line error.
+BROAD_EXCEPT_ALLOWLIST = frozenset({("repro.cli", "main")})
+
+_BROAD_NAMES = frozenset({"Exception", "BaseException"})
+
+
+def _exception_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+@rule("DPZ301", "error-taxonomy",
+      "codecs/, core/ and baselines/ may only raise repro.errors types",
+      "The CLI's exit-code contract, FieldArchive's corruption "
+      "wrapping and the negative-path tests all catch ReproError "
+      "subclasses; a bare ValueError escapes every one of them and "
+      "surfaces as a traceback.")
+def check_raise_taxonomy(ctx: FileContext) -> Iterator[Finding]:
+    """Flag raises of non-taxonomy exception classes in core layers."""
+    if not ctx.in_layer(*TAXONOMY_LAYERS):
+        return
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        # `raise exc_var` re-raises something already in flight; the
+        # taxonomy was (or was not) enforced where it was created.
+        if isinstance(exc, ast.Name):
+            continue
+        if isinstance(exc, ast.Call):
+            name = _exception_name(exc.func)
+        else:
+            name = _exception_name(exc)
+        if name is None or name in ALLOWED_RAISES:
+            continue
+        yield ctx.finding(
+            "DPZ301", node,
+            f"raise of {name} outside the repro.errors taxonomy; raise "
+            f"a ReproError subclass (CodecError, FormatError, "
+            f"ConfigError, DataShapeError) instead")
+
+
+@rule("DPZ302", "no-broad-except",
+      "bare/broad `except` is banned outside the CLI's top-level "
+      "handler",
+      "Broad handlers swallow the typed error taxonomy (and real bugs) "
+      "indiscriminately; anticipated failures must be caught by their "
+      "repro.errors type.")
+def check_broad_except(ctx: FileContext) -> Iterator[Finding]:
+    """Flag `except:`, `except Exception` and `except BaseException`."""
+    allowed_funcs = {fn for mod, fn in BROAD_EXCEPT_ALLOWLIST
+                     if mod == ctx.module}
+
+    def broad(handler: ast.ExceptHandler) -> str | None:
+        t = handler.type
+        if t is None:
+            return "bare except:"
+        if isinstance(t, (ast.Name, ast.Attribute)):
+            name = _exception_name(t)
+            if name in _BROAD_NAMES:
+                return f"except {name}"
+            return None
+        if isinstance(t, ast.Tuple):
+            for elt in t.elts:
+                name = _exception_name(elt)
+                if name in _BROAD_NAMES:
+                    return f"except (... {name} ...)"
+        return None
+
+    # Handlers inside allowlisted functions are exempt.
+    exempt: set[int] = set()
+    for fn, _stack in walk_functions(ctx.tree):
+        if fn.name in allowed_funcs:
+            for node in ast.walk(fn):
+                if isinstance(node, ast.ExceptHandler):
+                    exempt.add(id(node))
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.ExceptHandler) or id(node) in exempt:
+            continue
+        what = broad(node)
+        if what is not None:
+            yield ctx.finding(
+                "DPZ302", node,
+                f"{what} swallows the error taxonomy; catch the "
+                f"specific expected repro.errors types")

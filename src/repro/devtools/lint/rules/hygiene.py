@@ -1,0 +1,82 @@
+"""DPZ601/DPZ701: API hygiene rules.
+
+DPZ601 bans mutable default arguments (the classic shared-state bug).
+DPZ701 requires docstrings on the public API surface (``repro.api``
+and ``repro.core``), which is what the paper-artifact harnesses and
+downstream users script against.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext, Finding
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.rules._ast_utils import walk_functions
+
+__all__ = ["check_mutable_defaults", "check_docstrings"]
+
+#: Modules whose public surface must be documented.
+DOCSTRING_LAYERS = ("repro.api", "repro.core")
+
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _is_mutable_literal(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name):
+        return expr.func.id in _MUTABLE_CTORS
+    return False
+
+
+@rule("DPZ601", "no-mutable-default-args",
+      "function defaults may not be mutable objects",
+      "A mutable default is created once and shared across calls; "
+      "state leaks between invocations in ways no test of a single "
+      "call can see.")
+def check_mutable_defaults(ctx: FileContext) -> Iterator[Finding]:
+    """Flag list/dict/set/bytearray literals used as argument defaults."""
+    for fn, _stack in walk_functions(ctx.tree):
+        defaults = list(fn.args.defaults)
+        defaults += [d for d in fn.args.kw_defaults if d is not None]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                yield ctx.finding(
+                    "DPZ601", default,
+                    f"mutable default argument in {fn.name}(); default "
+                    f"to None and create the object inside the "
+                    f"function")
+
+
+@rule("DPZ701", "public-api-docstrings",
+      "public functions/classes in repro.api and repro.core need "
+      "docstrings",
+      "These modules are the scripting surface for the paper-artifact "
+      "harnesses and downstream users; an undocumented entry point is "
+      "an unspecified one.")
+def check_docstrings(ctx: FileContext) -> Iterator[Finding]:
+    """Flag public defs without docstrings on the API surface."""
+    if not ctx.in_layer(*DOCSTRING_LAYERS):
+        return
+
+    def visit(node: ast.AST, public: bool) -> Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                child_public = public and not child.name.startswith("_")
+                if child_public and ast.get_docstring(child) is None:
+                    kind = ("class"
+                            if isinstance(child, ast.ClassDef)
+                            else "function")
+                    yield ctx.finding(
+                        "DPZ701", child,
+                        f"public {kind} {child.name!r} has no "
+                        f"docstring")
+                yield from visit(child, child_public)
+            else:
+                yield from visit(child, public)
+
+    yield from visit(ctx.tree, True)

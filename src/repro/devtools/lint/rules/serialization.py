@@ -1,0 +1,163 @@
+"""DPZ101: serialization boundaries must pin dtype *and* endianness.
+
+DPZ archives promise bit-exact round trips across machines.  Every
+``np.frombuffer`` at a decode boundary and every array handed to the
+byte stream (``.astype(...).tobytes()`` chains, arrays passed to
+``zlib_compress``) therefore has to spell out a little-endian (or
+single-byte) dtype -- ``"<f4"``, never ``np.float32`` or a bare
+``"f4"``, both of which mean *host* byte order and silently produce
+incompatible archives on big-endian machines.
+
+The check is intentionally conservative: dtypes it cannot resolve
+statically (variables, subscripts) are skipped rather than guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint.engine import FileContext, Finding
+from repro.devtools.lint.registry import rule
+from repro.devtools.lint.rules._ast_utils import (
+    NUMPY_ALIASES,
+    call_name,
+    keyword_arg,
+)
+
+__all__ = ["check_serialization_endianness"]
+
+#: Layers whose byte handling is a cross-machine compatibility surface.
+BOUNDARY_LAYERS = ("repro.codecs", "repro.core", "repro.baselines",
+                   "repro.archive")
+
+#: Dtype strings that are endianness-free (one byte per element).
+_SINGLE_BYTE_STRS = frozenset({
+    "u1", "i1", "b", "B", "b1", "S1", "V1", "uint8", "int8", "bool",
+})
+
+#: ``np.X`` attributes that are endianness-free.
+_SINGLE_BYTE_ATTRS = frozenset({"uint8", "int8", "bool_", "byte", "ubyte"})
+
+#: ``np.X`` attributes that mean *native* byte order for >1-byte items.
+_MULTIBYTE_ATTRS = frozenset({
+    "float16", "half", "float32", "single", "float64", "double",
+    "longdouble", "int16", "int32", "int64", "uint16", "uint32",
+    "uint64", "short", "ushort", "intc", "uintc", "intp", "uintp",
+    "int_", "uint", "longlong", "ulonglong", "complex64", "complex128",
+    "csingle", "cdouble",
+})
+
+_OK = "ok"
+_BAD = "bad"
+_UNKNOWN = "unknown"
+
+
+def _classify_dtype(expr: ast.expr) -> str:
+    """Is this dtype expression endianness-pinned, native, or opaque?"""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        s = expr.value.strip()
+        if not s:
+            return _UNKNOWN
+        if s in _SINGLE_BYTE_STRS:
+            return _OK
+        if s[0] == "<" or s[0] == "|":
+            return _OK
+        # ">", "=" and bare codes ("f4", "float32") are either the
+        # wrong convention or host-dependent.
+        return _BAD
+    if isinstance(expr, ast.Attribute):
+        base = expr.value
+        if (isinstance(base, ast.Name) and base.id in NUMPY_ALIASES):
+            if expr.attr in _SINGLE_BYTE_ATTRS:
+                return _OK
+            if expr.attr in _MULTIBYTE_ATTRS:
+                return _BAD
+        return _UNKNOWN
+    if isinstance(expr, ast.Call):
+        name = call_name(expr)
+        if name in {f"{a}.dtype" for a in NUMPY_ALIASES} and expr.args:
+            return _classify_dtype(expr.args[0])
+        return _UNKNOWN
+    if isinstance(expr, ast.IfExp):
+        sides = {_classify_dtype(expr.body), _classify_dtype(expr.orelse)}
+        if _BAD in sides:
+            return _BAD
+        if sides == {_OK}:
+            return _OK
+        return _UNKNOWN
+    return _UNKNOWN
+
+
+def _dtype_findings(ctx: FileContext, call: ast.Call, dtype: ast.expr | None,
+                    where: str) -> Iterator[Finding]:
+    if dtype is None:
+        yield ctx.finding(
+            "DPZ101", call,
+            f"{where} without an explicit dtype; pin a little-endian "
+            f"dtype string such as \"<f4\"")
+        return
+    if _classify_dtype(dtype) == _BAD:
+        yield ctx.finding(
+            "DPZ101", call,
+            f"{where} uses host-byte-order dtype "
+            f"{ast.unparse(dtype)!r}; pin endianness with a "
+            f"\"<f4\"-style dtype string")
+
+
+@rule("DPZ101", "serialization-endianness",
+      "frombuffer/tobytes/zlib_compress at codec and stream boundaries "
+      "must use explicit little-endian dtypes",
+      "Native-order dtypes (np.float32, \"f4\") make archive bytes "
+      "depend on the host CPU; a big-endian writer would produce "
+      "containers little-endian readers silently mis-decode.")
+def check_serialization_endianness(ctx: FileContext) -> Iterator[Finding]:
+    """Flag endianness-implicit dtypes at serialization boundaries."""
+    if not ctx.in_layer(*BOUNDARY_LAYERS):
+        return
+    frombuffer_names = {f"{a}.frombuffer" for a in NUMPY_ALIASES}
+    array_ctors = {f"{a}.{fn}" for a in NUMPY_ALIASES
+                   for fn in ("ascontiguousarray", "asarray", "array")}
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = call_name(node)
+        # -- np.frombuffer(..., dtype=...) -------------------------------
+        if name in frombuffer_names:
+            dtype = keyword_arg(node, "dtype", pos=1)
+            yield from _dtype_findings(ctx, node, dtype, "np.frombuffer")
+            continue
+        # -- <expr>.tobytes() where <expr> is astype(...)/asarray(...) --
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "tobytes"
+                and isinstance(node.func.value, ast.Call)):
+            inner = node.func.value
+            inner_name = call_name(inner)
+            if (isinstance(inner.func, ast.Attribute)
+                    and inner.func.attr == "astype"):
+                dtype = keyword_arg(inner, "dtype", pos=0)
+                yield from _dtype_findings(ctx, node, dtype,
+                                           ".astype(...).tobytes()")
+            elif inner_name in array_ctors:
+                dtype = keyword_arg(inner, "dtype", pos=1)
+                yield from _dtype_findings(
+                    ctx, node, dtype, f"{inner_name}(...).tobytes()")
+            continue
+        # -- zlib_compress(<array expr>, ...) ----------------------------
+        if name is not None and name.split(".")[-1] == "zlib_compress" \
+                and node.args:
+            arg0 = node.args[0]
+            if not isinstance(arg0, ast.Call):
+                continue
+            inner_name = call_name(arg0)
+            if (isinstance(arg0.func, ast.Attribute)
+                    and arg0.func.attr == "astype"):
+                dtype = keyword_arg(arg0, "dtype", pos=0)
+                yield from _dtype_findings(ctx, node, dtype,
+                                           "array serialized via "
+                                           "zlib_compress")
+            elif inner_name in array_ctors:
+                dtype = keyword_arg(arg0, "dtype", pos=1)
+                yield from _dtype_findings(ctx, node, dtype,
+                                           "array serialized via "
+                                           "zlib_compress")

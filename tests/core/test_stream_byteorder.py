@@ -1,0 +1,64 @@
+"""Archive bytes must not depend on the host (or input) byte order.
+
+Every serialization site pins an explicit little-endian dtype, so
+compressing a byte-swapped (big-endian-typed) copy of an array must
+produce *byte-identical* output to compressing the native-order
+original, and both archives must decompress on any host.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import dpz_compress, dpz_decompress
+from repro.archive import FieldArchive
+
+
+def _field(dtype):
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(6, 32, 32)).astype(dtype)
+    return np.ascontiguousarray(x)
+
+
+def _swapped(data):
+    # Same values, opposite byte order in memory (e.g. '>f4' on a
+    # little-endian host).
+    return data.astype(data.dtype.newbyteorder())
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_dpz_archive_bytes_ignore_input_byte_order(dtype):
+    data = _field(dtype)
+    blob_native = dpz_compress(data, scheme="l")
+    blob_swapped = dpz_compress(_swapped(data), scheme="l")
+    assert blob_native == blob_swapped
+    out = dpz_decompress(blob_swapped)
+    assert out.dtype == np.dtype(dtype)
+    np.testing.assert_array_equal(out, dpz_decompress(blob_native))
+
+
+@pytest.mark.parametrize("dtype", [np.float32, np.float64])
+def test_raw_codec_bytes_ignore_input_byte_order(dtype):
+    data = _field(dtype)
+    ar_native = FieldArchive()
+    ar_native.add("x", data, codec="raw")
+    ar_swapped = FieldArchive()
+    ar_swapped.add("x", _swapped(data), codec="raw")
+    assert ar_native.to_bytes() == ar_swapped.to_bytes()
+    out = ar_swapped.get("x")
+    assert out.dtype == np.dtype(dtype)
+    np.testing.assert_array_equal(out, data)
+
+
+def test_baseline_codecs_accept_swapped_input():
+    data = _field(np.float32)
+    for codec, kwargs in [("sz", {"rel_eps": 1e-3}),
+                          ("dctz", {}), ("zfp", {"tolerance": 1e-3})]:
+        ar_native = FieldArchive()
+        ar_native.add("x", data, codec=codec, **kwargs)
+        ar_swapped = FieldArchive()
+        ar_swapped.add("x", _swapped(data), codec=codec, **kwargs)
+        assert ar_native.to_bytes() == ar_swapped.to_bytes(), codec
+        out = ar_swapped.get("x")
+        assert out.dtype == np.float32

@@ -1,0 +1,112 @@
+"""The `dpz lint` subcommand: exit codes, JSON schema, and self-check.
+
+The self-check test is the real acceptance gate: the shipped source
+tree must lint clean, so every invariant the rules encode is actually
+upheld by the code that defines them.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import repro
+from repro import cli
+from repro.devtools.lint import JSON_VERSION, all_rules, lint_paths
+
+CLEAN_SRC = """\
+    # dpzlint: module=repro.codecs.fake
+    import numpy as np
+
+    def decode(buf):
+        return np.frombuffer(buf, dtype="<f4")
+"""
+
+DIRTY_SRC = """\
+    # dpzlint: module=repro.codecs.fake
+    import numpy as np
+
+    def decode(buf):
+        return np.frombuffer(buf, dtype=np.float32)
+"""
+
+
+def _write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def test_lint_clean_file_exits_zero(tmp_path, capsys):
+    path = _write(tmp_path, "clean.py", CLEAN_SRC)
+    rc = cli.main(["lint", str(path)])
+    assert rc == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_dirty_file_exits_one(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", DIRTY_SRC)
+    rc = cli.main(["lint", str(path)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert "DPZ101" in out
+    assert "dirty.py" in out
+
+
+def test_lint_json_schema(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", DIRTY_SRC)
+    rc = cli.main(["lint", str(path), "--format", "json"])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == JSON_VERSION
+    assert doc["tool"] == "dpzlint"
+    assert doc["files_checked"] == 1
+    assert doc["suppressed"] == 0
+    assert doc["counts"] == {"DPZ101": 1}
+    assert set(doc["rules"]) == set(all_rules())
+    (finding,) = doc["findings"]
+    assert set(finding) == {"rule", "path", "line", "col", "message"}
+    assert finding["rule"] == "DPZ101"
+    assert finding["path"].endswith("dirty.py")
+
+
+def test_lint_select_limits_rules(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", DIRTY_SRC)
+    rc = cli.main(["lint", str(path), "--select", "DPZ201"])
+    assert rc == 0
+    capsys.readouterr()
+
+
+def test_lint_out_writes_report_file(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", DIRTY_SRC)
+    out_file = tmp_path / "report.json"
+    rc = cli.main(["lint", str(path), "--format", "json",
+                   "--out", str(out_file)])
+    assert rc == 1
+    doc = json.loads(out_file.read_text())
+    assert doc["counts"] == {"DPZ101": 1}
+    capsys.readouterr()
+
+
+def test_lint_missing_path_is_usage_error(tmp_path, capsys):
+    rc = cli.main(["lint", str(tmp_path / "nope")])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_lint_unknown_rule_is_usage_error(tmp_path, capsys):
+    path = _write(tmp_path, "clean.py", CLEAN_SRC)
+    rc = cli.main(["lint", str(path), "--select", "DPZ999"])
+    assert rc == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_shipped_tree_lints_clean():
+    """`dpz lint src/repro` on the shipped tree must report nothing."""
+    src_root = Path(repro.__file__).resolve().parent
+    report = lint_paths([str(src_root)])
+    assert report.findings == [], "\n".join(
+        f.render() for f in report.findings
+    )
+    assert report.files_checked > 50
