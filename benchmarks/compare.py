@@ -18,7 +18,11 @@ per field:
   may not grow by more than ``--chunk-latency-tol`` (relative).  The
   quantiles come from fixed log-scale buckets, so they are comparable
   across runs; records predating the snapshot (BENCH_pr1/pr2) skip
-  this check silently.
+  this check silently;
+* **region-read latency** -- when both records are store bench output
+  (``bench_store.py``, a ``store.region`` section), its p50/p95 may
+  not grow by more than ``--region-latency-tol`` (relative).  Other
+  record kinds skip this check silently.
 
 Exit status is 0 when everything is within tolerance, 1 otherwise, so
 CI can gate on it directly.  ``--run`` benches the current tree first
@@ -71,9 +75,35 @@ def _chunk_latency_gate(failures: list[str], baseline: dict,
             f"  ({rel:+.2%})  {st}")
 
 
+def _region_latency_gate(failures: list[str], baseline: dict,
+                         candidate: dict, tol: float, log) -> None:
+    """p50/p95 gate on the store bench's region-read latency.
+
+    Applies only when *both* records carry a ``store.region`` section
+    with read samples (``bench_store.py`` output); records from the
+    other bench harnesses skip silently.
+    """
+    def region(rec: dict) -> dict:
+        return rec.get("store", {}).get("region", {})
+
+    b, c = region(baseline), region(candidate)
+    if not b.get("n_reads") or not c.get("n_reads"):
+        return
+    log("[compare] region-read latency (store.region)")
+    for q in ("p50_s", "p95_s"):
+        bv, cv = float(b[q]), float(c[q])
+        rel = (cv - bv) / bv if bv > 0 else 0.0
+        st = _check(failures, rel <= tol,
+                    f"region latency {q} grew {rel:.1%} (> {tol:.1%}): "
+                    f"{bv * 1e3:.3f} -> {cv * 1e3:.3f} ms")
+        log(f"[compare]   {q:<12}{bv * 1e3:>10.3f} -> {cv * 1e3:>10.3f} ms"
+            f"  ({rel:+.2%})  {st}")
+
+
 def compare(baseline: dict, candidate: dict, *, cr_tol: float = 0.02,
             throughput_tol: float = 0.5, share_tol: float = 0.10,
             chunk_latency_tol: float = 1.0,
+            region_latency_tol: float = 1.0,
             log=print) -> list[str]:
     """Diff two bench records; returns the list of failure messages."""
     failures: list[str] = []
@@ -112,6 +142,8 @@ def compare(baseline: dict, candidate: dict, *, cr_tol: float = 0.02,
                 f"{c_share:>7.3f}  ({delta:+.3f})  {st}")
     _chunk_latency_gate(failures, baseline, candidate,
                         chunk_latency_tol, log)
+    _region_latency_gate(failures, baseline, candidate,
+                         region_latency_tol, log)
     return failures
 
 
@@ -138,6 +170,10 @@ def main(argv=None) -> int:
                     help="max relative p50/p95 chunk-latency growth "
                          "(default 1.0 = 2x; loose because per-chunk "
                          "wall clock tracks host load)")
+    ap.add_argument("--region-latency-tol", type=float, default=1.0,
+                    help="max relative p50/p95 region-read latency "
+                         "growth for store bench records (default "
+                         "1.0 = 2x; wall clock tracks the host)")
     args = ap.parse_args(argv)
 
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
@@ -153,7 +189,8 @@ def main(argv=None) -> int:
     failures = compare(baseline, candidate, cr_tol=args.cr_tol,
                        throughput_tol=args.throughput_tol,
                        share_tol=args.share_tol,
-                       chunk_latency_tol=args.chunk_latency_tol)
+                       chunk_latency_tol=args.chunk_latency_tol,
+                       region_latency_tol=args.region_latency_tol)
     if failures:
         print(f"[compare] REGRESSION: {len(failures)} check(s) failed")
         for msg in failures:

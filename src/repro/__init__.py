@@ -28,6 +28,7 @@ from repro import (
     core,
     datasets,
     observability,
+    store,
     transforms,
 )
 from repro.archive import FieldArchive
@@ -39,6 +40,7 @@ from repro.baselines import (
     zfp_decompress,
 )
 from repro.core import DPZ_L, DPZ_S, DPZCompressor, DPZConfig
+from repro.store import Store
 from repro.errors import (
     CodecError,
     ConfigError,
@@ -63,12 +65,14 @@ __all__ = [
     "zfp_compress",
     "zfp_decompress",
     "FieldArchive",
+    "Store",
     "analysis",
     "baselines",
     "codecs",
     "core",
     "datasets",
     "observability",
+    "store",
     "transforms",
     "ReproError",
     "CodecError",

@@ -114,18 +114,32 @@ class FieldArchive:
             **codec_kwargs) -> None:
         """Compress ``data`` with ``codec`` and store it under ``name``.
 
-        Re-adding an existing name replaces it.  Keyword arguments go to
-        the codec's one-call API (e.g. ``scheme=, tve_nines=`` for dpz;
-        ``eps=``/``rel_eps=`` for sz/mgard; ``rate=`` for zfp).
+        Keyword arguments go to the codec's one-call API (e.g.
+        ``scheme=, tve_nines=`` for dpz; ``eps=``/``rel_eps=`` for
+        sz/mgard; ``rate=`` for zfp).
+
+        All input validation happens *before* any compression work:
+        a duplicate field name, an empty array, a malformed name or an
+        unknown codec each raise :class:`~repro.errors.ConfigError`
+        up front rather than failing (or silently clobbering a field)
+        after seconds of codec time.
         """
         if not name or "\x00" in name:
             raise ConfigError(f"invalid field name {name!r}")
+        if name in self._entries:
+            raise ConfigError(
+                f"field {name!r} already exists in archive; archives "
+                f"are append-only bundles of distinct names")
         if codec not in CODECS:
             raise ConfigError(
                 f"unknown codec {codec!r}; use one of {sorted(CODECS)}"
             )
-        compress, _ = CODECS[codec]
         data = np.asarray(data)
+        if data.size == 0:
+            raise ConfigError(
+                f"field {name!r} is empty (shape {data.shape}); "
+                f"refusing to archive a zero-element array")
+        compress, _ = CODECS[codec]
         self._entries[name] = _Entry(
             name=name, codec=codec, original_nbytes=int(data.nbytes),
             payload=compress(data, **codec_kwargs),

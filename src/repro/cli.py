@@ -25,6 +25,13 @@ pack / unpack / list
     Multi-field archives: ``dpz pack out.dpza NAME=FILE ...
     [--codec dpz] [--nines N]``, ``dpz unpack in.dpza NAME out.npy``,
     ``dpz list in.dpza``.
+store
+    Chunked random-access stores (``.dpzs``): ``dpz store pack
+    out.dpzs NAME=FILE ... [--codec auto --budget 1e-3] [--chunk 16 16
+    16] [--jobs N]``, ``dpz store list in.dpzs``, ``dpz store get
+    in.dpzs NAME out.npy``, ``dpz store region in.dpzs NAME
+    0:16,8:24,3 out.npy``, ``dpz store from-archive in.dpza
+    out.dpzs``.
 """
 
 from __future__ import annotations
@@ -165,6 +172,63 @@ def build_parser() -> argparse.ArgumentParser:
 
     pl = sub.add_parser("list", help="list an archive's contents")
     pl.add_argument("input")
+
+    ps = sub.add_parser("store",
+                        help="chunked random-access stores (.dpzs)")
+    ssub = ps.add_subparsers(dest="store_command", required=True)
+
+    sp = ssub.add_parser("pack",
+                         help="chunk, compress and pack fields")
+    sp.add_argument("output", help="store file (.dpzs)")
+    sp.add_argument("fields", nargs="+", metavar="NAME=FILE",
+                    help="named inputs, e.g. vx=velocities.npy")
+    sp.add_argument("--codec", default="dpz",
+                    help="per-chunk codec (auto/dpz/sz/zfp/mgard/dctz/"
+                         "tucker/raw); 'auto' selects per chunk "
+                         "against --budget")
+    sp.add_argument("--chunk", type=int, nargs="+", default=None,
+                    help="chunk shape, e.g. --chunk 16 16 16 "
+                         "(default: a per-ndim heuristic)")
+    sp.add_argument("--budget", type=float, default=None,
+                    help="absolute error budget (codec=auto)")
+    sp.add_argument("--jobs", type=int, default=0,
+                    help="parallel chunk-compression workers "
+                         "(0 = all cores)")
+    sp.add_argument("--scheme", choices=["l", "s"], default="l",
+                    help="DPZ scheme (dpz codec only)")
+    sp.add_argument("--nines", type=int, default=None,
+                    help="DPZ TVE nines (dpz codec only)")
+    sp.add_argument("--rel-eps", type=float, default=1e-4,
+                    help="relative bound (sz/mgard codecs)")
+    sp.add_argument("--rate", type=float, default=8.0,
+                    help="bits per value (zfp codec)")
+
+    sl = ssub.add_parser("list", help="describe a store's fields")
+    sl.add_argument("input")
+
+    sg = ssub.add_parser("get", help="extract one whole field")
+    sg.add_argument("input")
+    sg.add_argument("name")
+    sg.add_argument("output", help="output file (.npy or raw .f32)")
+
+    sr = ssub.add_parser("region",
+                         help="extract a rectangular region of a field")
+    sr.add_argument("input")
+    sr.add_argument("name")
+    sr.add_argument("region",
+                    help="per-dim selectors, e.g. 0:16,8:24,3 "
+                         "(unit-step slices and integer indices)")
+    sr.add_argument("output", help="output file (.npy or raw .f32)")
+
+    sa = ssub.add_parser("from-archive",
+                         help="re-pack a .dpza archive as a chunked "
+                              "store")
+    sa.add_argument("input", help="archive file (.dpza)")
+    sa.add_argument("output", help="store file (.dpzs)")
+    sa.add_argument("--chunk", type=int, nargs="+", default=None,
+                    help="chunk shape for every field")
+    sa.add_argument("--jobs", type=int, default=0,
+                    help="parallel workers (0 = all cores)")
 
     pn = sub.add_parser("lint",
                         help="run the repo-native static-analysis pass")
@@ -483,6 +547,105 @@ def _cmd_list(args) -> int:
     return 0
 
 
+def _parse_region_spec(spec: str) -> tuple:
+    """Parse ``"0:16,8:24,3"`` into a tuple of slices and ints."""
+    sels: list = []
+    for part in spec.split(","):
+        part = part.strip()
+        if ":" in part:
+            lo, _, hi = part.partition(":")
+            try:
+                sels.append(slice(int(lo) if lo else None,
+                                  int(hi) if hi else None))
+            except ValueError:
+                raise _CLIError(
+                    f"bad region selector {part!r} (want START:STOP "
+                    f"or an integer index)") from None
+        elif part:
+            try:
+                sels.append(int(part))
+            except ValueError:
+                raise _CLIError(
+                    f"bad region selector {part!r} (want START:STOP "
+                    f"or an integer index)") from None
+        else:
+            raise _CLIError(f"empty selector in region spec {spec!r}")
+    return tuple(sels)
+
+
+def _store_pack_kwargs(args) -> dict:
+    kw: dict = {}
+    if args.codec == "auto":
+        kw["error_budget"] = args.budget
+    elif args.codec == "dpz":
+        kw["scheme"] = args.scheme
+        if args.nines is not None:
+            kw["tve_nines"] = args.nines
+    elif args.codec in ("sz", "mgard"):
+        kw["rel_eps"] = args.rel_eps
+    elif args.codec == "zfp":
+        kw["rate"] = args.rate
+    return kw
+
+
+def _cmd_store(args) -> int:
+    from repro.store import Store
+
+    if args.store_command == "pack":
+        chunk = tuple(args.chunk) if args.chunk else None
+        kw = _store_pack_kwargs(args)
+        store = Store.create(args.output)
+        for spec in args.fields:
+            if "=" not in spec:
+                raise _CLIError(
+                    f"field spec must be NAME=FILE, got {spec!r}")
+            name, path = spec.split("=", 1)
+            store.add(name, load_field(path), codec=args.codec,
+                      chunk_shape=chunk, n_jobs=args.jobs, **kw)
+        print(f"packed {len(store.names())} fields "
+              f"(total CR {store.total_cr():.2f}x) -> {args.output}")
+        return 0
+
+    if args.store_command == "from-archive":
+        from repro.archive import FieldArchive
+
+        chunk = tuple(args.chunk) if args.chunk else None
+        store = Store.from_archive(FieldArchive.load(args.input),
+                                   args.output, chunk_shape=chunk,
+                                   n_jobs=args.jobs)
+        print(f"re-packed {len(store.names())} fields "
+              f"(total CR {store.total_cr():.2f}x) -> {args.output}")
+        return 0
+
+    store = Store.open(args.input)
+    if args.store_command == "list":
+        print(f"{'field':16s} {'codec':8s} {'shape':>16s} "
+              f"{'chunks':>14s} {'compressed':>12s} {'CR':>8s}")
+        for name in store.names():
+            info = store.info(name)
+            chunks = "x".join(str(c) for c in info["chunk_shape"])
+            print(f"{info['name']:16s} {info['codec']:8s} "
+                  f"{str(info['shape']):>16s} "
+                  f"{info['n_chunks']:>6d}@{chunks:<7s} "
+                  f"{info['compressed_nbytes']:>12d} "
+                  f"{info['cr']:>8.2f}")
+        print(f"total CR {store.total_cr():.2f}x")
+        return 0
+    if args.store_command == "get":
+        data = store.get(args.name)
+        save_field(args.output, data)
+        print(f"extracted {args.name}: shape {data.shape}, "
+              f"dtype {data.dtype}")
+        return 0
+    # region
+    region = _parse_region_spec(args.region)
+    data = store.get_region(args.name, region)
+    save_field(args.output, data)
+    print(f"extracted {args.name}[{args.region}]: shape {data.shape}, "
+          f"dtype {data.dtype}")
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.devtools.lint import (
         lint_paths,
@@ -514,6 +677,7 @@ _COMMANDS = {
     "pack": _cmd_pack,
     "unpack": _cmd_unpack,
     "list": _cmd_list,
+    "store": _cmd_store,
     "lint": _cmd_lint,
 }
 

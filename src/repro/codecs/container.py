@@ -11,7 +11,7 @@ module.  Keeping the frame shared means one set of corruption checks
 from __future__ import annotations
 
 from repro.codecs.varint import decode_uvarint, encode_uvarint
-from repro.errors import FormatError
+from repro.errors import CodecError, FormatError
 
 __all__ = ["pack_sections", "unpack_sections"]
 
@@ -30,22 +30,45 @@ def pack_sections(magic: bytes, version: int,
 
 def unpack_sections(data: bytes, magic: bytes,
                     expect_version: int) -> list[bytes]:
-    """Parse :func:`pack_sections` output, validating magic and version."""
+    """Parse :func:`pack_sections` output, validating magic and version.
+
+    Every malformation -- bad magic, wrong version, a section count or
+    section length that cannot fit in the remaining buffer, a varint
+    truncated mid-byte -- raises :class:`~repro.errors.FormatError`
+    naming the offending section index, *before* any oversized
+    allocation or out-of-bounds slice can happen.  Length fields are
+    additionally capped at the buffer size, so a forged multi-terabyte
+    uvarint fails the same way a short one does.
+    """
     if data[: len(magic)] != magic:
         raise FormatError(
             f"bad magic: expected {magic!r}, got {data[:len(magic)]!r}"
         )
-    version, pos = decode_uvarint(data, len(magic))
-    if version != expect_version:
-        raise FormatError(
-            f"unsupported version {version} (want {expect_version})"
-        )
-    n, pos = decode_uvarint(data, pos)
-    sections: list[bytes] = []
-    for _ in range(n):
-        ln, pos = decode_uvarint(data, pos)
-        if pos + ln > len(data):
-            raise FormatError("truncated section")
-        sections.append(data[pos : pos + ln])
-        pos += ln
+    try:
+        version, pos = decode_uvarint(data, len(magic))
+        if version != expect_version:
+            raise FormatError(
+                f"unsupported version {version} (want {expect_version})"
+            )
+        n, pos = decode_uvarint(data, pos)
+        # Each section costs at least one length byte, so a count
+        # exceeding the remaining bytes is corrupt regardless of the
+        # individual lengths -- reject before looping n times.
+        if n > len(data) - pos:
+            raise FormatError(
+                f"section count {n} exceeds remaining buffer "
+                f"({len(data) - pos} bytes)"
+            )
+        sections: list[bytes] = []
+        for i in range(n):
+            ln, pos = decode_uvarint(data, pos)
+            if ln > len(data) - pos:
+                raise FormatError(
+                    f"section {i} length {ln} overruns buffer "
+                    f"({len(data) - pos} bytes remain)"
+                )
+            sections.append(data[pos : pos + ln])
+            pos += ln
+    except CodecError as exc:
+        raise FormatError(f"corrupt section frame: {exc}") from exc
     return sections

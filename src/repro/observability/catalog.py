@@ -34,6 +34,14 @@ COUNTERS: frozenset[str] = frozenset({
     "parallel.pool.reused",
     "parallel.pool.nested",
     "quality.runs",
+    "store.auto.fallbacks",
+    "store.auto.trials",
+    "store.bytes.decoded",
+    "store.bytes.read",
+    "store.chunks.compressed",
+    "store.chunks.decoded",
+    "store.fields.packed",
+    "store.region.reads",
     "sz.compress.runs",
     "sz.compress.bytes_in",
     "sz.compress.bytes_out",
@@ -58,6 +66,7 @@ GAUGES: frozenset[str] = frozenset({
     "dpz.last.k",
     "parallel.pool.size",
     "parallel.queue.depth",
+    "store.last.amplification",
     "sz.last.cr",
     "zfp.last.cr",
 })
@@ -69,6 +78,8 @@ HISTOGRAMS: frozenset[str] = frozenset({
     "huffman.encode.symbols_per_call",
     "huffman.decode.symbols_per_call",
     "parallel.chunk.seconds",
+    "store.chunk.compress.seconds",
+    "store.region.seconds",
     "sz.compress.seconds",
     "sz.decompress.seconds",
     "zfp.compress.seconds",

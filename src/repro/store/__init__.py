@@ -1,0 +1,45 @@
+"""Chunked random-access store (``dpzs``) with per-chunk codecs.
+
+The paper's premise is *information retrieval* on compressed
+scientific data; this package is the persistence layer that makes
+retrieval cheap.  A :class:`Store` splits every field into a regular
+chunk grid, compresses chunks independently and in parallel, records a
+seekable tail manifest, and serves rectangular region reads by
+decoding only the overlapping chunks -- zarr's storage model, grown on
+this project's container/codec substrate.
+
+* :mod:`repro.store.chunking` -- grid geometry and region overlap.
+* :mod:`repro.store.format` -- the ``dpzs`` v1 byte layout.
+* :mod:`repro.store.select` -- ``codec="auto"``: per-chunk online
+  selection between SZ / ZFP / DPZ against an error budget, with a
+  lossless fallback guaranteeing the budget always holds.
+* :mod:`repro.store.store` -- the :class:`Store` itself.
+
+CLI: ``dpz store pack / list / get / region / from-archive``.
+"""
+
+from repro.store.chunking import (
+    chunk_slices,
+    default_chunk_shape,
+    grid_shape,
+    iter_chunks,
+    normalize_region,
+    overlapping_chunks,
+)
+from repro.store.format import ChunkRef, FieldMeta
+from repro.store.select import AUTO_CANDIDATES, compress_chunk_auto
+from repro.store.store import Store
+
+__all__ = [
+    "Store",
+    "ChunkRef",
+    "FieldMeta",
+    "AUTO_CANDIDATES",
+    "compress_chunk_auto",
+    "default_chunk_shape",
+    "grid_shape",
+    "chunk_slices",
+    "iter_chunks",
+    "normalize_region",
+    "overlapping_chunks",
+]

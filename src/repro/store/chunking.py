@@ -1,0 +1,177 @@
+"""Chunk-grid geometry for the ``dpzs`` store.
+
+Pure integer arithmetic, no NumPy: given a field shape and a chunk
+shape, these helpers enumerate the regular chunk grid (C-order), map
+grid coordinates to array slices, and -- the heart of random access --
+compute which chunks overlap an arbitrary rectangular region.  Edge
+chunks are simply smaller; nothing is padded, because every chunk
+payload is a self-describing codec container that knows its own shape.
+
+The region vocabulary mirrors NumPy basic indexing restricted to what
+a seekable store can serve cheaply: integers and unit-step slices per
+dimension (negative values allowed, steps other than 1 rejected).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence, Union
+
+from repro.errors import ConfigError, DataShapeError
+
+__all__ = [
+    "RegionSpec",
+    "default_chunk_shape",
+    "validate_chunk_shape",
+    "grid_shape",
+    "chunk_slices",
+    "iter_chunks",
+    "chunk_index",
+    "normalize_region",
+    "overlapping_chunks",
+]
+
+#: One per-dimension selector: an index or a unit-step slice.
+RegionSpec = Union[int, slice, Sequence[Union[int, slice]]]
+
+#: Default chunk edge by dimensionality: roughly 32k-128k values per
+#: chunk, small enough that a point read decodes little, large enough
+#: that per-chunk container overhead stays negligible.
+_DEFAULT_EDGE = {1: 65536, 2: 256}
+_DEFAULT_EDGE_ND = 32
+
+
+def default_chunk_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Pick a chunk shape for ``shape`` (per-dim edge capped by ndim)."""
+    edge = _DEFAULT_EDGE.get(len(shape), _DEFAULT_EDGE_ND)
+    return tuple(min(n, edge) for n in shape)
+
+
+def validate_chunk_shape(shape: tuple[int, ...],
+                         chunk_shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Check ``chunk_shape`` against ``shape``; returns it normalized.
+
+    Every chunk dimension must be a positive integer; oversize chunk
+    dims are clamped to the field extent (a 16^3 chunk request on an
+    8^3 field is one whole-field chunk, not an error).
+    """
+    if len(chunk_shape) != len(shape):
+        raise DataShapeError(
+            f"chunk shape {chunk_shape} has {len(chunk_shape)} dims, "
+            f"field shape {shape} has {len(shape)}")
+    out = []
+    for n, c in zip(shape, chunk_shape):
+        if int(c) < 1:
+            raise ConfigError(
+                f"chunk shape {chunk_shape} has non-positive entry {c}")
+        out.append(min(int(c), int(n)))
+    return tuple(out)
+
+
+def grid_shape(shape: tuple[int, ...],
+               chunk_shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Number of chunks along each dimension (ceil division)."""
+    return tuple(-(-n // c) for n, c in zip(shape, chunk_shape))
+
+
+def chunk_slices(shape: tuple[int, ...], chunk_shape: tuple[int, ...],
+                 coord: tuple[int, ...]) -> tuple[slice, ...]:
+    """Array slices covered by the chunk at grid coordinate ``coord``."""
+    return tuple(slice(c * ch, min((c + 1) * ch, n))
+                 for n, ch, c in zip(shape, chunk_shape, coord))
+
+
+def iter_chunks(shape: tuple[int, ...], chunk_shape: tuple[int, ...]
+                ) -> Iterator[tuple[tuple[int, ...], tuple[slice, ...]]]:
+    """Yield ``(grid_coord, array_slices)`` for every chunk, C-order."""
+    grid = grid_shape(shape, chunk_shape)
+    for coord in _iter_grid(grid):
+        yield coord, chunk_slices(shape, chunk_shape, coord)
+
+
+def _iter_grid(grid: tuple[int, ...]) -> Iterator[tuple[int, ...]]:
+    """C-order iteration over a grid (last axis fastest)."""
+    if not grid:
+        yield ()
+        return
+    coord = [0] * len(grid)
+    total = 1
+    for g in grid:
+        total *= g
+    for _ in range(total):
+        yield tuple(coord)
+        for axis in range(len(grid) - 1, -1, -1):
+            coord[axis] += 1
+            if coord[axis] < grid[axis]:
+                break
+            coord[axis] = 0
+
+
+def chunk_index(grid: tuple[int, ...], coord: tuple[int, ...]) -> int:
+    """Linearize a grid coordinate in C-order."""
+    idx = 0
+    for g, c in zip(grid, coord):
+        idx = idx * g + c
+    return idx
+
+
+def normalize_region(shape: tuple[int, ...], region: RegionSpec
+                     ) -> tuple[tuple[tuple[int, int], ...],
+                                tuple[bool, ...]]:
+    """Resolve a region spec to per-dim ``(start, stop)`` bounds.
+
+    Returns ``(bounds, collapse)`` where ``collapse[d]`` is True for
+    dimensions selected by an integer (dropped from the result, NumPy
+    style).  Missing trailing dimensions default to the full extent.
+    Raises :class:`~repro.errors.ConfigError` for non-unit steps,
+    out-of-range integer indices, or too many selectors.
+    """
+    sels: list[int | slice]
+    if isinstance(region, (int, slice)):
+        sels = [region]
+    else:
+        sels = list(region)
+    if len(sels) > len(shape):
+        raise ConfigError(
+            f"region has {len(sels)} selectors for a "
+            f"{len(shape)}-dimensional field")
+    sels += [slice(None)] * (len(shape) - len(sels))
+    bounds: list[tuple[int, int]] = []
+    collapse: list[bool] = []
+    for d, (n, sel) in enumerate(zip(shape, sels)):
+        if isinstance(sel, slice):
+            if sel.step not in (None, 1):
+                raise ConfigError(
+                    f"region dim {d}: only unit-step slices are "
+                    f"supported, got step {sel.step}")
+            start, stop, _ = sel.indices(n)
+            bounds.append((start, max(stop, start)))
+            collapse.append(False)
+        else:
+            i = int(sel)
+            if i < -n or i >= n:
+                raise ConfigError(
+                    f"region dim {d}: index {i} out of range for "
+                    f"extent {n}")
+            if i < 0:
+                i += n
+            bounds.append((i, i + 1))
+            collapse.append(True)
+    return tuple(bounds), tuple(collapse)
+
+
+def overlapping_chunks(shape: tuple[int, ...],
+                       chunk_shape: tuple[int, ...],
+                       bounds: tuple[tuple[int, int], ...]
+                       ) -> Iterator[tuple[int, ...]]:
+    """Grid coordinates of every chunk intersecting ``bounds`` (C-order).
+
+    Empty bounds (``start == stop`` in any dimension) yield nothing.
+    """
+    ranges: list[range] = []
+    for (lo, hi), ch in zip(bounds, chunk_shape):
+        if hi <= lo:
+            return
+        ranges.append(range(lo // ch, -(-hi // ch)))
+    grid = [len(r) for r in ranges]
+    for coord in _iter_grid(tuple(grid)):
+        yield tuple(r[c] for r, c in zip(ranges, coord))

@@ -1,0 +1,236 @@
+"""``dpzs`` v1 on-disk layout: header, chunk payloads, tail manifest.
+
+File layout (see FORMATS.md for the normative spec)::
+
+    offset  0  magic  b"DPZS"
+    offset  4  u8     version (1)
+    offset  5  u64le  manifest_offset
+    offset 13  u64le  manifest_length
+    offset 21  chunk payloads (each a self-describing codec container)
+    ...        manifest (below), at manifest_offset
+
+The manifest lives at the *tail* so that appending a field never
+rewrites existing payloads: new chunks are written over the old
+manifest's bytes, a fresh manifest follows them, and the fixed-width
+header pointer is patched last.  A reader that opens the store touches
+exactly ``HEADER_SIZE + manifest_length`` bytes; chunk payloads are
+read individually on demand.
+
+The manifest itself reuses the shared positional-section frame
+(:mod:`repro.codecs.container`, magic ``DPZM``), one section per
+field.  All integers are LEB128 uvarints, all fixed-width scalars
+little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.codecs.container import pack_sections, unpack_sections
+from repro.codecs.varint import decode_uvarint, encode_uvarint
+from repro.errors import CodecError, FormatError
+
+__all__ = [
+    "MAGIC",
+    "MANIFEST_MAGIC",
+    "VERSION",
+    "HEADER_SIZE",
+    "DTYPE_TAGS",
+    "ChunkRef",
+    "FieldMeta",
+    "pack_header",
+    "unpack_header",
+    "encode_manifest",
+    "decode_manifest",
+]
+
+MAGIC = b"DPZS"
+MANIFEST_MAGIC = b"DPZM"
+VERSION = 1
+HEADER_SIZE = 21
+
+_HEADER = struct.Struct("<4sBQQ")
+
+#: dtype tag -> little-endian NumPy dtype string.
+DTYPE_TAGS = {"f4": "<f4", "f8": "<f8"}
+
+
+@dataclass(frozen=True)
+class ChunkRef:
+    """One chunk payload: absolute file offset, byte length, codec."""
+
+    offset: int
+    length: int
+    codec: str
+
+
+@dataclass
+class FieldMeta:
+    """Manifest record for one field of a store."""
+
+    name: str
+    codec_label: str
+    dtype_tag: str
+    shape: tuple[int, ...]
+    chunk_shape: tuple[int, ...]
+    original_nbytes: int
+    error_budget: float | None
+    chunks: list[ChunkRef] = field(default_factory=list)
+
+
+def pack_header(manifest_offset: int, manifest_length: int) -> bytes:
+    """Serialize the fixed-width file header."""
+    return _HEADER.pack(MAGIC, VERSION, manifest_offset, manifest_length)
+
+
+def unpack_header(buf: bytes) -> tuple[int, int]:
+    """Parse the header; returns ``(manifest_offset, manifest_length)``."""
+    if len(buf) < HEADER_SIZE:
+        raise FormatError(
+            f"dpzs header truncated: {len(buf)} bytes (need "
+            f"{HEADER_SIZE})")
+    magic, version, offset, length = _HEADER.unpack(buf[:HEADER_SIZE])
+    if magic != MAGIC:
+        raise FormatError(
+            f"bad magic: expected {MAGIC!r}, got {magic!r}")
+    if version != VERSION:
+        raise FormatError(
+            f"unsupported dpzs version {version} (want {VERSION})")
+    if offset < HEADER_SIZE:
+        raise FormatError(
+            f"manifest offset {offset} points inside the header")
+    return offset, length
+
+
+def _encode_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    return encode_uvarint(len(raw)) + raw
+
+
+def _decode_str(buf: bytes, pos: int, what: str) -> tuple[str, int]:
+    ln, pos = decode_uvarint(buf, pos)
+    if pos + ln > len(buf):
+        raise FormatError(f"truncated {what} in dpzs manifest")
+    return buf[pos : pos + ln].decode("utf-8"), pos + ln
+
+
+def encode_manifest(fields: list[FieldMeta]) -> bytes:
+    """Serialize the manifest (one section per field)."""
+    sections: list[bytes] = []
+    for meta in fields:
+        out = bytearray()
+        out += _encode_str(meta.name)
+        out += _encode_str(meta.codec_label)
+        out += meta.dtype_tag.encode("ascii")
+        out += encode_uvarint(len(meta.shape))
+        for n in meta.shape:
+            out += encode_uvarint(n)
+        for c in meta.chunk_shape:
+            out += encode_uvarint(c)
+        out += encode_uvarint(meta.original_nbytes)
+        if meta.error_budget is None:
+            out += b"\x00" + struct.pack("<d", 0.0)
+        else:
+            out += b"\x01" + struct.pack("<d", float(meta.error_budget))
+        codecs = sorted({ref.codec for ref in meta.chunks})
+        codec_id = {name: i for i, name in enumerate(codecs)}
+        out += encode_uvarint(len(codecs))
+        for name in codecs:
+            out += _encode_str(name)
+        out += encode_uvarint(len(meta.chunks))
+        for ref in meta.chunks:
+            out += encode_uvarint(ref.offset)
+            out += encode_uvarint(ref.length)
+            out += encode_uvarint(codec_id[ref.codec])
+        sections.append(bytes(out))
+    return pack_sections(MANIFEST_MAGIC, VERSION, sections)
+
+
+def _decode_field(sec: bytes) -> FieldMeta:
+    pos = 0
+    name, pos = _decode_str(sec, pos, "field name")
+    codec_label, pos = _decode_str(sec, pos, "codec label")
+    if pos + 2 > len(sec):
+        raise FormatError(f"field {name!r}: truncated dtype tag")
+    dtype_tag = sec[pos : pos + 2].decode("ascii")
+    pos += 2
+    if dtype_tag not in DTYPE_TAGS:
+        raise FormatError(
+            f"field {name!r}: unknown dtype tag {dtype_tag!r}")
+    ndim, pos = decode_uvarint(sec, pos)
+    if ndim < 1 or ndim > 32:
+        raise FormatError(
+            f"field {name!r}: implausible ndim {ndim}")
+    shape: list[int] = []
+    for _ in range(ndim):
+        n, pos = decode_uvarint(sec, pos)
+        shape.append(n)
+    chunk_shape: list[int] = []
+    for _ in range(ndim):
+        c, pos = decode_uvarint(sec, pos)
+        if c < 1:
+            raise FormatError(
+                f"field {name!r}: non-positive chunk extent {c}")
+        chunk_shape.append(c)
+    original_nbytes, pos = decode_uvarint(sec, pos)
+    if pos + 9 > len(sec):
+        raise FormatError(f"field {name!r}: truncated error budget")
+    has_budget = sec[pos]
+    (budget_value,) = struct.unpack("<d", sec[pos + 1 : pos + 9])
+    pos += 9
+    budget = float(budget_value) if has_budget else None
+    n_codecs, pos = decode_uvarint(sec, pos)
+    codecs: list[str] = []
+    for _ in range(n_codecs):
+        cname, pos = _decode_str(sec, pos, f"field {name!r} codec name")
+        codecs.append(cname)
+    n_chunks, pos = decode_uvarint(sec, pos)
+    expected = 1
+    for n, c in zip(shape, chunk_shape):
+        expected *= -(-n // c)
+    if n_chunks != expected:
+        raise FormatError(
+            f"field {name!r}: manifest lists {n_chunks} chunks, grid "
+            f"{tuple(shape)} / {tuple(chunk_shape)} needs {expected}")
+    chunks: list[ChunkRef] = []
+    for i in range(n_chunks):
+        offset, pos = decode_uvarint(sec, pos)
+        length, pos = decode_uvarint(sec, pos)
+        cid, pos = decode_uvarint(sec, pos)
+        if cid >= len(codecs):
+            raise FormatError(
+                f"field {name!r}: chunk {i} references codec id {cid} "
+                f"but only {len(codecs)} codecs are declared")
+        if offset < HEADER_SIZE:
+            raise FormatError(
+                f"field {name!r}: chunk {i} offset {offset} points "
+                f"inside the header")
+        chunks.append(ChunkRef(offset=offset, length=length,
+                               codec=codecs[cid]))
+    return FieldMeta(
+        name=name, codec_label=codec_label, dtype_tag=dtype_tag,
+        shape=tuple(shape), chunk_shape=tuple(chunk_shape),
+        original_nbytes=original_nbytes, error_budget=budget,
+        chunks=chunks,
+    )
+
+
+def decode_manifest(blob: bytes) -> list[FieldMeta]:
+    """Parse :func:`encode_manifest` output.
+
+    Any corruption -- truncated frame, mangled varint, inconsistent
+    chunk count -- raises :class:`~repro.errors.FormatError`.
+    """
+    try:
+        sections = unpack_sections(blob, MANIFEST_MAGIC, VERSION)
+        fields = [_decode_field(sec) for sec in sections]
+    except FormatError:
+        raise
+    except (CodecError, IndexError, ValueError, OverflowError,
+            UnicodeDecodeError, struct.error) as exc:
+        raise FormatError(f"corrupt dpzs manifest: {exc}") from exc
+    names = [m.name for m in fields]
+    if len(set(names)) != len(names):
+        raise FormatError(f"dpzs manifest repeats field names: {names}")
+    return fields

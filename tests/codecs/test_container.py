@@ -41,8 +41,56 @@ def test_truncated_section_rejected():
         unpack_sections(blob[:-3], MAGIC, 1)
 
 
+def test_overrunning_section_length_names_the_section():
+    # Forge section 1's length field so it claims more bytes than the
+    # buffer holds: the parser must name the offending section rather
+    # than slice short (which would silently misalign everything after).
+    blob = bytearray(pack_sections(MAGIC, 1, [b"aa", b"bbb"]))
+    idx = blob.index(b"\x03bbb")
+    blob[idx] = 0x7F
+    with pytest.raises(FormatError, match=r"section 1 length 127"):
+        unpack_sections(bytes(blob), MAGIC, 1)
+
+
+def test_forged_huge_uvarint_length_rejected():
+    # A multi-terabyte length field must fail the bounds check, not
+    # reach a multi-terabyte slice/allocation.
+    blob = MAGIC + b"\x01\x01" + b"\x80\x80\x80\x80\x80\x80\x01" + b"xy"
+    with pytest.raises(FormatError, match="section 0 length"):
+        unpack_sections(blob, MAGIC, 1)
+
+
+def test_absurd_section_count_rejected():
+    # Count says 2^35 sections but only a couple of bytes remain.
+    blob = MAGIC + b"\x01" + b"\x80\x80\x80\x80\x80\x01" + b"ab"
+    with pytest.raises(FormatError, match="section count"):
+        unpack_sections(blob, MAGIC, 1)
+
+
+def test_truncated_uvarint_raises_format_error():
+    # A continuation bit with nothing after it: the varint layer's
+    # CodecError must surface re-wrapped as FormatError.
+    blob = MAGIC + b"\x01\x01" + b"\x80"
+    with pytest.raises(FormatError, match="corrupt section frame"):
+        unpack_sections(blob, MAGIC, 1)
+
+
 @given(st.lists(st.binary(max_size=300), max_size=10),
        st.integers(0, 1000))
 def test_roundtrip_property(sections, version):
     blob = pack_sections(MAGIC, version, sections)
     assert unpack_sections(blob, MAGIC, version) == sections
+
+
+@given(st.lists(st.binary(max_size=60), min_size=1, max_size=5),
+       st.data())
+def test_truncation_fuzz_never_leaks(sections, data):
+    # Any prefix of a valid frame either still parses (pure-suffix
+    # truncation cannot always be detected by an unframed outer layer)
+    # or raises FormatError -- never IndexError/ValueError/etc.
+    blob = pack_sections(MAGIC, 1, sections)
+    cut = data.draw(st.integers(len(MAGIC), len(blob) - 1))
+    try:
+        unpack_sections(blob[:cut], MAGIC, 1)
+    except FormatError:
+        pass

@@ -63,6 +63,47 @@ def test_exceptions_propagate():
                      config=ParallelConfig(n_jobs=2, min_chunk=1))
 
 
+class _ChunkExplosion(RuntimeError):
+    """A worker failure type the pool must not launder."""
+
+
+def test_original_exception_type_and_message_survive():
+    # The *caller's* exception class (not a pool/broken-executor
+    # wrapper) must cross the thread boundary, message intact, for
+    # both the untraced fast path and the traced path.
+    from repro.observability import Tracer, use_tracer
+
+    def boom(x):
+        if x == 3:
+            raise _ChunkExplosion(f"chunk {x} exploded")
+        return x
+
+    cfg = ParallelConfig(n_jobs=4, min_chunk=1)
+    with pytest.raises(_ChunkExplosion, match="chunk 3 exploded"):
+        parallel_map(boom, list(range(8)), config=cfg)
+    with use_tracer(Tracer()):
+        with pytest.raises(_ChunkExplosion, match="chunk 3 exploded"):
+            parallel_map(boom, list(range(8)), config=cfg)
+
+
+def test_failed_map_does_not_poison_shared_pool():
+    # The process-lifetime pool is reused across calls; a raising
+    # worker must not wedge it for subsequent maps (same or larger
+    # worker count, which exercises both reuse and pool growth).
+    def boom(x):
+        if x % 2:
+            raise _ChunkExplosion("odd chunk")
+        return x
+
+    for _ in range(3):
+        with pytest.raises(_ChunkExplosion):
+            parallel_map(boom, list(range(8)),
+                         config=ParallelConfig(n_jobs=2, min_chunk=1))
+        out = parallel_map(lambda x: x + 1, list(range(16)),
+                           config=ParallelConfig(n_jobs=4, min_chunk=1))
+        assert out == [x + 1 for x in range(16)]
+
+
 def test_empty_items():
     assert parallel_map(lambda x: x, []) == []
 

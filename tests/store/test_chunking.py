@@ -1,0 +1,119 @@
+"""Tests for the pure-integer chunk-grid geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError, DataShapeError
+from repro.store.chunking import (
+    chunk_index,
+    chunk_slices,
+    default_chunk_shape,
+    grid_shape,
+    iter_chunks,
+    normalize_region,
+    overlapping_chunks,
+    validate_chunk_shape,
+)
+
+
+class TestGrid:
+    def test_grid_shape_ceil_division(self):
+        assert grid_shape((64, 64, 64), (16, 16, 16)) == (4, 4, 4)
+        assert grid_shape((65, 64), (16, 16)) == (5, 4)
+        assert grid_shape((5,), (16,)) == (1,)
+
+    def test_iter_chunks_covers_exactly_once(self):
+        shape, cshape = (10, 7), (4, 3)
+        cover = np.zeros(shape, dtype=int)
+        for coord, sl in iter_chunks(shape, cshape):
+            cover[sl] += 1
+        assert (cover == 1).all()
+
+    def test_iter_chunks_c_order_matches_chunk_index(self):
+        shape, cshape = (10, 7, 5), (4, 3, 2)
+        grid = grid_shape(shape, cshape)
+        for i, (coord, _) in enumerate(iter_chunks(shape, cshape)):
+            assert chunk_index(grid, coord) == i
+
+    def test_edge_chunks_are_smaller(self):
+        slices = chunk_slices((10,), (4,), (2,))
+        assert slices == (slice(8, 10),)
+
+    def test_validate_clamps_oversize(self):
+        assert validate_chunk_shape((8, 8), (16, 4)) == (8, 4)
+
+    def test_validate_rejects_bad_shapes(self):
+        with pytest.raises(DataShapeError):
+            validate_chunk_shape((8, 8), (4,))
+        with pytest.raises(ConfigError):
+            validate_chunk_shape((8, 8), (4, 0))
+
+    def test_default_chunk_shape_caps_by_ndim(self):
+        assert default_chunk_shape((10,)) == (10,)
+        assert default_chunk_shape((1000, 1000)) == (256, 256)
+        assert default_chunk_shape((128, 128, 128)) == (32, 32, 32)
+
+
+class TestNormalizeRegion:
+    def test_slices_and_ints(self):
+        bounds, collapse = normalize_region(
+            (64, 64, 64), (slice(0, 16), slice(8, 24), 3))
+        assert bounds == ((0, 16), (8, 24), (3, 4))
+        assert collapse == (False, False, True)
+
+    def test_trailing_dims_default_full(self):
+        bounds, collapse = normalize_region((8, 9), (slice(1, 2),))
+        assert bounds == ((1, 2), (0, 9))
+        assert collapse == (False, False)
+
+    def test_negative_int_wraps(self):
+        bounds, collapse = normalize_region((8,), (-1,))
+        assert bounds == ((7, 8),)
+        assert collapse == (True,)
+
+    def test_rejects_steps_and_bad_indices(self):
+        with pytest.raises(ConfigError, match="unit-step"):
+            normalize_region((8,), (slice(0, 8, 2),))
+        with pytest.raises(ConfigError, match="out of range"):
+            normalize_region((8,), (8,))
+        with pytest.raises(ConfigError, match="selectors"):
+            normalize_region((8,), (slice(None), slice(None)))
+
+
+class TestOverlap:
+    def test_single_aligned_chunk(self):
+        coords = list(overlapping_chunks(
+            (64, 64, 64), (16, 16, 16), ((16, 32), (16, 32), (16, 32))))
+        assert coords == [(1, 1, 1)]
+
+    def test_straddling_read_touches_eight(self):
+        coords = list(overlapping_chunks(
+            (64, 64, 64), (16, 16, 16), ((8, 24), (8, 24), (8, 24))))
+        assert len(coords) == 8
+
+    def test_empty_bounds_yield_nothing(self):
+        assert list(overlapping_chunks((8,), (4,), ((3, 3),))) == []
+
+    @given(st.data())
+    def test_overlap_matches_brute_force(self, data):
+        ndim = data.draw(st.integers(1, 3))
+        shape = tuple(data.draw(st.integers(1, 20)) for _ in range(ndim))
+        cshape = tuple(data.draw(st.integers(1, 8)) for _ in range(ndim))
+        cshape = validate_chunk_shape(shape, cshape)
+        bounds = []
+        for n in shape:
+            lo = data.draw(st.integers(0, n - 1))
+            hi = data.draw(st.integers(lo, n))
+            bounds.append((lo, hi))
+        bounds = tuple(bounds)
+        expected = []
+        for coord, sl in iter_chunks(shape, cshape):
+            if all(max(lo, s.start) < min(hi, s.stop)
+                   for s, (lo, hi) in zip(sl, bounds)):
+                expected.append(coord)
+        got = list(overlapping_chunks(shape, cshape, bounds))
+        assert got == expected

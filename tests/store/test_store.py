@@ -1,0 +1,332 @@
+"""Tests for the chunked store: round-trips, region reads, append, auto.
+
+The acceptance bar for the subsystem (mirrored from the issue):
+
+* ``get_region`` on a 64^3 field with 16^3 chunks decodes *only* the
+  overlapping chunks (asserted via the bytes-decoded metric),
+* region reads are bit-identical with a whole-field decode for every
+  codec, and
+* ``codec="auto"`` never violates its error budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.archive import CODECS, FieldArchive
+from repro.errors import ConfigError, FormatError
+from repro.observability import (
+    Tracer,
+    counters_snapshot,
+    metrics_reset,
+    use_tracer,
+)
+from repro.store import AUTO_CANDIDATES, Store, compress_chunk_auto
+
+#: Per-codec kwargs for the all-codecs round-trip (archive test mirror).
+CODEC_KWARGS = {
+    "dpz": {"scheme": "s", "tve_nines": 6},
+    "sz": {"eps": 1e-4},
+    "zfp": {"rate": 12.0},
+    "mgard": {"eps": 1e-4},
+    "dctz": {"p": 1e-4, "index_bytes": 2},
+    "tucker": {"target": 0.99999},
+    "raw": {},
+}
+
+
+@pytest.fixture
+def field_3d(rng) -> np.ndarray:
+    """A 24^3 field with smooth structure plus mild noise (float32)."""
+    g = np.linspace(-1, 1, 24)
+    zz, yy, xx = np.meshgrid(g, g, g, indexing="ij")
+    base = np.sin(3 * xx) * np.cos(2 * yy) + zz
+    return (base + 0.01 * rng.normal(size=base.shape)).astype(np.float32)
+
+
+class TestRoundTrip:
+    def test_raw_lossless_roundtrip(self, tmp_path, field_3d):
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("f", field_3d, codec="raw", chunk_shape=(8, 8, 8))
+        out = Store.open(path).get("f")
+        np.testing.assert_array_equal(out, field_3d)
+        assert out.dtype == field_3d.dtype
+
+    def test_region_matches_whole_decode_every_codec(self, tmp_path,
+                                                     field_3d):
+        # Acceptance: region reads stitch to *bit-identical* values vs
+        # the whole-field decode, for every codec in the registry.
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            for codec in CODECS:
+                st.add(f"f_{codec}", field_3d, codec=codec,
+                       chunk_shape=(8, 8, 8), **CODEC_KWARGS[codec])
+        st = Store.open(path)
+        region = (slice(3, 19), slice(0, 8), slice(5, 21))
+        for codec in CODECS:
+            whole = st.get(f"f_{codec}")
+            assert whole.shape == field_3d.shape
+            sub = st.get_region(f"f_{codec}", region)
+            np.testing.assert_array_equal(sub, whole[region])
+
+    def test_edge_chunks_unpadded(self, tmp_path, rng):
+        # 10x7 field with 4x3 chunks: every edge chunk is smaller.
+        data = rng.normal(size=(10, 7)).astype(np.float32)
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("f", data, codec="raw", chunk_shape=(4, 3))
+        out = Store.open(path).get("f")
+        np.testing.assert_array_equal(out, data)
+
+    def test_float64_and_1d(self, tmp_path, rng):
+        data = rng.normal(size=1000).astype(np.float64)
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("f", data, codec="raw", chunk_shape=(256,))
+        out = Store.open(path).get("f")
+        assert out.dtype == np.dtype("<f8")
+        np.testing.assert_array_equal(out, data)
+
+    def test_int_selector_collapses_dims(self, tmp_path, field_3d):
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("f", field_3d, codec="raw", chunk_shape=(8, 8, 8))
+        st = Store.open(path)
+        plane = st.get_region("f", (slice(0, 24), slice(0, 24), 11))
+        assert plane.shape == (24, 24)
+        np.testing.assert_array_equal(plane, field_3d[:, :, 11])
+        point = st.get_region("f", (1, 2, 3))
+        assert point.shape == ()
+        assert point == field_3d[1, 2, 3]
+
+    def test_parallel_pack_matches_serial(self, tmp_path, field_3d):
+        p1, p2 = tmp_path / "a.dpzs", tmp_path / "b.dpzs"
+        with Store.create(p1) as st:
+            st.add("f", field_3d, codec="sz", chunk_shape=(8, 8, 8),
+                   eps=1e-3, n_jobs=1)
+        with Store.create(p2) as st:
+            st.add("f", field_3d, codec="sz", chunk_shape=(8, 8, 8),
+                   eps=1e-3, n_jobs=4)
+        a, b = Store.open(p1), Store.open(p2)
+        np.testing.assert_array_equal(a.get("f"), b.get("f"))
+        assert a.info("f")["compressed_nbytes"] == \
+            b.info("f")["compressed_nbytes"]
+
+
+class TestRegionDecodesOnlyOverlap:
+    def test_bytes_decoded_metric_64cubed(self, tmp_path, rng):
+        # Acceptance: a chunk-aligned 16^3 read of a 64^3 field decodes
+        # exactly one 16^3 chunk; a worst-case straddling read decodes
+        # eight.  Asserted through the store's own counters.
+        data = rng.normal(size=(64, 64, 64)).astype(np.float32)
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("f", data, codec="raw", chunk_shape=(16, 16, 16))
+        st = Store.open(path)
+        chunk_nbytes = 16 ** 3 * 4
+
+        metrics_reset()
+        with use_tracer(Tracer()):
+            out = st.get_region(
+                "f", (slice(16, 32), slice(16, 32), slice(16, 32)))
+            c = counters_snapshot()
+        assert out.shape == (16, 16, 16)
+        assert c["store.chunks.decoded"] == 1
+        assert c["store.bytes.decoded"] == chunk_nbytes
+        assert c["store.region.reads"] == 1
+        # Compressed bytes read off disk: far less than the whole file.
+        assert 0 < c["store.bytes.read"] <= sum(
+            r.length for r in st._fields["f"].chunks)
+
+        metrics_reset()
+        with use_tracer(Tracer()):
+            st.get_region("f", (slice(8, 24), slice(8, 24), slice(8, 24)))
+            c = counters_snapshot()
+        assert c["store.chunks.decoded"] == 8
+        assert c["store.bytes.decoded"] == 8 * chunk_nbytes
+
+    def test_whole_read_decodes_everything_once(self, tmp_path, rng):
+        data = rng.normal(size=(32, 32)).astype(np.float32)
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("f", data, codec="raw", chunk_shape=(16, 16))
+        metrics_reset()
+        with use_tracer(Tracer()):
+            Store.open(path).get("f")
+            c = counters_snapshot()
+        assert c["store.chunks.decoded"] == 4
+        assert c["store.bytes.decoded"] == data.nbytes
+
+
+class TestLazyOpenAndAppend:
+    def test_open_reads_header_and_manifest_only(self, tmp_path, field_3d):
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("f", field_3d, codec="sz", chunk_shape=(8, 8, 8),
+                   eps=1e-3)
+        # Corrupt every payload byte; a lazy open must still succeed
+        # because it only touches the header and the tail manifest.
+        st = Store.open(path)
+        blob = bytearray(path.read_bytes())
+        lo = min(r.offset for r in st._fields["f"].chunks)
+        hi = max(r.offset + r.length for r in st._fields["f"].chunks)
+        blob[lo:hi] = bytes(hi - lo)
+        path.write_bytes(bytes(blob))
+        reopened = Store.open(path)
+        assert reopened.names() == ["f"]
+        assert reopened.info("f")["n_chunks"] == 27
+        with pytest.raises(FormatError):
+            reopened.get("f")
+
+    def test_append_never_rewrites_payloads(self, tmp_path, field_3d, rng):
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("a", field_3d, codec="sz", chunk_shape=(8, 8, 8),
+                   eps=1e-3)
+            refs = list(st._fields["a"].chunks)
+            lo = min(r.offset for r in refs)
+            hi = max(r.offset + r.length for r in refs)
+            before = path.read_bytes()[lo:hi]
+            st.add("b", rng.normal(size=(6, 6)).astype(np.float32),
+                   codec="raw", chunk_shape=(4, 4))
+        after = path.read_bytes()[lo:hi]
+        assert after == before
+        st = Store.open(path)
+        assert st.names() == ["a", "b"]
+        assert st.get("a").shape == field_3d.shape
+
+    def test_reopen_then_append(self, tmp_path, field_3d, rng):
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("a", field_3d, codec="raw", chunk_shape=(8, 8, 8))
+        with Store.open(path) as st:
+            st.add("b", rng.normal(size=16).astype(np.float32),
+                   codec="raw", chunk_shape=(8,))
+        st = Store.open(path)
+        assert st.names() == ["a", "b"]
+        np.testing.assert_array_equal(st.get("a"), field_3d)
+
+    def test_truncated_manifest_rejected(self, tmp_path, field_3d):
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("f", field_3d, codec="raw", chunk_shape=(8, 8, 8))
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-7])
+        with pytest.raises(FormatError, match="truncated"):
+            Store.open(path)
+
+
+class TestValidation:
+    def test_duplicate_and_empty_rejected(self, tmp_path, field_3d):
+        with Store.create(tmp_path / "s.dpzs") as st:
+            st.add("f", field_3d, codec="raw")
+            with pytest.raises(ConfigError, match="already exists"):
+                st.add("f", field_3d, codec="raw")
+            with pytest.raises(ConfigError, match="empty"):
+                st.add("g", np.empty((0, 4), dtype=np.float32))
+            with pytest.raises(ConfigError):
+                st.add("", field_3d)
+            with pytest.raises(ConfigError, match="unknown codec"):
+                st.add("g", field_3d, codec="gzip9000")
+
+    def test_budget_configuration_errors(self, tmp_path, field_3d):
+        with Store.create(tmp_path / "s.dpzs") as st:
+            with pytest.raises(ConfigError, match="error_budget"):
+                st.add("f", field_3d, codec="auto")
+            with pytest.raises(ConfigError, match="error_budget"):
+                st.add("f", field_3d, codec="auto", error_budget=0.0)
+            with pytest.raises(ConfigError, match="only meaningful"):
+                st.add("f", field_3d, codec="sz", error_budget=1e-3,
+                       eps=1e-3)
+
+    def test_missing_field_rejected(self, tmp_path):
+        st = Store.create(tmp_path / "s.dpzs")
+        with pytest.raises(ConfigError, match="no field"):
+            st.get("nope")
+
+
+class TestAutoSelection:
+    def test_budget_never_violated(self, tmp_path, rng):
+        # Acceptance: on a mixed-texture synthetic suite the selected
+        # per-chunk codecs never exceed the absolute error budget.
+        g = np.linspace(-1, 1, 32)
+        zz, yy, xx = np.meshgrid(g, g, g, indexing="ij")
+        smooth = np.sin(4 * xx) * np.cos(3 * yy) * zz
+        noisy = rng.normal(size=(32, 32, 32))
+        mixed = np.where(xx > 0, smooth, 0.2 * noisy)
+        budget = 1e-3
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            for fname, data in (("smooth", smooth), ("noisy", noisy),
+                                ("mixed", mixed)):
+                st.add(fname, data.astype(np.float32), codec="auto",
+                       chunk_shape=(16, 16, 16), error_budget=budget)
+        st = Store.open(path)
+        for fname, data in (("smooth", smooth), ("noisy", noisy),
+                            ("mixed", mixed)):
+            out = st.get(fname)
+            err = float(np.max(np.abs(out - data.astype(np.float32))))
+            assert err <= budget, (fname, err)
+            info = st.info(fname)
+            assert info["error_budget"] == budget
+            assert set(info["chunk_codecs"]) <= set(AUTO_CANDIDATES) | {"raw"}
+
+    def test_compress_chunk_auto_returns_valid_codec(self, tiny_3d):
+        codec, payload = compress_chunk_auto(tiny_3d, 1e-3)
+        assert codec in set(AUTO_CANDIDATES) | {"raw"}
+        assert isinstance(payload, bytes) and payload
+
+    def test_tiny_budget_still_honored(self, rng):
+        # A budget below float32 noise floor: whatever wins (zfp's
+        # accuracy mode is near-lossless there, raw is the backstop),
+        # the full-chunk verification must hold the bound.
+        chunk = rng.normal(size=(8, 8, 8)).astype(np.float32)
+        budget = 1e-12
+        codec, payload = compress_chunk_auto(chunk, budget)
+        assert codec in set(AUTO_CANDIDATES) | {"raw"}
+        from repro.archive import CODECS as _C
+        out = _C[codec][1](payload)
+        assert float(np.max(np.abs(out - chunk))) <= budget
+
+    def test_raw_fallback_when_no_candidate_fits(self, monkeypatch, rng):
+        # Force every lossy candidate to miss the budget: the selector
+        # must land on lossless raw rather than ship a violation.
+        import repro.store.select as select
+        from repro.archive import CODECS as _C
+        chunk = rng.normal(size=(8, 8)).astype(np.float32)
+
+        def off_by_one(data, **kw):
+            return _C["raw"][0](np.asarray(data) + 1.0)
+
+        real_fns = select._fns
+
+        def fake_fns(name):
+            if name in AUTO_CANDIDATES:
+                return off_by_one, _C["raw"][1]
+            return real_fns(name)
+
+        monkeypatch.setattr(select, "_fns", fake_fns)
+        codec, payload = compress_chunk_auto(chunk, 1e-6)
+        assert codec == "raw"
+        np.testing.assert_array_equal(_C["raw"][1](payload), chunk)
+
+
+class TestFromArchive:
+    def test_repack_preserves_fields_and_codecs(self, tmp_path, field_3d,
+                                                rng):
+        ar = FieldArchive()
+        ar.add("a", field_3d, codec="raw")
+        ar.add("b", rng.normal(size=(20, 20)).astype(np.float32),
+               codec="sz", rel_eps=1e-4)
+        apath = tmp_path / "x.dpza"
+        ar.save(apath)
+        spath = tmp_path / "x.dpzs"
+        st = Store.from_archive(apath, spath, chunk_shape=None)
+        assert st.names() == ["a", "b"]
+        assert st.info("a")["codec"] == "raw"
+        assert st.info("b")["codec"] == "sz"
+        np.testing.assert_array_equal(st.get("a"), field_3d)
+        reopened = Store.open(spath)
+        assert reopened.get("b").shape == (20, 20)

@@ -54,12 +54,14 @@ class TestBuildAndRead:
             assert out.shape == tiny_3d.shape
             assert psnr(tiny_3d, out) > 35.0 or codec == "raw"
 
-    def test_replace_field(self, smooth_2d):
+    def test_duplicate_field_rejected(self, smooth_2d):
         ar = FieldArchive()
         ar.add("x", smooth_2d, codec="raw")
-        ar.add("x", smooth_2d * 2, codec="raw")
+        with pytest.raises(ConfigError, match="already exists"):
+            ar.add("x", smooth_2d * 2, codec="raw")
+        # The original entry is untouched by the failed add.
         assert ar.names() == ["x"]
-        np.testing.assert_array_equal(ar.get("x"), smooth_2d * 2)
+        np.testing.assert_array_equal(ar.get("x"), smooth_2d)
 
     def test_info_and_total_cr(self, smooth_2d):
         ar = FieldArchive()
@@ -92,6 +94,13 @@ class TestValidation:
     def test_missing_field_rejected(self):
         with pytest.raises(ConfigError):
             FieldArchive().get("nope")
+
+    def test_empty_array_rejected(self):
+        with pytest.raises(ConfigError, match="empty"):
+            FieldArchive().add("x", np.empty((0, 4), dtype=np.float32),
+                               codec="raw")
+        with pytest.raises(ConfigError, match="empty"):
+            FieldArchive().add("y", np.array([], dtype=np.float64))
 
     def test_corrupt_archive_rejected(self, smooth_2d):
         ar = FieldArchive()
