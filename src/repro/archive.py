@@ -22,6 +22,12 @@ Codecs: ``dpz`` (default), ``sz``, ``zfp``, ``mgard``, ``dctz``,
 must not lose a bit.  Per-field keyword arguments are forwarded to the
 codec's one-call API.  The CLI exposes this as ``dpz pack`` /
 ``dpz unpack`` / ``dpz list``.
+
+Codec resolution goes through :mod:`repro.codecs.registry`: this
+module registers the built-in set at import, and anything registered
+later (``register_codec("bitshuffle", ...)``) is usable here and in
+the chunked store immediately.  :data:`CODECS` is kept as a live
+mapping view of the registry for backward compatibility.
 """
 
 from __future__ import annotations
@@ -38,6 +44,13 @@ from repro.baselines.sz import sz_compress, sz_decompress
 from repro.baselines.tucker import tucker_compress, tucker_decompress
 from repro.baselines.zfp import zfp_compress, zfp_decompress
 from repro.codecs.container import pack_sections, unpack_sections
+from repro.codecs.registry import (
+    CodecTable,
+    codec_functions,
+    codec_ids,
+    have_codec,
+    register_codec,
+)
 from repro.codecs.varint import decode_uvarint, encode_uvarint
 from repro.codecs.zlibc import zlib_compress, zlib_decompress
 from repro.errors import CodecError, ConfigError, FormatError
@@ -82,16 +95,26 @@ def _raw_decompress(blob: bytes) -> np.ndarray:
     return data.reshape(shape).copy()
 
 
-#: codec name -> (compress(data, **kw) -> bytes, decompress(bytes) -> array)
-CODECS = {
-    "dpz": (dpz_compress, dpz_decompress),
-    "sz": (sz_compress, sz_decompress),
-    "zfp": (zfp_compress, zfp_decompress),
-    "mgard": (mgard_compress, mgard_decompress),
-    "dctz": (dctz_compress, dctz_decompress),
-    "tucker": (tucker_compress, tucker_decompress),
-    "raw": (_raw_compress, _raw_decompress),
+#: The built-in codec set and its kind labels, registered below.
+_BUILTIN_CODECS = {
+    "dpz": (dpz_compress, dpz_decompress, "lossy"),
+    "sz": (sz_compress, sz_decompress, "lossy"),
+    "zfp": (zfp_compress, zfp_decompress, "lossy"),
+    "mgard": (mgard_compress, mgard_decompress, "lossy"),
+    "dctz": (dctz_compress, dctz_decompress, "lossy"),
+    "tucker": (tucker_compress, tucker_decompress, "lossy"),
+    "raw": (_raw_compress, _raw_decompress, "lossless"),
 }
+
+for _name, (_c, _d, _kind) in _BUILTIN_CODECS.items():
+    # overwrite=True keeps re-registration idempotent if this module
+    # body ever runs twice (importlib.reload in tests).
+    register_codec(_name, _c, _d, kind=_kind, source="builtin",
+                   overwrite=True)
+
+#: codec name -> (compress(data, **kw) -> bytes, decompress(bytes) -> array).
+#: A live view of :mod:`repro.codecs.registry`, not a private table.
+CODECS = CodecTable()
 
 
 @dataclass
@@ -130,16 +153,16 @@ class FieldArchive:
             raise ConfigError(
                 f"field {name!r} already exists in archive; archives "
                 f"are append-only bundles of distinct names")
-        if codec not in CODECS:
+        if not have_codec(codec):
             raise ConfigError(
-                f"unknown codec {codec!r}; use one of {sorted(CODECS)}"
+                f"unknown codec {codec!r}; use one of {codec_ids()}"
             )
         data = np.asarray(data)
         if data.size == 0:
             raise ConfigError(
                 f"field {name!r} is empty (shape {data.shape}); "
                 f"refusing to archive a zero-element array")
-        compress, _ = CODECS[codec]
+        compress, _ = codec_functions(codec)
         self._entries[name] = _Entry(
             name=name, codec=codec, original_nbytes=int(data.nbytes),
             payload=compress(data, **codec_kwargs),
@@ -159,7 +182,7 @@ class FieldArchive:
         :class:`~repro.errors.FormatError`.
         """
         entry = self._require(name)
-        _, decompress = CODECS[entry.codec]
+        _, decompress = codec_functions(entry.codec)
         try:
             return decompress(entry.payload)
         except FormatError:
@@ -243,7 +266,7 @@ class FieldArchive:
             codec = sec[pos : pos + clen].decode()
             pos += clen
             orig, pos = decode_uvarint(sec, pos)
-            if codec not in CODECS:
+            if not have_codec(codec):
                 raise FormatError(f"archive uses unknown codec {codec!r}")
             archive._entries[name] = _Entry(
                 name=name, codec=codec, original_nbytes=orig,

@@ -28,10 +28,11 @@ pack / unpack / list
 store
     Chunked random-access stores (``.dpzs``): ``dpz store pack
     out.dpzs NAME=FILE ... [--codec auto --budget 1e-3] [--chunk 16 16
-    16] [--jobs N]``, ``dpz store list in.dpzs``, ``dpz store get
-    in.dpzs NAME out.npy``, ``dpz store region in.dpzs NAME
-    0:16,8:24,3 out.npy``, ``dpz store from-archive in.dpza
-    out.dpzs``.
+    16] [--jobs N] [--backend auto|file|dir|memory]``, ``dpz store
+    list in.dpzs``, ``dpz store get in.dpzs NAME out.npy``, ``dpz
+    store region in.dpzs NAME 0:16,8:24,3 out.npy``, ``dpz store
+    from-archive in.dpza out.dpzs``, ``dpz store codecs`` (list the
+    registered codec ids).
 """
 
 from __future__ import annotations
@@ -177,15 +178,24 @@ def build_parser() -> argparse.ArgumentParser:
                         help="chunked random-access stores (.dpzs)")
     ssub = ps.add_subparsers(dest="store_command", required=True)
 
+    def _backend_arg(p) -> None:
+        p.add_argument("--backend", default="auto",
+                       choices=("auto", "file", "dir", "memory"),
+                       help="storage backend: 'file' is the .dpzs "
+                            "single file, 'dir' a sharded key "
+                            "directory; 'auto' picks 'dir' for "
+                            "existing directories / trailing '/'")
+
     sp = ssub.add_parser("pack",
                          help="chunk, compress and pack fields")
-    sp.add_argument("output", help="store file (.dpzs)")
+    sp.add_argument("output", help="store file (.dpzs) or directory")
     sp.add_argument("fields", nargs="+", metavar="NAME=FILE",
                     help="named inputs, e.g. vx=velocities.npy")
+    _backend_arg(sp)
     sp.add_argument("--codec", default="dpz",
-                    help="per-chunk codec (auto/dpz/sz/zfp/mgard/dctz/"
-                         "tucker/raw); 'auto' selects per chunk "
-                         "against --budget")
+                    help="per-chunk codec (any registered id -- see "
+                         "'dpz store codecs'); 'auto' selects per "
+                         "chunk against --budget")
     sp.add_argument("--chunk", type=int, nargs="+", default=None,
                     help="chunk shape, e.g. --chunk 16 16 16 "
                          "(default: a per-ndim heuristic)")
@@ -205,11 +215,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     sl = ssub.add_parser("list", help="describe a store's fields")
     sl.add_argument("input")
+    _backend_arg(sl)
 
     sg = ssub.add_parser("get", help="extract one whole field")
     sg.add_argument("input")
     sg.add_argument("name")
     sg.add_argument("output", help="output file (.npy or raw .f32)")
+    _backend_arg(sg)
 
     sr = ssub.add_parser("region",
                          help="extract a rectangular region of a field")
@@ -219,16 +231,21 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-dim selectors, e.g. 0:16,8:24,3 "
                          "(unit-step slices and integer indices)")
     sr.add_argument("output", help="output file (.npy or raw .f32)")
+    _backend_arg(sr)
 
     sa = ssub.add_parser("from-archive",
                          help="re-pack a .dpza archive as a chunked "
                               "store")
     sa.add_argument("input", help="archive file (.dpza)")
-    sa.add_argument("output", help="store file (.dpzs)")
+    sa.add_argument("output", help="store file (.dpzs) or directory")
+    _backend_arg(sa)
     sa.add_argument("--chunk", type=int, nargs="+", default=None,
                     help="chunk shape for every field")
     sa.add_argument("--jobs", type=int, default=0,
                     help="parallel workers (0 = all cores)")
+
+    ssub.add_parser("codecs",
+                    help="list the registered codec ids")
 
     pn = sub.add_parser("lint",
                         help="run the repo-native static-analysis pass")
@@ -591,10 +608,19 @@ def _store_pack_kwargs(args) -> dict:
 def _cmd_store(args) -> int:
     from repro.store import Store
 
+    if args.store_command == "codecs":
+        from repro.codecs.registry import codec_ids, get_codec
+
+        print(f"{'codec':14s} {'kind':10s} source")
+        for name in codec_ids():
+            spec = get_codec(name)
+            print(f"{spec.name:14s} {spec.kind:10s} {spec.source}")
+        return 0
+
     if args.store_command == "pack":
         chunk = tuple(args.chunk) if args.chunk else None
         kw = _store_pack_kwargs(args)
-        store = Store.create(args.output)
+        store = Store.create(args.output, backend=args.backend)
         for spec in args.fields:
             if "=" not in spec:
                 raise _CLIError(
@@ -611,13 +637,14 @@ def _cmd_store(args) -> int:
 
         chunk = tuple(args.chunk) if args.chunk else None
         store = Store.from_archive(FieldArchive.load(args.input),
-                                   args.output, chunk_shape=chunk,
+                                   args.output, backend=args.backend,
+                                   chunk_shape=chunk,
                                    n_jobs=args.jobs)
         print(f"re-packed {len(store.names())} fields "
               f"(total CR {store.total_cr():.2f}x) -> {args.output}")
         return 0
 
-    store = Store.open(args.input)
+    store = Store.open(args.input, backend=args.backend)
     if args.store_command == "list":
         print(f"{'field':16s} {'codec':8s} {'shape':>16s} "
               f"{'chunks':>14s} {'compressed':>12s} {'CR':>8s}")

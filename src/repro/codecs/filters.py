@@ -1,0 +1,183 @@
+"""Array filters registered as first-class codecs: delta, scale-offset.
+
+zarr ships ``DeltaFilter`` and ``FixedScaleOffsetFilter`` alongside its
+compressors (SNIPPETS.md snippet 2); this module is the repro
+equivalent, and doubles as the reference for registering a codec from
+outside the built-in table -- the store and the archive pick these up
+purely through :mod:`repro.codecs.registry`, no store code changed.
+
+* ``delta`` -- **lossless**.  First-differences of the raw IEEE bit
+  pattern (wrapping unsigned arithmetic), then the framed zlib coder.
+  Smooth fields turn into near-constant low words that deflate well;
+  the inverse is an exact wrapping cumulative sum, so round-trips are
+  bit-identical for any float32/float64 input, NaN and inf included.
+* ``scale-offset`` -- **lossy, error-bounded**.  Uniform scalar
+  quantization ``q = rint((x - offset) / (2 * eps))`` stored as packed
+  little-endian integers; reconstruction ``offset + q * 2 * eps`` is
+  within ``eps`` of the input everywhere (the bound every other lossy
+  codec in this repo promises for its ``eps``).
+
+Both payloads are self-describing positional-section containers
+(``DLT1`` / ``SOF1``; see FORMATS.md).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+import numpy as np
+
+from repro.codecs.container import pack_sections, unpack_sections
+from repro.codecs.registry import register_codec
+from repro.codecs.varint import decode_uvarint, encode_uvarint
+from repro.codecs.zlibc import zlib_compress, zlib_decompress
+from repro.errors import ConfigError, DataShapeError, FormatError
+
+__all__ = [
+    "delta_compress",
+    "delta_decompress",
+    "scale_offset_compress",
+    "scale_offset_decompress",
+]
+
+_DELTA_MAGIC = b"DLT1"
+_SOF_MAGIC = b"SOF1"
+_VERSION = 1
+
+#: dtype tag -> (little-endian float dtype, same-width unsigned dtype).
+_FLOAT_TAGS: dict[str, tuple[str, str]] = {
+    "f4": ("<f4", "<u4"),
+    "f8": ("<f8", "<u8"),
+}
+
+
+def _canonical_float(data: Any) -> tuple[
+        "np.ndarray[Any, np.dtype[Any]]", str]:
+    arr = np.asarray(data)
+    if arr.size == 0:
+        raise DataShapeError(
+            f"cannot filter an empty array (shape {arr.shape})")
+    if arr.dtype.newbyteorder("=") == np.dtype(np.float32):
+        return np.ascontiguousarray(arr, dtype="<f4"), "f4"
+    return np.ascontiguousarray(arr, dtype="<f8"), "f8"
+
+
+def _encode_meta(tag: str, shape: tuple[int, ...]) -> bytearray:
+    out = bytearray(tag.encode("ascii"))
+    out += encode_uvarint(len(shape))
+    for n in shape:
+        out += encode_uvarint(n)
+    return out
+
+
+def _decode_meta(sec: bytes, what: str) -> tuple[str, tuple[int, ...], int]:
+    if len(sec) < 2:
+        raise FormatError(f"{what}: truncated metadata section")
+    tag = sec[:2].decode("ascii")
+    if tag not in _FLOAT_TAGS:
+        raise FormatError(f"{what}: unknown dtype tag {tag!r}")
+    ndim, pos = decode_uvarint(sec, 2)
+    if ndim < 1 or ndim > 32:
+        raise FormatError(f"{what}: implausible ndim {ndim}")
+    shape = []
+    for _ in range(ndim):
+        n, pos = decode_uvarint(sec, pos)
+        shape.append(n)
+    return tag, tuple(shape), pos
+
+
+# -- delta -----------------------------------------------------------------
+
+
+def delta_compress(data: Any, **_kw: Any) -> bytes:
+    """Losslessly encode first-differences of the raw bit pattern."""
+    arr, tag = _canonical_float(data)
+    _, utag = _FLOAT_TAGS[tag]
+    words = arr.reshape(-1).view(utag)
+    diffs = np.empty_like(words)
+    diffs[0] = words[0]
+    np.subtract(words[1:], words[:-1], out=diffs[1:])
+    meta = _encode_meta(tag, tuple(arr.shape))
+    return pack_sections(_DELTA_MAGIC, _VERSION,
+                         [bytes(meta), zlib_compress(diffs)])
+
+
+def delta_decompress(blob: bytes) -> "np.ndarray[Any, np.dtype[Any]]":
+    """Exact inverse of :func:`delta_compress`."""
+    sections = unpack_sections(blob, _DELTA_MAGIC, _VERSION)
+    if len(sections) != 2:
+        raise FormatError(
+            f"delta payload has {len(sections)} sections (want 2)")
+    tag, shape, _ = _decode_meta(sections[0], "delta payload")
+    ftag, utag = _FLOAT_TAGS[tag]
+    diffs = np.frombuffer(zlib_decompress(sections[1]), dtype=utag)
+    n = int(np.prod(shape))
+    if diffs.size != n:
+        raise FormatError(
+            f"delta payload carries {diffs.size} words, shape "
+            f"{shape} needs {n}")
+    words = np.cumsum(diffs, dtype=diffs.dtype)
+    return words.view(ftag).reshape(shape).copy()
+
+
+# -- scale-offset ----------------------------------------------------------
+
+
+def scale_offset_compress(data: Any, eps: float = 1e-3,
+                          **_kw: Any) -> bytes:
+    """Uniform scalar quantization with guaranteed ``|err| <= eps``."""
+    if not float(eps) > 0.0:
+        raise ConfigError(
+            f"scale-offset needs a positive eps, got {eps}")
+    arr, tag = _canonical_float(data)
+    flat = arr.reshape(-1).astype("<f8")
+    if not np.all(np.isfinite(flat)):
+        raise DataShapeError(
+            "scale-offset cannot quantize non-finite values; "
+            "use the lossless 'delta' or 'raw' codec")
+    offset = float(flat.min())
+    step = 2.0 * float(eps)
+    q = np.rint((flat - offset) / step)
+    qmax = float(q.max(initial=0.0))
+    width = 4 if qmax < 2 ** 32 else 8
+    codes = q.astype("<u4" if width == 4 else "<u8")
+    meta = _encode_meta(tag, tuple(arr.shape))
+    meta += struct.pack("<dd", offset, step)
+    meta += encode_uvarint(width)
+    return pack_sections(_SOF_MAGIC, _VERSION,
+                         [bytes(meta), zlib_compress(codes)])
+
+
+def scale_offset_decompress(blob: bytes) -> "np.ndarray[Any, np.dtype[Any]]":
+    """Inverse of :func:`scale_offset_compress` (bin centers)."""
+    sections = unpack_sections(blob, _SOF_MAGIC, _VERSION)
+    if len(sections) != 2:
+        raise FormatError(
+            f"scale-offset payload has {len(sections)} sections (want 2)")
+    sec = sections[0]
+    tag, shape, pos = _decode_meta(sec, "scale-offset payload")
+    if pos + 16 > len(sec):
+        raise FormatError("scale-offset payload: truncated scale/offset")
+    offset, step = struct.unpack("<dd", sec[pos : pos + 16])
+    width, _ = decode_uvarint(sec, pos + 16)
+    if width not in (4, 8):
+        raise FormatError(
+            f"scale-offset payload: invalid code width {width}")
+    ftag, _ = _FLOAT_TAGS[tag]
+    codes = np.frombuffer(zlib_decompress(sections[1]),
+                          dtype="<u4" if width == 4 else "<u8")
+    n = int(np.prod(shape))
+    if codes.size != n:
+        raise FormatError(
+            f"scale-offset payload carries {codes.size} codes, shape "
+            f"{shape} needs {n}")
+    values = offset + codes.astype("<f8") * step
+    return values.astype(ftag).reshape(shape)
+
+
+register_codec("delta", delta_compress, delta_decompress,
+               kind="lossless", source="repro.codecs.filters")
+register_codec("scale-offset", scale_offset_compress,
+               scale_offset_decompress, kind="filter",
+               source="repro.codecs.filters")

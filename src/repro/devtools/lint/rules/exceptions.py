@@ -19,13 +19,15 @@ from repro.devtools.lint.rules._ast_utils import walk_functions
 __all__ = ["check_raise_taxonomy", "check_broad_except"]
 
 #: Layers whose raises must come from repro.errors.
-TAXONOMY_LAYERS = ("repro.codecs", "repro.core", "repro.baselines")
+TAXONOMY_LAYERS = ("repro.codecs", "repro.core", "repro.baselines",
+                   "repro.store.backends")
 
 #: Allowed exception class names in taxonomy layers.  The repro.errors
 #: hierarchy, plus NotImplementedError for abstract hooks.
 ALLOWED_RAISES = frozenset({
     "ReproError", "CodecError", "FormatError", "ConfigError",
-    "DataShapeError", "NotImplementedError",
+    "DataShapeError", "StoreError", "StoreKeyError",
+    "NotImplementedError",
 })
 
 #: The one place a catch-all is legitimate: the CLI's top-level
@@ -44,7 +46,8 @@ def _exception_name(expr: ast.expr) -> str | None:
 
 
 @rule("DPZ301", "error-taxonomy",
-      "codecs/, core/ and baselines/ may only raise repro.errors types",
+      "codecs/, core/, baselines/ and store/backends/ may only raise "
+      "repro.errors types",
       "The CLI's exit-code contract, FieldArchive's corruption "
       "wrapping and the negative-path tests all catch ReproError "
       "subclasses; a bare ValueError escapes every one of them and "

@@ -12,6 +12,12 @@ subsystems raise more specific subclasses:
   (impossible error bounds, out-of-range quantizer widths, ...).
 * :class:`DataShapeError` -- input arrays whose shape/dtype the
   algorithm cannot process.
+* :class:`StoreError` -- a byte-store backend failed (I/O error,
+  read-only backend, torn write surfaced by a fault injector).
+* :class:`StoreKeyError` -- a byte-store key is absent.  Subclasses
+  both :class:`StoreError` and :class:`KeyError`, so ``MutableMapping``
+  conveniences (``.get``, ``in``) keep working while callers that
+  catch the repro taxonomy still see every backend failure.
 """
 
 from __future__ import annotations
@@ -43,3 +49,27 @@ class ConfigError(ReproError):
 
 class DataShapeError(ReproError):
     """Input data has a shape, size or dtype the operation cannot handle."""
+
+
+class StoreError(ReproError):
+    """A byte-store backend operation failed.
+
+    Raised for I/O failures, writes to read-only backends, keys that
+    violate the keyspace grammar, and faults surfaced by the
+    fault-injecting test backend.  Backends never leak a bare
+    ``OSError``; they wrap it here.
+    """
+
+
+class StoreKeyError(StoreError, KeyError):
+    """A byte-store key does not exist.
+
+    Inherits :class:`KeyError` so ``MutableMapping`` mixins
+    (``.get()``, ``.pop(k, default)``, ``in``) behave normally, and
+    :class:`StoreError` so taxonomy-catching callers see it too.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its lone argument; keep the plain
+        # message readable in tracebacks and CLI error lines.
+        return Exception.__str__(self)

@@ -36,10 +36,13 @@ COUNTERS: frozenset[str] = frozenset({
     "quality.runs",
     "store.auto.fallbacks",
     "store.auto.trials",
+    "store.backend.reads",
+    "store.backend.writes",
     "store.bytes.decoded",
     "store.bytes.read",
     "store.chunks.compressed",
     "store.chunks.decoded",
+    "store.faults.injected",
     "store.fields.packed",
     "store.region.reads",
     "sz.compress.runs",

@@ -8,16 +8,34 @@ seekable tail manifest, and serves rectangular region reads by
 decoding only the overlapping chunks -- zarr's storage model, grown on
 this project's container/codec substrate.
 
+* :mod:`repro.store.backends` -- pluggable byte-store backends behind
+  a ``MutableMapping[str, bytes]`` interface: the v1 single file
+  (default), an in-memory dict, a sharded local directory, and a
+  seeded fault-injecting wrapper for the fault-matrix test suite.
 * :mod:`repro.store.chunking` -- grid geometry and region overlap.
-* :mod:`repro.store.format` -- the ``dpzs`` v1 byte layout.
+* :mod:`repro.store.format` -- the ``dpzs`` v1 byte layout, the
+  manifest frame, and the key/value integrity frame.
 * :mod:`repro.store.select` -- ``codec="auto"``: per-chunk online
   selection between SZ / ZFP / DPZ against an error budget, with a
   lossless fallback guaranteeing the budget always holds.
 * :mod:`repro.store.store` -- the :class:`Store` itself.
 
-CLI: ``dpz store pack / list / get / region / from-archive``.
+Codecs resolve through :mod:`repro.codecs.registry`, so anything
+registered with ``register_codec`` is usable per chunk immediately.
+
+CLI: ``dpz store pack / list / get / region / from-archive / codecs``
+(``--backend`` picks the storage layout).
 """
 
+from repro.store.backends import (
+    ByteStore,
+    DirectoryStore,
+    DpzsFileBackend,
+    FaultInjectingStore,
+    FaultRule,
+    MemoryStore,
+    resolve_backend,
+)
 from repro.store.chunking import (
     chunk_slices,
     default_chunk_shape,
@@ -32,6 +50,13 @@ from repro.store.store import Store
 
 __all__ = [
     "Store",
+    "ByteStore",
+    "MemoryStore",
+    "DirectoryStore",
+    "DpzsFileBackend",
+    "FaultInjectingStore",
+    "FaultRule",
+    "resolve_backend",
     "ChunkRef",
     "FieldMeta",
     "AUTO_CANDIDATES",

@@ -1,0 +1,89 @@
+"""Pluggable byte-store backends for the chunked store.
+
+The :class:`~repro.store.backends.base.ByteStore` interface is the
+storage seam: the :class:`~repro.store.store.Store` reads and writes
+opaque key/value bytes, backends decide where they live.
+
+* :mod:`~repro.store.backends.base` -- the ``MutableMapping[str,
+  bytes]`` contract, keyspace grammar, durability rules.
+* :mod:`~repro.store.backends.memory` -- volatile dict backend.
+* :mod:`~repro.store.backends.directory` -- one sharded file per key
+  under a local directory, atomic replace writes.
+* :mod:`~repro.store.backends.dpzs` -- the v1 single-file layout (the
+  default; fully backward compatible with pre-refactor files).
+* :mod:`~repro.store.backends.faults` -- seeded fault-injecting
+  wrapper (I/O errors, torn writes, bit flips, stale reads) driving
+  the fault-matrix test suite.
+
+:func:`resolve_backend` maps a user-facing path + backend id onto a
+concrete backend, shared by :meth:`Store.open` and the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.errors import ConfigError
+from repro.store.backends.base import (
+    MANIFEST_KEY,
+    ByteStore,
+    check_key,
+    chunk_key,
+)
+from repro.store.backends.directory import DirectoryStore
+from repro.store.backends.dpzs import DpzsFileBackend
+from repro.store.backends.faults import (
+    FAULT_KINDS,
+    FaultInjectingStore,
+    FaultRule,
+)
+from repro.store.backends.memory import MemoryStore
+
+__all__ = [
+    "ByteStore",
+    "MemoryStore",
+    "DirectoryStore",
+    "DpzsFileBackend",
+    "FaultInjectingStore",
+    "FaultRule",
+    "FAULT_KINDS",
+    "MANIFEST_KEY",
+    "chunk_key",
+    "check_key",
+    "resolve_backend",
+    "BACKEND_IDS",
+]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+#: Backend ids accepted by :func:`resolve_backend` and the CLI.
+BACKEND_IDS = ("auto", "file", "dir", "memory")
+
+
+def resolve_backend(path: PathLike, *, backend: str = "auto",
+                    create: bool = False) -> ByteStore:
+    """Map ``(path, backend id)`` to a concrete :class:`ByteStore`.
+
+    ``"file"`` is the v1 single-file layout, ``"dir"`` the sharded
+    directory layout, ``"memory"`` a fresh volatile store (the path
+    becomes its label).  ``"auto"`` picks ``"dir"`` when the path is
+    an existing directory or ends with a path separator, else
+    ``"file"`` -- so ``dpz store`` keeps working unchanged on
+    ``.dpzs`` files.
+    """
+    if backend not in BACKEND_IDS:
+        raise ConfigError(
+            f"unknown store backend {backend!r}; "
+            f"use one of {BACKEND_IDS}")
+    raw = os.fspath(path)
+    if backend == "auto":
+        if raw.endswith((os.sep, "/")) or os.path.isdir(raw):
+            backend = "dir"
+        else:
+            backend = "file"
+    if backend == "memory":
+        return MemoryStore(label=raw or "memory")
+    if backend == "dir":
+        return DirectoryStore(raw, create=create)
+    return DpzsFileBackend(raw, create=create)

@@ -1,0 +1,139 @@
+"""The byte-store interface every storage backend implements.
+
+A :class:`ByteStore` is a ``MutableMapping[str, bytes]`` -- zarr's
+storage model (``zarr.core`` keeps arrays behind exactly this seam).
+Everything the chunked :class:`~repro.store.store.Store` persists is a
+key/value pair of opaque bytes; *where* those bytes live (RAM, a
+sharded directory, a single ``dpzs`` file, a future object store) is a
+backend decision the store never sees.
+
+Keyspace grammar (normative; see FORMATS.md "Byte-store keyspace"):
+keys are non-empty ``/``-separated printable-ASCII segments without
+``\\``, control characters, or the reserved names ``.`` / ``..``.
+:func:`check_key` enforces this uniformly so every backend agrees on
+what a key is.
+
+Failure contract: backends raise the repro taxonomy, never bare
+``OSError``/``KeyError`` -- a missing key is
+:class:`~repro.errors.StoreKeyError`, any other backend failure is
+:class:`~repro.errors.StoreError`.
+
+Durability contract: ``__setitem__`` of an existing key must be
+*atomic* (a reader sees the old value or the new value, never a
+splice), and :meth:`flush` must make every prior write durable.  The
+store writes chunk keys first and the manifest key last, so a crash at
+any point leaves the previous manifest -- and therefore a consistent
+store -- readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, MutableMapping
+
+from repro.errors import StoreError
+
+__all__ = ["ByteStore", "check_key", "MANIFEST_KEY", "chunk_key"]
+
+#: Key under which the store keeps its (framed) manifest.
+MANIFEST_KEY = "manifest"
+
+
+def chunk_key(field: str, index: int) -> str:
+    """Key for chunk ``index`` (C-order grid index) of ``field``."""
+    return f"chunks/{field}/{index:d}"
+
+
+def check_key(key: str) -> str:
+    """Validate ``key`` against the keyspace grammar; returns it.
+
+    Raises :class:`~repro.errors.StoreError` for anything a backend
+    could mangle: empty keys or segments, non-printable or
+    non-ASCII characters, backslashes, and ``.``/``..`` segments
+    (which would escape a directory backend's root).
+    """
+    if not key:
+        raise StoreError("empty byte-store key")
+    for ch in key:
+        if not (0x20 <= ord(ch) < 0x7F) or ch == "\\":
+            raise StoreError(
+                f"invalid byte-store key {key!r}: keys are printable "
+                f"ASCII without backslashes")
+    for segment in key.split("/"):
+        if not segment:
+            raise StoreError(
+                f"invalid byte-store key {key!r}: empty segment")
+        if segment in (".", ".."):
+            raise StoreError(
+                f"invalid byte-store key {key!r}: reserved segment "
+                f"{segment!r}")
+    return key
+
+
+class ByteStore(MutableMapping[str, bytes]):
+    """Abstract key/value byte store (the storage seam of the store).
+
+    Subclasses implement the five ``MutableMapping`` primitives; the
+    mixin methods (``get``, ``pop``, ``update``, ``in``) come free
+    because :class:`~repro.errors.StoreKeyError` subclasses
+    ``KeyError``.
+    """
+
+    #: Whether the store layer wraps values in the integrity frame
+    #: (CRC32; see FORMATS.md).  The single-file ``dpzs`` backend
+    #: opts out to stay bit-identical with the v1 layout.
+    framed: bool = True
+
+    #: Short human-readable backend id (CLI and error messages).
+    backend_id: str = "abstract"
+
+    def __getitem__(self, key: str) -> bytes:
+        raise NotImplementedError
+
+    def __setitem__(self, key: str, value: bytes) -> None:
+        raise NotImplementedError
+
+    def __delitem__(self, key: str) -> None:
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[str]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self)
+
+    # -- extensions beyond MutableMapping ------------------------------
+
+    @property
+    def location(self) -> str:
+        """Where the bytes live (path, URL, or a synthetic label)."""
+        return f"<{self.backend_id}>"
+
+    def locate(self, key: str) -> tuple[int, int] | None:
+        """Physical ``(offset, length)`` of ``key``, if addressable.
+
+        Only meaningful for backends that pack values into one
+        seekable artifact (the ``dpzs`` file backend); key/value
+        backends return ``None`` and the manifest records lengths
+        only.
+        """
+        return None
+
+    def list_prefix(self, prefix: str) -> list[str]:
+        """Sorted keys starting with ``prefix``."""
+        return sorted(k for k in self if k.startswith(prefix))
+
+    def flush(self) -> None:
+        """Make every prior write durable (default: no-op)."""
+
+    def close(self) -> None:
+        """Release any held resources (default: flush)."""
+        self.flush()
+
+    def __enter__(self) -> "ByteStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.location!r})"

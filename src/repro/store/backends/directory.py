@@ -1,0 +1,137 @@
+"""Local-directory byte-store backend with a sharded key layout.
+
+One file per key, fanned out over 256 shard directories so a store
+with millions of chunks never piles them into one directory (the
+filesystem analogue of zarr's sharded stores)::
+
+    root/
+      meta.json              backend marker (format + version)
+      3f/chunks%2Fvx%2F0     value of key "chunks/vx/0"
+      a1/manifest            value of key "manifest"
+
+The shard is the first byte of SHA-256 of the key; the filename is the
+percent-escaped key, so any grammar-valid key maps to exactly one safe
+filename and the mapping inverts losslessly when listing.
+
+Writes are atomic: the value lands in a same-shard temporary file
+first and is ``os.replace``d over the final name, so a reader (or a
+crash) never observes a spliced value -- this is what makes the
+store's "manifest last" append protocol durable on this backend.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import urllib.parse
+from typing import Iterator, Union
+
+from repro.errors import StoreError, StoreKeyError
+from repro.store.backends.base import ByteStore, check_key
+
+__all__ = ["DirectoryStore"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_MARKER_NAME = "meta.json"
+_MARKER = {"format": "dpzs-directory", "version": 1}
+
+
+def _shard(key: str) -> str:
+    return hashlib.sha256(key.encode("ascii")).hexdigest()[:2]
+
+
+def _escape(key: str) -> str:
+    return urllib.parse.quote(key, safe="")
+
+
+def _unescape(name: str) -> str:
+    return urllib.parse.unquote(name)
+
+
+class DirectoryStore(ByteStore):
+    """Byte store over a local directory, one sharded file per key."""
+
+    backend_id = "directory"
+
+    def __init__(self, root: PathLike, *, create: bool = False) -> None:
+        self._root = os.fspath(root)
+        marker = os.path.join(self._root, _MARKER_NAME)
+        try:
+            if create:
+                os.makedirs(self._root, exist_ok=True)
+                with open(marker, "w", encoding="utf-8") as fh:
+                    json.dump(_MARKER, fh)
+            elif not os.path.isdir(self._root):
+                raise StoreError(
+                    f"directory store root {self._root!r} does not "
+                    f"exist (pass create=True to initialize it)")
+        except OSError as exc:
+            raise StoreError(
+                f"cannot initialize directory store at "
+                f"{self._root!r}: {exc}") from exc
+
+    def _path(self, key: str) -> str:
+        check_key(key)
+        return os.path.join(self._root, _shard(key), _escape(key))
+
+    def __getitem__(self, key: str) -> bytes:
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return fh.read()
+        except FileNotFoundError:
+            raise StoreKeyError(f"no key {key!r} in {self!r}") from None
+        except OSError as exc:
+            raise StoreError(
+                f"cannot read key {key!r} from {self!r}: {exc}") from exc
+
+    def __setitem__(self, key: str, value: bytes) -> None:
+        path = self._path(key)
+        tmp = path + ".tmp"
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(tmp, "wb") as fh:
+                fh.write(bytes(value))
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot write key {key!r} to {self!r}: {exc}") from exc
+
+    def __delitem__(self, key: str) -> None:
+        path = self._path(key)
+        try:
+            os.remove(path)
+        except FileNotFoundError:
+            raise StoreKeyError(f"no key {key!r} in {self!r}") from None
+        except OSError as exc:
+            raise StoreError(
+                f"cannot delete key {key!r} from {self!r}: {exc}") from exc
+
+    def __iter__(self) -> Iterator[str]:
+        try:
+            shards = sorted(
+                d for d in os.listdir(self._root)
+                if len(d) == 2 and os.path.isdir(
+                    os.path.join(self._root, d)))
+        except OSError as exc:
+            raise StoreError(
+                f"cannot list {self!r}: {exc}") from exc
+        keys: list[str] = []
+        for shard in shards:
+            try:
+                names = os.listdir(os.path.join(self._root, shard))
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot list shard {shard!r} of {self!r}: "
+                    f"{exc}") from exc
+            keys.extend(_unescape(n) for n in names
+                        if not n.endswith(".tmp"))
+        return iter(sorted(keys))
+
+    @property
+    def location(self) -> str:
+        return self._root

@@ -1,0 +1,212 @@
+"""Single-file ``dpzs`` v1 backend: the default, backward-compatible one.
+
+Presents the v1 on-disk layout (fixed header, packed chunk payloads,
+tail manifest -- see FORMATS.md) through the :class:`ByteStore`
+interface.  Keys map onto byte ranges instead of files:
+
+* ``manifest`` -> the manifest bytes the header points at;
+* ``chunks/<field>/<i>`` -> the payload range recorded by the
+  manifest's :class:`~repro.store.format.ChunkRef` table (the backend
+  decodes the manifest to build this index -- the one backend that is
+  allowed to understand the format, because it *is* the format).
+
+Values are stored naked (``framed = False``): a file written through
+this backend is byte-for-byte a v1 ``dpzs`` file, and every pre-refactor
+file opens unchanged.
+
+Append/durability protocol (tightened from PR 5): chunk payloads are
+appended strictly *after* the current manifest, the new manifest is
+written after them and fsynced, and only then is the 16-byte header
+pointer patched.  The old manifest is never overwritten mid-append, so
+a crash at any point before the header patch leaves the previous
+manifest -- and the store -- fully readable.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import IO, Iterator, Union
+
+from repro.errors import FormatError, StoreError, StoreKeyError
+from repro.store.backends.base import ByteStore, check_key, chunk_key
+from repro.store.format import (
+    HEADER_SIZE,
+    decode_manifest,
+    encode_manifest,
+    pack_header,
+    unpack_header,
+)
+
+__all__ = ["DpzsFileBackend"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_HEADER_PTR = struct.Struct("<QQ")
+_MANIFEST_KEY = "manifest"
+
+
+class DpzsFileBackend(ByteStore):
+    """The v1 single-file layout behind the byte-store interface."""
+
+    framed = False
+    backend_id = "dpzs-file"
+
+    def __init__(self, path: PathLike, *, create: bool = False) -> None:
+        self._path = os.fspath(path)
+        #: keys appended since the last manifest write: key -> (off, len).
+        self._pending: dict[str, tuple[int, int]] = {}
+        #: next append offset, lazily initialized to the file tail.
+        self._tail: int | None = None
+        #: chunk-key index decoded from the manifest, built on demand.
+        self._index: dict[str, tuple[int, int]] | None = None
+        if create:
+            manifest = encode_manifest([])
+            try:
+                with open(self._path, "wb") as fh:
+                    fh.write(pack_header(HEADER_SIZE, len(manifest)))
+                    fh.write(manifest)
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot create dpzs file {self._path!r}: "
+                    f"{exc}") from exc
+        else:
+            # Validate magic/version up front so Store.open fails fast
+            # on a file that is not a dpzs container at all.
+            self._read_header()
+
+    # -- low-level file access -----------------------------------------
+
+    def _open(self, mode: str) -> IO[bytes]:
+        try:
+            return open(self._path, mode)
+        except FileNotFoundError:
+            raise StoreError(
+                f"dpzs file {self._path!r} does not exist") from None
+        except OSError as exc:
+            raise StoreError(
+                f"cannot open dpzs file {self._path!r}: {exc}") from exc
+
+    def _read_header(self) -> tuple[int, int]:
+        with self._open("rb") as fh:
+            try:
+                head = fh.read(HEADER_SIZE)
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot read dpzs header of {self._path!r}: "
+                    f"{exc}") from exc
+        return unpack_header(head)
+
+    def _read_manifest(self) -> bytes:
+        offset, length = self._read_header()
+        with self._open("rb") as fh:
+            try:
+                fh.seek(offset)
+                blob = fh.read(length)
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot read dpzs manifest of {self._path!r}: "
+                    f"{exc}") from exc
+        if len(blob) != length:
+            raise FormatError(
+                f"dpzs manifest truncated: header promises {length} "
+                f"bytes at offset {offset}, file has {len(blob)}")
+        return blob
+
+    def _chunk_index(self) -> dict[str, tuple[int, int]]:
+        if self._index is None:
+            index: dict[str, tuple[int, int]] = {}
+            for meta in decode_manifest(self._read_manifest()):
+                for i, ref in enumerate(meta.chunks):
+                    index[chunk_key(meta.name, i)] = (ref.offset,
+                                                      ref.length)
+            self._index = index
+        return self._index
+
+    def _next_tail(self) -> int:
+        if self._tail is None:
+            try:
+                self._tail = max(os.path.getsize(self._path),
+                                 HEADER_SIZE)
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot stat dpzs file {self._path!r}: "
+                    f"{exc}") from exc
+        return self._tail
+
+    # -- ByteStore interface -------------------------------------------
+
+    def __getitem__(self, key: str) -> bytes:
+        check_key(key)
+        if key == _MANIFEST_KEY:
+            return self._read_manifest()
+        loc = self._pending.get(key) or self._chunk_index().get(key)
+        if loc is None:
+            raise StoreKeyError(f"no key {key!r} in {self!r}")
+        offset, length = loc
+        with self._open("rb") as fh:
+            try:
+                fh.seek(offset)
+                return fh.read(length)
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot read key {key!r} from {self!r}: "
+                    f"{exc}") from exc
+
+    def __setitem__(self, key: str, value: bytes) -> None:
+        check_key(key)
+        value = bytes(value)
+        if key == _MANIFEST_KEY:
+            self._write_manifest(value)
+            return
+        offset = self._next_tail()
+        try:
+            with self._open("r+b") as fh:
+                fh.seek(offset)
+                fh.write(value)
+        except OSError as exc:
+            raise StoreError(
+                f"cannot append key {key!r} to {self!r}: {exc}") from exc
+        self._pending[key] = (offset, len(value))
+        self._tail = offset + len(value)
+
+    def _write_manifest(self, blob: bytes) -> None:
+        offset = self._next_tail()
+        try:
+            with self._open("r+b") as fh:
+                fh.seek(offset)
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+                # The 16-byte pointer patch is the commit point: until
+                # it lands, readers resolve the previous manifest.
+                fh.seek(4 + 1)
+                fh.write(_HEADER_PTR.pack(offset, len(blob)))
+                fh.flush()
+                os.fsync(fh.fileno())
+        except OSError as exc:
+            raise StoreError(
+                f"cannot write manifest to {self!r}: {exc}") from exc
+        self._tail = offset + len(blob)
+        self._pending.clear()
+        self._index = None
+
+    def __delitem__(self, key: str) -> None:
+        raise StoreError(
+            f"the dpzs single-file backend is append-only; cannot "
+            f"delete key {key!r}")
+
+    def __iter__(self) -> Iterator[str]:
+        keys = set(self._chunk_index()) | set(self._pending)
+        keys.add(_MANIFEST_KEY)
+        return iter(sorted(keys))
+
+    def locate(self, key: str) -> tuple[int, int] | None:
+        check_key(key)
+        if key == _MANIFEST_KEY:
+            return self._read_header()
+        return self._pending.get(key) or self._chunk_index().get(key)
+
+    @property
+    def location(self) -> str:
+        return self._path

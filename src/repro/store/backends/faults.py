@@ -1,0 +1,257 @@
+"""Fault-injecting byte-store wrapper: the store's adversarial tester.
+
+Z-checker's thesis (PAPERS.md) is that compressor infrastructure is
+only trustworthy when an assessment layer exercises it systematically;
+this backend is that layer for storage.  It wraps any
+:class:`ByteStore` and injects *seeded, reproducible* faults on chosen
+keys and operations:
+
+* ``io-error``   -- the operation raises ``StoreError``, no effect
+  (a crashed write, a failed read);
+* ``torn-write`` -- only a random-length prefix of the value reaches
+  the inner backend, then ``StoreError`` is raised (an interrupted
+  non-atomic write);
+* ``bit-flip``   -- one seeded bit of the value is flipped on the way
+  in (corruption at rest) or out (corruption on the wire);
+* ``stale-read`` -- a read returns the key's *previous* value
+  (an eventually-consistent or cached keyspace).
+
+Every injected fault is appended to :attr:`FaultInjectingStore.records`
+and can be dumped as NDJSON (:meth:`write_log`) -- CI uploads that log
+as an artifact so a failing fault-matrix run is replayable from the
+exact fault sequence.
+
+The invariants the store must uphold under this wrapper (and the test
+suite asserts): operations either raise the repro taxonomy or return
+verified-correct data, and after any failed append the previous
+manifest still opens.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from typing import Iterator, Union
+
+from repro.errors import ConfigError, StoreError
+from repro.observability import counter_inc
+from repro.store.backends.base import ByteStore
+
+__all__ = ["FAULT_KINDS", "FaultRule", "FaultInjectingStore"]
+
+#: Supported fault kinds.
+FAULT_KINDS = ("io-error", "torn-write", "bit-flip", "stale-read")
+
+_OPS = ("get", "set", "any")
+
+#: Which operations each kind may target.
+_KIND_OPS = {
+    "io-error": ("get", "set", "any"),
+    "torn-write": ("set",),
+    "bit-flip": ("get", "set", "any"),
+    "stale-read": ("get",),
+}
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One fault to inject: what, where, how often.
+
+    ``key_glob`` is an ``fnmatch`` pattern over keys (``"manifest"``,
+    ``"chunks/vx/*"``); ``probability`` is evaluated per matching
+    operation with the wrapper's seeded RNG; ``max_faults`` caps how
+    many times the rule fires (``None`` = unlimited).
+    """
+
+    kind: str
+    op: str = "any"
+    key_glob: str = "*"
+    probability: float = 1.0
+    max_faults: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigError(
+                f"unknown fault kind {self.kind!r}; "
+                f"use one of {FAULT_KINDS}")
+        if self.op not in _OPS:
+            raise ConfigError(
+                f"unknown fault op {self.op!r}; use one of {_OPS}")
+        if self.op not in _KIND_OPS[self.kind]:
+            raise ConfigError(
+                f"fault kind {self.kind!r} cannot target op "
+                f"{self.op!r} (allowed: {_KIND_OPS[self.kind]})")
+        if not 0.0 < self.probability <= 1.0:
+            raise ConfigError(
+                f"fault probability must be in (0, 1], got "
+                f"{self.probability}")
+
+    def matches(self, op: str, key: str) -> bool:
+        """Static match: op and key pattern (budget/dice live outside)."""
+        return (self.op in (op, "any")
+                and fnmatchcase(key, self.key_glob))
+
+
+class FaultInjectingStore(ByteStore):
+    """Wrap ``inner`` and inject the configured faults, reproducibly.
+
+    The first rule that matches an operation (in declaration order,
+    with its probability and budget) fires; at most one fault is
+    injected per operation, so a fault log line maps 1:1 onto an
+    observable effect.
+    """
+
+    backend_id = "fault"
+
+    def __init__(self, inner: ByteStore,
+                 rules: Union[FaultRule, list[FaultRule],
+                              tuple[FaultRule, ...]],
+                 *, seed: int = 0) -> None:
+        if isinstance(rules, FaultRule):
+            rules = (rules,)
+        self._inner = inner
+        self._rules: tuple[FaultRule, ...] = tuple(rules)
+        self._rng = random.Random(seed)
+        self._seed = seed
+        self._fired: dict[int, int] = {}
+        self._history: dict[str, bytes] = {}
+        #: Injected-fault records, in order (NDJSON-ready dicts).
+        self.records: list[dict[str, object]] = []
+
+    @property
+    def framed(self) -> bool:  # type: ignore[override]
+        """Mirror the wrapped backend: faults change bytes, not layout."""
+        return self._inner.framed
+
+    @property
+    def inner(self) -> ByteStore:
+        """The wrapped backend."""
+        return self._inner
+
+    # -- fault machinery -----------------------------------------------
+
+    def _pick(self, op: str, key: str) -> tuple[int, FaultRule] | None:
+        for i, fault_rule in enumerate(self._rules):
+            if not fault_rule.matches(op, key):
+                continue
+            if (fault_rule.max_faults is not None
+                    and self._fired.get(i, 0) >= fault_rule.max_faults):
+                continue
+            if (fault_rule.probability < 1.0
+                    and self._rng.random() >= fault_rule.probability):
+                continue
+            return i, fault_rule
+        return None
+
+    def _record(self, index: int, fault_rule: FaultRule, op: str,
+                key: str, **detail: object) -> None:
+        self._fired[index] = self._fired.get(index, 0) + 1
+        counter_inc("store.faults.injected")
+        self.records.append({
+            "event": "fault",
+            "seq": len(self.records),
+            "kind": fault_rule.kind,
+            "op": op,
+            "key": key,
+            "rule": index,
+            "seed": self._seed,
+            "backend": self._inner.backend_id,
+            "detail": detail,
+        })
+
+    @staticmethod
+    def _flip_bit(value: bytes, bit: int) -> bytes:
+        out = bytearray(value)
+        out[bit // 8] ^= 1 << (bit % 8)
+        return bytes(out)
+
+    def write_log(self, path: str) -> None:
+        """Append the fault records to ``path`` as NDJSON lines."""
+        with open(path, "a", encoding="utf-8") as fh:
+            for rec in self.records:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+
+    # -- ByteStore interface -------------------------------------------
+
+    def __getitem__(self, key: str) -> bytes:
+        picked = self._pick("get", key)
+        if picked is not None and picked[1].kind == "io-error":
+            index, fault_rule = picked
+            self._record(index, fault_rule, "get", key)
+            raise StoreError(
+                f"injected I/O error reading key {key!r}")
+        value = self._inner[key]
+        if picked is None:
+            return value
+        index, fault_rule = picked
+        if fault_rule.kind == "bit-flip" and value:
+            bit = self._rng.randrange(len(value) * 8)
+            self._record(index, fault_rule, "get", key, bit=bit)
+            return self._flip_bit(value, bit)
+        if fault_rule.kind == "stale-read" and key in self._history:
+            self._record(index, fault_rule, "get", key,
+                         stale_nbytes=len(self._history[key]))
+            return self._history[key]
+        return value
+
+    def __setitem__(self, key: str, value: bytes) -> None:
+        value = bytes(value)
+        picked = self._pick("set", key)
+        if picked is None:
+            self._remember(key)
+            self._inner[key] = value
+            return
+        index, fault_rule = picked
+        if fault_rule.kind == "io-error":
+            self._record(index, fault_rule, "set", key)
+            raise StoreError(
+                f"injected I/O error writing key {key!r}")
+        if fault_rule.kind == "torn-write":
+            cut = self._rng.randrange(len(value)) if value else 0
+            self._record(index, fault_rule, "set", key,
+                         cut=cut, nbytes=len(value))
+            self._remember(key)
+            self._inner[key] = value[:cut]
+            raise StoreError(
+                f"injected torn write on key {key!r}: {cut} of "
+                f"{len(value)} bytes reached the backend")
+        # bit-flip on write: silent corruption at rest.
+        self._remember(key)
+        if value:
+            bit = self._rng.randrange(len(value) * 8)
+            self._record(index, fault_rule, "set", key, bit=bit)
+            value = self._flip_bit(value, bit)
+        self._inner[key] = value
+
+    def _remember(self, key: str) -> None:
+        """Snapshot the current value so stale reads can serve it."""
+        previous = self._inner.get(key)
+        if previous is not None:
+            self._history[key] = previous
+
+    def __delitem__(self, key: str) -> None:
+        del self._inner[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._inner)
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def locate(self, key: str) -> tuple[int, int] | None:
+        return self._inner.locate(key)
+
+    def list_prefix(self, prefix: str) -> list[str]:
+        return self._inner.list_prefix(prefix)
+
+    def flush(self) -> None:
+        self._inner.flush()
+
+    def close(self) -> None:
+        self._inner.close()
+
+    @property
+    def location(self) -> str:
+        return f"fault({self._inner.location})"

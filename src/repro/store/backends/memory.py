@@ -1,0 +1,54 @@
+"""In-memory byte-store backend: a dict behind the interface.
+
+The reference implementation of the :class:`ByteStore` contract and
+the substrate the fault-injecting wrapper usually wraps in tests --
+every operation is atomic and instantaneous, so whatever a fault test
+observes is the fault, not the filesystem.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import StoreKeyError
+from repro.store.backends.base import ByteStore, check_key
+
+__all__ = ["MemoryStore"]
+
+
+class MemoryStore(ByteStore):
+    """Volatile dict-backed byte store."""
+
+    backend_id = "memory"
+
+    def __init__(self, label: str = "memory") -> None:
+        self._data: dict[str, bytes] = {}
+        self._label = label
+
+    def __getitem__(self, key: str) -> bytes:
+        check_key(key)
+        try:
+            return self._data[key]
+        except KeyError:
+            raise StoreKeyError(f"no key {key!r} in {self!r}") from None
+
+    def __setitem__(self, key: str, value: bytes) -> None:
+        check_key(key)
+        self._data[key] = bytes(value)
+
+    def __delitem__(self, key: str) -> None:
+        check_key(key)
+        try:
+            del self._data[key]
+        except KeyError:
+            raise StoreKeyError(f"no key {key!r} in {self!r}") from None
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._data))
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    @property
+    def location(self) -> str:
+        return f"<{self._label}>"

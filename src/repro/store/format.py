@@ -25,6 +25,7 @@ little-endian.
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 
 from repro.codecs.container import pack_sections, unpack_sections
@@ -34,6 +35,7 @@ from repro.errors import CodecError, FormatError
 __all__ = [
     "MAGIC",
     "MANIFEST_MAGIC",
+    "KV_VALUE_MAGIC",
     "VERSION",
     "HEADER_SIZE",
     "DTYPE_TAGS",
@@ -43,12 +45,17 @@ __all__ = [
     "unpack_header",
     "encode_manifest",
     "decode_manifest",
+    "pack_kv_value",
+    "unpack_kv_value",
 ]
 
 MAGIC = b"DPZS"
 MANIFEST_MAGIC = b"DPZM"
+KV_VALUE_MAGIC = b"DPZB"
 VERSION = 1
 HEADER_SIZE = 21
+
+_KV_HEAD = struct.Struct("<4sI")
 
 _HEADER = struct.Struct("<4sBQQ")
 
@@ -101,6 +108,45 @@ def unpack_header(buf: bytes) -> tuple[int, int]:
         raise FormatError(
             f"manifest offset {offset} points inside the header")
     return offset, length
+
+
+def pack_kv_value(payload: bytes) -> bytes:
+    """Wrap a key/value-backend value in the integrity frame.
+
+    ``DPZB || u32le crc32(payload) || payload``.  Generic byte-store
+    backends hold naked blobs with no positional redundancy, so the
+    store adds this checksum envelope to every value it writes there
+    (the single-file v1 backend opts out: its layout predates the
+    frame and its payload positions are cross-checked by the
+    manifest).
+    """
+    return _KV_HEAD.pack(KV_VALUE_MAGIC,
+                         zlib.crc32(payload) & 0xFFFFFFFF) + payload
+
+
+def unpack_kv_value(blob: bytes) -> bytes:
+    """Validate and strip the integrity frame of :func:`pack_kv_value`.
+
+    A missing magic, truncated head, or checksum mismatch raises
+    :class:`~repro.errors.FormatError` -- this is what turns a torn
+    write or bit flip inside a key/value backend into a clean,
+    detectable failure instead of silent corruption.
+    """
+    if len(blob) < _KV_HEAD.size:
+        raise FormatError(
+            f"store value truncated: {len(blob)} bytes (need at "
+            f"least {_KV_HEAD.size} for the integrity frame)")
+    magic, crc = _KV_HEAD.unpack(blob[: _KV_HEAD.size])
+    if magic != KV_VALUE_MAGIC:
+        raise FormatError(
+            f"store value has bad frame magic: expected "
+            f"{KV_VALUE_MAGIC!r}, got {magic!r}")
+    payload = blob[_KV_HEAD.size :]
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise FormatError(
+            "store value failed its CRC32 integrity check "
+            "(torn write or bit rot in the backend)")
+    return payload
 
 
 def _encode_str(text: str) -> bytes:

@@ -24,11 +24,11 @@ the requested budget.
 
 from __future__ import annotations
 
-from typing import Any, Callable, cast
+from typing import Any, Callable
 
 import numpy as np
 
-from repro.archive import CODECS
+from repro.codecs.registry import codec_functions
 from repro.errors import ConfigError, ReproError
 from repro.observability import counter_inc
 
@@ -66,8 +66,7 @@ def candidate_kwargs(codec: str, budget: float) -> dict[str, Any]:
 
 
 def _fns(codec: str) -> tuple[CompressFn, DecompressFn]:
-    compress, decompress = CODECS[codec]
-    return cast(CompressFn, compress), cast(DecompressFn, decompress)
+    return codec_functions(codec)
 
 
 def trial_plane(chunk: "np.ndarray[Any, np.dtype[Any]]"

@@ -18,10 +18,22 @@ chunks that overlap the request*::
     st = Store.open("snapshot.dpzs")       # reads header+manifest only
     corner = st.get_region("vx", (slice(0, 16), slice(0, 16), 8))
 
-``codec="auto"`` picks a codec *per chunk* (SZ / ZFP / DPZ, lossless
-fallback) against an absolute error budget -- see
-:mod:`repro.store.select`.  Appending a field to an existing store
-rewrites only the tail manifest, never the stored payloads.
+Storage is pluggable: ``create``/``open`` accept a path (the default
+``dpzs`` v1 single-file backend -- fully compatible with pre-existing
+files) or any :class:`~repro.store.backends.ByteStore`::
+
+    from repro.store.backends import DirectoryStore, MemoryStore
+
+    with Store.create(DirectoryStore("snap.d", create=True)) as st:
+        st.add("vx", field, codec="zfp", rate=12.0)
+
+The store persists exactly two kinds of keys -- ``manifest`` and
+``chunks/<field>/<i>`` -- so a backend is ~50 lines of MutableMapping
+(see FORMATS.md "Byte-store keyspace" and README "Writing a backend").
+Codecs resolve through :mod:`repro.codecs.registry`: anything
+registered with ``register_codec`` is immediately usable per chunk,
+including ``codec="auto"``'s online SZ/ZFP/DPZ selection
+(:mod:`repro.store.select`).
 
 Observability: every pack and region read runs under a tracer span and
 feeds the ``store.*`` metric namespace (chunks compressed/decoded,
@@ -35,15 +47,28 @@ from __future__ import annotations
 import os
 import struct
 import time
-from typing import IO, Any, Iterable, Union
+from typing import Any, Iterable, Union
 
 import numpy as np
 
-from repro.archive import CODECS, FieldArchive
-from repro.errors import CodecError, ConfigError, DataShapeError, FormatError
+from repro.archive import FieldArchive
+from repro.codecs.registry import codec_functions, codec_ids, have_codec
+from repro.errors import (
+    CodecError,
+    ConfigError,
+    FormatError,
+    StoreError,
+    StoreKeyError,
+)
 from repro.observability import counter_inc, gauge_set, observe, span
 from repro.parallel.executor import ParallelConfig, parallel_map
 from repro.store import chunking
+from repro.store.backends import (
+    MANIFEST_KEY,
+    ByteStore,
+    chunk_key,
+    resolve_backend,
+)
 from repro.store.chunking import RegionSpec
 from repro.store.format import (
     DTYPE_TAGS,
@@ -52,10 +77,10 @@ from repro.store.format import (
     FieldMeta,
     decode_manifest,
     encode_manifest,
-    pack_header,
-    unpack_header,
+    pack_kv_value,
+    unpack_kv_value,
 )
-from repro.store.select import CompressFn, DecompressFn, compress_chunk_auto
+from repro.store.select import compress_chunk_auto
 
 __all__ = ["Store"]
 
@@ -73,11 +98,6 @@ _FROM_ARCHIVE_KW: dict[str, dict[str, Any]] = {
 }
 
 
-def _codec_fns(codec: str) -> tuple[CompressFn, DecompressFn]:
-    compress, decompress = CODECS[codec]
-    return compress, decompress  # type: ignore[return-value]
-
-
 def _canonical(data: Any) -> tuple[Any, str]:
     """Contiguous little-endian array + its dtype tag."""
     arr = np.asarray(data)
@@ -90,57 +110,71 @@ class Store:
     """A chunked multi-field store with random-access region reads.
 
     Use :meth:`create` / :meth:`open`; the constructor is internal.
-    Instances are cheap handles around a path plus the parsed
-    manifest -- chunk payloads stay on disk until a read asks for
-    them.
+    Instances are cheap handles around a backend plus the parsed
+    manifest -- chunk payloads stay in the backend until a read asks
+    for them.
     """
 
-    def __init__(self, path: PathLike, fields: list[FieldMeta],
-                 manifest_offset: int, manifest_length: int) -> None:
-        self._path = os.fspath(path)
+    def __init__(self, backend: ByteStore,
+                 fields: list[FieldMeta]) -> None:
+        self._backend = backend
         self._fields: dict[str, FieldMeta] = {m.name: m for m in fields}
-        self._manifest_offset = manifest_offset
-        self._manifest_length = manifest_length
 
     # -- lifecycle --------------------------------------------------------
 
     @classmethod
-    def create(cls, path: PathLike) -> "Store":
-        """Create a new, empty store file (overwrites an existing one)."""
-        manifest = encode_manifest([])
-        with open(path, "wb") as fh:
-            fh.write(pack_header(HEADER_SIZE, len(manifest)))
-            fh.write(manifest)
-        return cls(path, [], HEADER_SIZE, len(manifest))
+    def create(cls, target: Union[PathLike, ByteStore], *,
+               backend: str = "auto") -> "Store":
+        """Create a new, empty store.
+
+        ``target`` is a path (resolved via ``backend``: ``"auto"`` /
+        ``"file"`` / ``"dir"`` / ``"memory"``; the default is the
+        ``dpzs`` v1 single file) or an already-constructed
+        :class:`~repro.store.backends.ByteStore`.
+        """
+        bk = (target if isinstance(target, ByteStore)
+              else resolve_backend(target, backend=backend, create=True))
+        store = cls(bk, [])
+        store._write_manifest()
+        return store
 
     @classmethod
-    def open(cls, path: PathLike) -> "Store":
-        """Open an existing store *lazily*: header + manifest only.
+    def open(cls, target: Union[PathLike, ByteStore], *,
+             backend: str = "auto") -> "Store":
+        """Open an existing store *lazily*: manifest only.
 
         No chunk payload is touched; a store holding terabytes of
-        chunks opens in one seek and one manifest-sized read.
+        chunks opens with one manifest-sized read.
         """
-        with open(path, "rb") as fh:
-            offset, length = unpack_header(fh.read(HEADER_SIZE))
-            fh.seek(offset)
-            manifest = fh.read(length)
-        if len(manifest) != length:
+        bk = (target if isinstance(target, ByteStore)
+              else resolve_backend(target, backend=backend))
+        try:
+            blob = bk[MANIFEST_KEY]
+        except StoreKeyError:
             raise FormatError(
-                f"dpzs manifest truncated: header promises {length} "
-                f"bytes at offset {offset}, file has {len(manifest)}")
-        return cls(path, decode_manifest(manifest), offset, length)
+                f"no manifest key in backend {bk.location!r}: not a "
+                f"store (or never initialized)") from None
+        if bk.framed:
+            blob = unpack_kv_value(blob)
+        return cls(bk, decode_manifest(blob))
 
     def __enter__(self) -> "Store":
         """Context-manager entry; returns self."""
         return self
 
     def __exit__(self, *exc: object) -> None:
-        """Context-manager exit (the store keeps no open handles)."""
+        """Context-manager exit: flush the backend."""
+        self._backend.flush()
 
     @property
     def path(self) -> str:
-        """The underlying file path."""
-        return self._path
+        """Where the store lives (backend location)."""
+        return self._backend.location
+
+    @property
+    def backend(self) -> ByteStore:
+        """The underlying byte-store backend."""
+        return self._backend
 
     # -- writing ----------------------------------------------------------
 
@@ -151,27 +185,28 @@ class Store:
             **codec_kwargs: Any) -> None:
         """Chunk, compress (in parallel) and append one field.
 
-        ``codec`` is a fixed codec name (any :data:`repro.archive.CODECS`
-        entry) or ``"auto"``, which picks per chunk between SZ / ZFP /
-        DPZ under ``error_budget`` (required, absolute).  A scalar (or
+        ``codec`` is any :mod:`repro.codecs.registry` id or
+        ``"auto"``, which picks per chunk between SZ / ZFP / DPZ under
+        ``error_budget`` (required, absolute).  A scalar (or
         single-element) ``chunk_shape`` broadcasts to every dimension;
         ``None`` picks a per-ndim default.  Existing payloads are never
-        rewritten: new chunks and a fresh manifest are appended and the
-        header pointer is patched last.
+        rewritten: new chunks are written first and the manifest key
+        last, so a failure mid-append leaves the previous manifest
+        intact.
 
         Raises :class:`~repro.errors.ConfigError` for duplicate names,
         empty arrays, unknown codecs, or a missing/invalid budget.
         """
-        if not name or "\x00" in name:
+        if not name or "\x00" in name or "/" in name:
             raise ConfigError(f"invalid field name {name!r}")
         if name in self._fields:
             raise ConfigError(
                 f"field {name!r} already exists in store "
-                f"{self._path!r}; store fields are immutable")
-        if codec != "auto" and codec not in CODECS:
+                f"{self.path!r}; store fields are immutable")
+        if codec != "auto" and not have_codec(codec):
             raise ConfigError(
                 f"unknown codec {codec!r}; use 'auto' or one of "
-                f"{sorted(CODECS)}")
+                f"{codec_ids()}")
         if codec == "auto":
             if error_budget is None or not float(error_budget) > 0.0:
                 raise ConfigError(
@@ -209,7 +244,7 @@ class Store:
                 counter_inc("store.chunks.compressed")
                 return chosen, payload
         else:
-            compress, _ = _codec_fns(codec)
+            compress, _ = codec_functions(codec)
 
             def compress_one(sub: Any) -> tuple[str, bytes]:
                 t0 = time.perf_counter()
@@ -236,33 +271,42 @@ class Store:
 
     def _append(self, meta: FieldMeta,
                 payloads: Iterable[tuple[str, bytes]]) -> None:
-        """Write payloads over the old manifest, then the new manifest.
+        """Write chunk keys first, then the manifest key, then flush.
 
-        The fixed-width header pointer is patched *last*, so a reader
-        holding the file open mid-append still resolves the old
-        manifest until the new one is fully on disk.
+        The manifest is the commit point on every backend: until the
+        ``manifest`` key is (atomically) replaced, a reader resolves
+        the previous manifest, so a failure while any chunk is in
+        flight never exposes a partially-added field.
         """
-        with open(self._path, "r+b") as fh:
-            fh.seek(self._manifest_offset)
-            for chosen, payload in payloads:
-                meta.chunks.append(ChunkRef(
-                    offset=fh.tell(), length=len(payload), codec=chosen))
-                fh.write(payload)
-            manifest_offset = fh.tell()
-            manifest = encode_manifest(
-                list(self._fields.values()) + [meta])
-            fh.write(manifest)
-            fh.truncate()
-            fh.flush()
-            fh.seek(4 + 1)
-            fh.write(struct.pack("<QQ", manifest_offset, len(manifest)))
+        framed = self._backend.framed
+        for i, (chosen, payload) in enumerate(payloads):
+            key = chunk_key(meta.name, i)
+            self._backend[key] = (pack_kv_value(payload) if framed
+                                  else payload)
+            counter_inc("store.backend.writes")
+            loc = self._backend.locate(key)
+            offset = loc[0] if loc is not None else HEADER_SIZE
+            meta.chunks.append(ChunkRef(
+                offset=offset, length=len(payload), codec=chosen))
         self._fields[meta.name] = meta
-        self._manifest_offset = manifest_offset
-        self._manifest_length = len(manifest)
+        try:
+            self._write_manifest()
+        except StoreError:
+            # The manifest write failed: the field is not committed.
+            del self._fields[meta.name]
+            raise
+        self._backend.flush()
+
+    def _write_manifest(self) -> None:
+        manifest = encode_manifest(list(self._fields.values()))
+        self._backend[MANIFEST_KEY] = (
+            pack_kv_value(manifest) if self._backend.framed else manifest)
+        counter_inc("store.backend.writes")
 
     @classmethod
     def from_archive(cls, archive: Union[FieldArchive, PathLike],
-                     path: PathLike, *,
+                     target: Union[PathLike, ByteStore], *,
+                     backend: str = "auto",
                      chunk_shape: int | tuple[int, ...] | None = None,
                      n_jobs: int | None = 1) -> "Store":
         """Re-pack a monolithic :class:`FieldArchive` as a chunked store.
@@ -275,7 +319,7 @@ class Store:
         """
         if not isinstance(archive, FieldArchive):
             archive = FieldArchive.load(archive)
-        store = cls.create(path)
+        store = cls.create(target, backend=backend)
         for name in archive.names():
             codec = str(archive.info(name)["codec"])
             store.add(name, archive.get(name), codec=codec,
@@ -330,7 +374,7 @@ class Store:
         unit-step slices (NumPy basic-indexing semantics; missing
         trailing dims select everything; integer dims are collapsed).
         Payload bytes for non-overlapping chunks are never read from
-        disk, let alone decoded -- the ``store.bytes.read`` /
+        the backend, let alone decoded -- the ``store.bytes.read`` /
         ``store.bytes.decoded`` counters record exactly what was.
         """
         meta = self._require(name)
@@ -344,18 +388,24 @@ class Store:
         t0 = time.perf_counter()
         bytes_read = 0
         bytes_decoded = 0
+        framed = self._backend.framed
         with span("store.region", field=name, n_chunks=len(coords)):
-            if coords:
-                with open(self._path, "rb") as fh:
-                    for coord in coords:
-                        ref = meta.chunks[chunking.chunk_index(grid, coord)]
-                        fh.seek(ref.offset)
-                        payload = fh.read(ref.length)
-                        bytes_read += len(payload)
-                        chunk = self._decode_chunk(meta, ref, payload,
-                                                   coord)
-                        bytes_decoded += int(chunk.nbytes)
-                        self._paste(out, bounds, meta, coord, chunk)
+            for coord in coords:
+                index = chunking.chunk_index(grid, coord)
+                ref = meta.chunks[index]
+                key = chunk_key(name, index)
+                try:
+                    value = self._backend[key]
+                except StoreKeyError as exc:
+                    raise FormatError(
+                        f"field {name!r} chunk {coord}: backend has "
+                        f"no key {key!r} ({exc})") from exc
+                counter_inc("store.backend.reads")
+                payload = unpack_kv_value(value) if framed else value
+                bytes_read += len(payload)
+                chunk = self._decode_chunk(meta, ref, payload, coord)
+                bytes_decoded += int(chunk.nbytes)
+                self._paste(out, bounds, meta, coord, chunk)
         counter_inc("store.region.reads")
         counter_inc("store.chunks.decoded", len(coords))
         counter_inc("store.bytes.read", bytes_read)
@@ -373,11 +423,11 @@ class Store:
             raise FormatError(
                 f"field {meta.name!r} chunk {coord}: payload truncated "
                 f"({len(payload)} of {ref.length} bytes)")
-        if ref.codec not in CODECS:
+        if not have_codec(ref.codec):
             raise FormatError(
                 f"field {meta.name!r} chunk {coord} uses unknown codec "
                 f"{ref.codec!r}")
-        _, decompress = _codec_fns(ref.codec)
+        _, decompress = codec_functions(ref.codec)
         try:
             chunk = decompress(payload)
         except FormatError:

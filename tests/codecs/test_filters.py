@@ -1,0 +1,103 @@
+"""Tests for the delta and scale-offset filter codecs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codecs.filters import (
+    delta_compress,
+    delta_decompress,
+    scale_offset_compress,
+    scale_offset_decompress,
+)
+from repro.errors import ConfigError, DataShapeError, FormatError
+
+
+class TestDelta:
+    @pytest.mark.parametrize("dtype", ["<f4", "<f8"])
+    @pytest.mark.parametrize("shape", [(1,), (7,), (5, 6), (3, 4, 5)])
+    def test_lossless_roundtrip(self, rng, dtype, shape):
+        arr = rng.normal(size=shape).astype(dtype)
+        out = delta_decompress(delta_compress(arr))
+        assert out.dtype == np.dtype(dtype)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_nan_and_inf_bit_exact(self):
+        arr = np.array([0.0, np.nan, np.inf, -np.inf, -0.0, 1e-300],
+                       dtype="<f8")
+        out = delta_decompress(delta_compress(arr))
+        np.testing.assert_array_equal(
+            out.view("<u8"), arr.view("<u8"))
+
+    def test_smooth_data_compresses(self, smooth_2d):
+        blob = delta_compress(smooth_2d)
+        assert len(blob) < smooth_2d.nbytes
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataShapeError, match="empty"):
+            delta_compress(np.zeros((0,), dtype="<f4"))
+
+    def test_corrupt_payload_is_format_error(self, rng):
+        blob = bytearray(delta_compress(
+            rng.normal(size=(16,)).astype("<f4")))
+        with pytest.raises(FormatError):
+            delta_decompress(bytes(blob[:8]))
+        blob[0] ^= 0xFF  # magic
+        with pytest.raises(FormatError):
+            delta_decompress(bytes(blob))
+
+    def test_kwargs_tolerated(self, rng):
+        # Filters accept-and-ignore foreign codec kwargs so they slot
+        # into call sites that thread per-codec settings through.
+        arr = rng.normal(size=(8,)).astype("<f4")
+        out = delta_decompress(delta_compress(arr, eps=123.0))
+        np.testing.assert_array_equal(out, arr)
+
+
+class TestScaleOffset:
+    @pytest.mark.parametrize("dtype", ["<f4", "<f8"])
+    def test_error_bound_holds(self, rng, dtype):
+        arr = (100.0 * rng.normal(size=(40, 3))).astype(dtype)
+        eps = 1e-3
+        out = scale_offset_decompress(scale_offset_compress(arr,
+                                                            eps=eps))
+        assert out.shape == arr.shape
+        assert out.dtype == np.dtype(dtype)
+        err = np.max(np.abs(out.astype("<f8") - arr.astype("<f8")))
+        ulp = np.abs(arr).max() * 1e-6 if dtype == "<f4" else 0.0
+        assert float(err) <= eps * (1 + 1e-9) + ulp
+
+    def test_constant_field_exact(self):
+        arr = np.full((9,), 2.5, dtype="<f8")
+        out = scale_offset_decompress(scale_offset_compress(arr,
+                                                            eps=1e-2))
+        np.testing.assert_allclose(out, arr, atol=1e-2)
+
+    def test_wide_range_uses_wide_codes(self):
+        # A range demanding > 2**32 quantization bins must switch to
+        # 8-byte codes rather than overflow.
+        arr = np.array([0.0, 1e6], dtype="<f8")
+        eps = 1e-5
+        out = scale_offset_decompress(scale_offset_compress(arr,
+                                                            eps=eps))
+        assert float(np.max(np.abs(out - arr))) <= eps * (1 + 1e-9)
+
+    def test_nonpositive_eps_rejected(self, rng):
+        arr = rng.normal(size=(4,))
+        for eps in (0.0, -1e-3):
+            with pytest.raises(ConfigError, match="positive eps"):
+                scale_offset_compress(arr, eps=eps)
+
+    def test_nonfinite_rejected(self):
+        arr = np.array([1.0, np.inf], dtype="<f8")
+        with pytest.raises(DataShapeError, match="non-finite"):
+            scale_offset_compress(arr, eps=1e-3)
+
+    def test_corrupt_payload_is_format_error(self, rng):
+        blob = scale_offset_compress(
+            rng.normal(size=(16,)).astype("<f4"), eps=1e-3)
+        with pytest.raises(FormatError):
+            scale_offset_decompress(blob[:10])
+        with pytest.raises(FormatError):
+            scale_offset_decompress(b"XXXX" + blob[4:])

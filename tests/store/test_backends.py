@@ -1,0 +1,358 @@
+"""Byte-store backend contract tests.
+
+Every backend behind the :class:`repro.store.backends.ByteStore` seam
+must agree on the keyspace grammar, the MutableMapping semantics, and
+the failure taxonomy (StoreKeyError for missing keys, StoreError for
+everything else).  These tests run the same contract against each
+backend and then pin down the backend-specific guarantees: the
+directory layout's sharding and atomic writes, the single-file
+backend's append-only v1 behavior, and ``resolve_backend``'s path
+dispatch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    FormatError,
+    ReproError,
+    StoreError,
+    StoreKeyError,
+)
+from repro.store import Store
+from repro.store.backends import (
+    BACKEND_IDS,
+    MANIFEST_KEY,
+    ByteStore,
+    DirectoryStore,
+    DpzsFileBackend,
+    MemoryStore,
+    check_key,
+    chunk_key,
+    resolve_backend,
+)
+from repro.store.format import (
+    HEADER_SIZE,
+    pack_kv_value,
+    unpack_kv_value,
+)
+
+
+def make_backend(kind: str, tmp_path, name: str = "s") -> ByteStore:
+    """Fresh empty backend of the requested kind under ``tmp_path``."""
+    if kind == "memory":
+        return MemoryStore()
+    if kind == "dir":
+        return DirectoryStore(tmp_path / f"{name}.d", create=True)
+    return DpzsFileBackend(tmp_path / f"{name}.dpzs", create=True)
+
+
+KV_BACKENDS = ("memory", "dir")
+ALL_BACKENDS = ("memory", "dir", "file")
+
+
+class TestKeyGrammar:
+    @pytest.mark.parametrize("key", [
+        "manifest", "chunks/vx/0", "a", "a/b/c-d_e.f", "Z9~!",
+    ])
+    def test_valid_keys_pass(self, key):
+        assert check_key(key) == key
+
+    @pytest.mark.parametrize("key", [
+        "", "/a", "a/", "a//b", ".", "..", "a/../b", "a/./b",
+        "a\\b", "a\nb", "a\x00b", "café",
+    ])
+    def test_invalid_keys_raise_store_error(self, key):
+        with pytest.raises(StoreError):
+            check_key(key)
+
+    @pytest.mark.parametrize("kind", KV_BACKENDS)
+    def test_backends_enforce_grammar_on_write(self, kind, tmp_path):
+        bk = make_backend(kind, tmp_path)
+        with pytest.raises(StoreError):
+            bk["../escape"] = b"x"
+
+    def test_chunk_key_shape(self):
+        assert chunk_key("vx", 3) == "chunks/vx/3"
+        check_key(chunk_key("vx", 3))
+
+
+class TestMutableMappingContract:
+    @pytest.mark.parametrize("kind", KV_BACKENDS)
+    def test_set_get_delete_iter(self, kind, tmp_path):
+        bk = make_backend(kind, tmp_path)
+        bk["manifest"] = b"m"
+        bk["chunks/f/0"] = b"\x00\x01"
+        bk["chunks/f/1"] = b""
+        assert bk["chunks/f/0"] == b"\x00\x01"
+        assert bk["chunks/f/1"] == b""
+        assert sorted(bk) == ["chunks/f/0", "chunks/f/1", "manifest"]
+        assert len(bk) == 3
+        assert "manifest" in bk
+        assert "chunks/f/9" not in bk
+        assert bk.get("chunks/f/9") is None
+        del bk["chunks/f/1"]
+        assert sorted(bk) == ["chunks/f/0", "manifest"]
+
+    @pytest.mark.parametrize("kind", KV_BACKENDS)
+    def test_missing_key_is_storekeyerror(self, kind, tmp_path):
+        bk = make_backend(kind, tmp_path)
+        with pytest.raises(StoreKeyError) as exc_info:
+            bk["chunks/f/0"]
+        # The taxonomy type is both a StoreError (repro dispatch) and
+        # a KeyError (MutableMapping mixins: .get, in, pop default).
+        assert isinstance(exc_info.value, StoreError)
+        assert isinstance(exc_info.value, KeyError)
+        with pytest.raises(StoreKeyError):
+            del bk["chunks/f/0"]
+
+    @pytest.mark.parametrize("kind", KV_BACKENDS)
+    def test_overwrite_replaces_value(self, kind, tmp_path):
+        bk = make_backend(kind, tmp_path)
+        bk["manifest"] = b"old"
+        bk["manifest"] = b"new"
+        assert bk["manifest"] == b"new"
+        assert len(bk) == 1
+
+    @pytest.mark.parametrize("kind", KV_BACKENDS)
+    def test_list_prefix(self, kind, tmp_path):
+        bk = make_backend(kind, tmp_path)
+        for key in ("manifest", "chunks/a/0", "chunks/a/1", "chunks/b/0"):
+            bk[key] = b"v"
+        assert bk.list_prefix("chunks/a/") == ["chunks/a/0", "chunks/a/1"]
+        assert bk.list_prefix("nope/") == []
+
+    @pytest.mark.parametrize("kind", ALL_BACKENDS)
+    def test_context_manager_protocol(self, kind, tmp_path):
+        with make_backend(kind, tmp_path) as bk:
+            bk["manifest"] = b"m"
+        # close() must not invalidate simple reads on these backends.
+        assert bk["manifest"] == b"m"
+
+
+class TestDirectoryLayout:
+    def test_marker_and_sharded_paths(self, tmp_path):
+        root = tmp_path / "s.d"
+        bk = DirectoryStore(root, create=True)
+        bk["chunks/vx/0"] = b"payload"
+        marker = json.loads((root / "meta.json").read_text())
+        assert marker["format"] == "dpzs-directory"
+        shards = [d for d in os.listdir(root)
+                  if (root / d).is_dir() and len(d) == 2]
+        assert len(shards) == 1
+        (name,) = os.listdir(root / shards[0])
+        assert name == "chunks%2Fvx%2F0"
+        assert not name.endswith(".tmp")
+
+    def test_escaping_inverts_on_iteration(self, tmp_path):
+        bk = DirectoryStore(tmp_path / "s.d", create=True)
+        keys = ["chunks/a b/0", "chunks/%41/1", "manifest"]
+        for key in keys:
+            bk[key] = b"v"
+        assert sorted(bk) == sorted(keys)
+        assert bk["chunks/a b/0"] == b"v"
+
+    def test_missing_root_without_create(self, tmp_path):
+        with pytest.raises(StoreError, match="does not exist"):
+            DirectoryStore(tmp_path / "nope.d")
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        root = tmp_path / "s.d"
+        bk = DirectoryStore(root, create=True)
+        for i in range(8):
+            bk[f"chunks/f/{i}"] = bytes([i]) * 64
+        leftovers = [n for _, _, names in os.walk(root)
+                     for n in names if n.endswith(".tmp")]
+        assert leftovers == []
+
+
+class TestDpzsFileBackend:
+    def test_create_initializes_readable_empty_store(self, tmp_path):
+        path = tmp_path / "s.dpzs"
+        DpzsFileBackend(path, create=True)
+        st = Store.open(path)
+        assert st.names() == []
+
+    def test_open_rejects_non_dpzs_file(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"not a dpzs container, definitely")
+        with pytest.raises(FormatError, match="magic"):
+            DpzsFileBackend(path)
+
+    def test_open_missing_file(self, tmp_path):
+        with pytest.raises(StoreError, match="does not exist"):
+            DpzsFileBackend(tmp_path / "missing.dpzs")
+
+    def test_append_only_no_delete(self, tmp_path):
+        bk = DpzsFileBackend(tmp_path / "s.dpzs", create=True)
+        with pytest.raises(StoreError, match="append-only"):
+            del bk[MANIFEST_KEY]
+
+    def test_locate_reports_physical_ranges(self, tmp_path, rng):
+        path = tmp_path / "s.dpzs"
+        with Store.create(path) as st:
+            st.add("f", rng.normal(size=(8, 8)).astype("<f4"),
+                   codec="raw", chunk_shape=(8, 8))
+        bk = DpzsFileBackend(path)
+        key = chunk_key("f", 0)
+        loc = bk.locate(key)
+        assert loc is not None
+        offset, length = loc
+        assert offset >= HEADER_SIZE
+        with open(path, "rb") as fh:
+            fh.seek(offset)
+            assert fh.read(length) == bk[key]
+        # The manifest locates to exactly what the header promises.
+        assert bk.locate(MANIFEST_KEY) is not None
+
+    def test_unframed_values_are_naked_payloads(self, tmp_path):
+        bk = DpzsFileBackend(tmp_path / "s.dpzs", create=True)
+        assert bk.framed is False
+        # Key/value backends are framed by default.
+        assert MemoryStore().framed is True
+
+    def test_append_preserves_previous_manifest_bytes(self, tmp_path,
+                                                      rng):
+        # The durability protocol: a second add never overwrites the
+        # bytes the first manifest occupied, so a crash before the
+        # header patch leaves the old manifest readable.
+        path = tmp_path / "s.dpzs"
+        data = rng.normal(size=(8, 8)).astype("<f4")
+        with Store.create(path) as st:
+            st.add("a", data, codec="raw", chunk_shape=(8, 8))
+        bk = DpzsFileBackend(path)
+        old_offset, old_length = bk.locate(MANIFEST_KEY)
+        old_manifest = bk[MANIFEST_KEY]
+        with Store.open(path) as st:
+            st.add("b", data * 2, codec="raw", chunk_shape=(8, 8))
+        with open(path, "rb") as fh:
+            fh.seek(old_offset)
+            assert fh.read(old_length) == old_manifest
+
+
+class TestResolveBackend:
+    def test_auto_picks_file_for_plain_path(self, tmp_path):
+        bk = resolve_backend(tmp_path / "s.dpzs", create=True)
+        assert isinstance(bk, DpzsFileBackend)
+
+    def test_auto_picks_dir_for_existing_directory(self, tmp_path):
+        root = tmp_path / "s.d"
+        root.mkdir()
+        (root / "meta.json").write_text(
+            json.dumps({"format": "dpzs-directory", "version": 1}))
+        bk = resolve_backend(root)
+        assert isinstance(bk, DirectoryStore)
+
+    def test_auto_picks_dir_for_trailing_separator(self, tmp_path):
+        bk = resolve_backend(str(tmp_path / "new.d") + "/", create=True)
+        assert isinstance(bk, DirectoryStore)
+
+    def test_memory_backend_uses_path_as_label(self):
+        bk = resolve_backend("scratch", backend="memory")
+        assert isinstance(bk, MemoryStore)
+        assert bk.location == "<scratch>"
+
+    def test_unknown_backend_id(self, tmp_path):
+        with pytest.raises(ConfigError, match="unknown store backend"):
+            resolve_backend(tmp_path / "s", backend="s3")
+        assert "auto" in BACKEND_IDS
+
+
+class TestIntegrityFrame:
+    def test_roundtrip(self):
+        payload = bytes(range(256))
+        assert unpack_kv_value(pack_kv_value(payload)) == payload
+        assert unpack_kv_value(pack_kv_value(b"")) == b""
+
+    def test_bit_flip_detected(self):
+        framed = bytearray(pack_kv_value(b"hello, chunks"))
+        framed[10] ^= 0x20
+        with pytest.raises(FormatError, match="CRC32"):
+            unpack_kv_value(bytes(framed))
+
+    def test_truncation_detected(self):
+        framed = pack_kv_value(b"hello, chunks")
+        with pytest.raises(FormatError):
+            unpack_kv_value(framed[:5])
+        with pytest.raises(FormatError, match="CRC32"):
+            unpack_kv_value(framed[:-1])
+
+    def test_bad_magic_detected(self):
+        framed = pack_kv_value(b"x")
+        with pytest.raises(FormatError, match="magic"):
+            unpack_kv_value(b"NOPE" + framed[4:])
+
+
+class TestStoreOnEveryBackend:
+    @pytest.mark.parametrize("kind", ALL_BACKENDS)
+    def test_pack_read_region_roundtrip(self, kind, tmp_path, rng):
+        data = rng.normal(size=(12, 10)).astype("<f4")
+        bk = make_backend(kind, tmp_path)
+        with Store.create(bk) as st:
+            st.add("f", data, codec="raw", chunk_shape=(5, 4))
+        st = Store.open(bk)
+        np.testing.assert_array_equal(st.get("f"), data)
+        region = (slice(2, 9), slice(3, 10))
+        np.testing.assert_array_equal(st.get_region("f", region),
+                                      data[region])
+        assert st.backend is bk
+
+    @pytest.mark.parametrize("kind", ("dir", "file"))
+    def test_reopen_from_path(self, kind, tmp_path, rng):
+        data = rng.normal(size=(9, 9)).astype("<f8")
+        target = (tmp_path / "s.d" if kind == "dir"
+                  else tmp_path / "s.dpzs")
+        backend_id = kind
+        with Store.create(target, backend=backend_id) as st:
+            st.add("f", data, codec="sz", eps=1e-4, chunk_shape=(4, 4))
+        st = Store.open(target, backend="auto")
+        assert st.names() == ["f"]
+        assert np.max(np.abs(st.get("f") - data)) <= 1e-4 * (1 + 1e-12)
+
+    def test_open_empty_backend_is_format_error(self, tmp_path):
+        with pytest.raises(FormatError, match="manifest"):
+            Store.open(MemoryStore())
+
+    @pytest.mark.parametrize("kind", KV_BACKENDS)
+    def test_kv_values_carry_integrity_frame(self, kind, tmp_path, rng):
+        bk = make_backend(kind, tmp_path)
+        with Store.create(bk) as st:
+            st.add("f", rng.normal(size=(6,)).astype("<f4"),
+                   codec="raw", chunk_shape=(6,))
+        for key in list(bk):
+            unpack_kv_value(bk[key])  # must not raise
+
+    @pytest.mark.parametrize("kind", ALL_BACKENDS)
+    def test_failed_manifest_write_rolls_back_field(self, kind,
+                                                    tmp_path, rng,
+                                                    monkeypatch):
+        bk = make_backend(kind, tmp_path)
+        st = Store.create(bk)
+        original_setitem = type(bk).__setitem__
+
+        def exploding(self, key, value):
+            if key == MANIFEST_KEY:
+                raise StoreError("disk full (simulated)")
+            original_setitem(self, key, value)
+
+        monkeypatch.setattr(type(bk), "__setitem__", exploding)
+        with pytest.raises(StoreError, match="disk full"):
+            st.add("f", rng.normal(size=(4,)).astype("<f4"),
+                   codec="raw", chunk_shape=(4,))
+        monkeypatch.undo()
+        assert st.names() == []
+        assert Store.open(bk).names() == []
+
+    @pytest.mark.parametrize("kind", ALL_BACKENDS)
+    def test_errors_stay_in_taxonomy(self, kind, tmp_path):
+        bk = make_backend(kind, tmp_path)
+        try:
+            bk["chunks/f/0"]
+        except ReproError:
+            pass  # the only acceptable failure channel

@@ -33,6 +33,8 @@ CODEC_KWARGS = {
     "dctz": {"p": 1e-4, "index_bytes": 2},
     "tucker": {"target": 0.99999},
     "raw": {},
+    "delta": {},
+    "scale-offset": {"eps": 1e-4},
 }
 
 

@@ -44,6 +44,8 @@ class TestBuildAndRead:
             "dctz": {"p": 1e-4, "index_bytes": 2},
             "tucker": {"target": 0.99999},
             "raw": {},
+            "delta": {},
+            "scale-offset": {"eps": 1e-4},
         }
         ar = FieldArchive()
         for codec in CODECS:
