@@ -22,15 +22,23 @@ per field:
 * **region-read latency** -- when both records are store bench output
   (``bench_store.py``, a ``store.region`` section), its p50/p95 may
   not grow by more than ``--region-latency-tol`` (relative).  Other
-  record kinds skip this check silently.
+  record kinds skip this check silently;
+* **throughput floor** (``--throughput-min-ratio``, off by default) --
+  the inverse gate for perf PRs: candidate compress throughput must
+  reach at least that multiple of the baseline on at least
+  ``--min-ratio-fields`` fields;
+* **amplification cap** (``--amplification-max``, off by default) --
+  the candidate's warm-cache region amplification (decoded bytes /
+  returned bytes, machine-independent) may not exceed the cap.
 
 Exit status is 0 when everything is within tolerance, 1 otherwise, so
 CI can gate on it directly.  ``--run`` benches the current tree first
 (writing ``--out``) and compares that, which is the one-command local
 workflow::
 
-    PYTHONPATH=src python benchmarks/compare.py BENCH_pr2.json --run
-    PYTHONPATH=src python benchmarks/compare.py BENCH_pr2.json BENCH_pr3.json
+    PYTHONPATH=src python benchmarks/compare.py BENCH_pr7.json --run \
+        --out BENCH_fresh.json
+    PYTHONPATH=src python benchmarks/compare.py BENCH_pr3.json BENCH_pr7.json
 """
 
 from __future__ import annotations
@@ -89,6 +97,13 @@ def _region_latency_gate(failures: list[str], baseline: dict,
     b, c = region(baseline), region(candidate)
     if not b.get("n_reads") or not c.get("n_reads"):
         return
+    if (b["n_reads"], b.get("edge")) != (c["n_reads"], c.get("edge")):
+        # Different seeded read sequences (e.g. full baseline vs smoke
+        # candidate) produce incomparable quantiles; skip, the
+        # amplification cap still applies.
+        log(f"[compare] region-read latency skipped: baseline ran "
+            f"{b['n_reads']} reads, candidate {c['n_reads']}")
+        return
     log("[compare] region-read latency (store.region)")
     for q in ("p50_s", "p95_s"):
         bv, cv = float(b[q]), float(c[q])
@@ -100,15 +115,75 @@ def _region_latency_gate(failures: list[str], baseline: dict,
             f"  ({rel:+.2%})  {st}")
 
 
+def _throughput_min_gate(failures: list[str], baseline: dict,
+                         candidate: dict, ratio: float,
+                         min_fields: int, log) -> None:
+    """Require ``>= min_fields`` fields to *gain* ``ratio``x throughput.
+
+    The inverse of the regression gates: a perf PR claims a speedup,
+    and this check fails unless the candidate's compress throughput is
+    at least ``ratio`` times the baseline's on at least ``min_fields``
+    of the common fields.
+    """
+    base_fields = baseline.get("fields", {})
+    cand_fields = candidate.get("fields", {})
+    common = sorted(set(base_fields) & set(cand_fields))
+    if not common:
+        failures.append("throughput-min-ratio: no common fields")
+        return
+    log(f"[compare] throughput floor (>= {ratio:.2f}x baseline on "
+        f">= {min_fields} fields)")
+    hits = 0
+    for name in common:
+        bv = float(base_fields[name]["throughput_mb_s"])
+        cv = float(cand_fields[name]["throughput_mb_s"])
+        r = cv / bv if bv > 0 else float("inf")
+        ok = r >= ratio
+        hits += ok
+        log(f"[compare]   {name:<12}{bv:>10.1f} -> {cv:>10.1f} MB/s"
+            f"  ({r:.2f}x)  {'ok' if ok else '--'}")
+    _check(failures, hits >= min_fields,
+           f"compress throughput reached {ratio:.2f}x baseline on only "
+           f"{hits} field(s); {min_fields} required")
+
+
+def _amplification_gate(failures: list[str], candidate: dict,
+                        max_amp: float, log) -> None:
+    """Cap the candidate's warm-cache region-read amplification.
+
+    Byte-based and machine-independent, so the cap is exact: the warm
+    pass (``store.region_warm``, falling back to ``store.region`` for
+    records predating the cache) may not decode more than ``max_amp``
+    times the bytes it returns.  Skips records with no store section.
+    """
+    store = candidate.get("store", {})
+    region = store.get("region_warm") or store.get("region", {})
+    if not region.get("n_reads"):
+        return
+    amp = float(region["amplification"])
+    st = _check(failures, amp <= max_amp,
+                f"warm region amplification {amp:.3f}x exceeds cap "
+                f"{max_amp:.3f}x")
+    log(f"[compare] warm region amplification {amp:.3f}x "
+        f"(cap {max_amp:.3f}x)  {st}")
+
+
 def compare(baseline: dict, candidate: dict, *, cr_tol: float = 0.02,
             throughput_tol: float = 0.5, share_tol: float = 0.10,
             chunk_latency_tol: float = 1.0,
             region_latency_tol: float = 1.0,
+            throughput_min_ratio: float | None = None,
+            min_ratio_fields: int = 2,
+            amplification_max: float | None = None,
             log=print) -> list[str]:
     """Diff two bench records; returns the list of failure messages."""
     failures: list[str] = []
     base_fields = baseline.get("fields", {})
     cand_fields = candidate.get("fields", {})
+    if "fields" not in candidate:
+        # A store-only record (bench_store.py output) carries no
+        # compress-throughput fields; only the store gates apply.
+        base_fields = {}
     missing = sorted(set(base_fields) - set(cand_fields))
     if missing:
         failures.append(f"fields missing from candidate: {missing}")
@@ -144,6 +219,11 @@ def compare(baseline: dict, candidate: dict, *, cr_tol: float = 0.02,
                         chunk_latency_tol, log)
     _region_latency_gate(failures, baseline, candidate,
                          region_latency_tol, log)
+    if throughput_min_ratio is not None:
+        _throughput_min_gate(failures, baseline, candidate,
+                             throughput_min_ratio, min_ratio_fields, log)
+    if amplification_max is not None:
+        _amplification_gate(failures, candidate, amplification_max, log)
     return failures
 
 
@@ -155,7 +235,7 @@ def main(argv=None) -> int:
     ap.add_argument("--run", action="store_true",
                     help="bench the current tree into --out, then compare")
     ap.add_argument("--out", default=str(
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr3.json"),
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr7.json"),
         help="where --run writes the fresh bench record")
     ap.add_argument("--smoke", action="store_true",
                     help="pass --smoke through to the bench run")
@@ -174,6 +254,18 @@ def main(argv=None) -> int:
                     help="max relative p50/p95 region-read latency "
                          "growth for store bench records (default "
                          "1.0 = 2x; wall clock tracks the host)")
+    ap.add_argument("--throughput-min-ratio", type=float, default=None,
+                    help="require candidate compress throughput to be "
+                         "at least this multiple of the baseline on "
+                         "--min-ratio-fields fields (a speedup floor, "
+                         "off by default)")
+    ap.add_argument("--min-ratio-fields", type=int, default=2,
+                    help="how many fields must clear "
+                         "--throughput-min-ratio (default 2)")
+    ap.add_argument("--amplification-max", type=float, default=None,
+                    help="cap on the candidate's warm-cache region "
+                         "amplification (byte-based, machine-"
+                         "independent; off by default)")
     args = ap.parse_args(argv)
 
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
@@ -190,7 +282,10 @@ def main(argv=None) -> int:
                        throughput_tol=args.throughput_tol,
                        share_tol=args.share_tol,
                        chunk_latency_tol=args.chunk_latency_tol,
-                       region_latency_tol=args.region_latency_tol)
+                       region_latency_tol=args.region_latency_tol,
+                       throughput_min_ratio=args.throughput_min_ratio,
+                       min_ratio_fields=args.min_ratio_fields,
+                       amplification_max=args.amplification_max)
     if failures:
         print(f"[compare] REGRESSION: {len(failures)} check(s) failed")
         for msg in failures:

@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf-trajectory bench harness: writes ``BENCH_pr3.json``.
+"""Perf-trajectory bench harness: writes ``BENCH_pr7.json``.
 
 Measures, for one field of each of the paper's three dataset families
 (turbulence / climate / cosmology):
@@ -30,11 +30,18 @@ trajectory; the snapshot pass exists so the gate can check
 histogram-derived chunk-latency quantiles (``parallel.chunk.seconds``
 p50/p95) and so every bench record carries a quality data point.
 
+Each field record also carries the **eigensolver telemetry** of the
+raw-speed PR: which ``fit_kpca`` path ran (``pca.solver.*`` counters
+from the timed compress) and a **solver ablation** -- best-of-N
+compress wall time with ``pca_solver="dense"`` forced vs. the ``auto``
+default -- so the randomized-solver speedup is a number in the record,
+not an anecdote.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
     PYTHONPATH=src python benchmarks/run_bench.py --smoke    # CI quick
-    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_pr3.json
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_pr7.json
 """
 
 from __future__ import annotations
@@ -58,6 +65,7 @@ from repro.datasets.registry import get_dataset, get_spec  # noqa: E402
 from repro.observability import (  # noqa: E402
     Tracer,
     counters_reset,
+    counters_snapshot,
     metrics_reset,
     metrics_snapshot,
     trace_summary,
@@ -85,13 +93,19 @@ def bench_field(name: str, size: str, repeats: int) -> dict:
     stats = None
     tracer_c = tracer_d = None
     blob = b""
+    solver_counters: dict = {}
     for _ in range(repeats):
         counters_reset()
         tc = Tracer()
         t0 = time.perf_counter()
         with use_tracer(tc):
             blob, stats = comp.compress_with_stats(data)
-        dt_c = time.perf_counter() - t0
+            dt_c = time.perf_counter() - t0
+            solver_counters = {
+                k.rsplit(".", 1)[-1]: v
+                for k, v in counters_snapshot().items()
+                if k.startswith("pca.solver.")
+            }
         td = Tracer()
         t0 = time.perf_counter()
         with use_tracer(td):
@@ -102,6 +116,15 @@ def bench_field(name: str, size: str, repeats: int) -> dict:
             best_c, tracer_c = dt_c, tc
         if dt_d < best_d:
             best_d, tracer_d = dt_d, td
+
+    # Solver ablation: the same compress with the dense eigensolver
+    # forced, so the record quantifies what the randomized path buys.
+    dense_comp = DPZCompressor(replace(DPZ_L, pca_solver="dense"))
+    best_dense = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        dense_comp.compress(data)
+        best_dense = min(best_dense, time.perf_counter() - t0)
 
     mb = data.nbytes / 1e6
     summary_c = trace_summary(tracer_c, prefix="dpz.")
@@ -121,6 +144,12 @@ def bench_field(name: str, size: str, repeats: int) -> dict:
         "stage_times_s": summary_c["stage_times_s"],
         "stage_shares": summary_c["stage_shares"],
         "decompress_stage_shares": summary_d["stage_shares"],
+        "pca_solver": solver_counters,
+        "solver_ablation": {
+            "dense_s": round(best_dense, 6),
+            "auto_s": round(best_c, 6),
+            "speedup": round(best_dense / best_c, 3),
+        },
     }
 
 
@@ -235,7 +264,7 @@ def measure_huffman_microbench(n_symbols: int = 1_000_000,
 #: Keys the CI smoke job asserts on (keep in sync with the workflow).
 EXPECTED_FIELD_KEYS = (
     "family", "cr", "throughput_mb_s", "decompress_mb_s",
-    "stage_shares", "stage_times_s",
+    "stage_shares", "stage_times_s", "pca_solver", "solver_ablation",
 )
 
 
@@ -247,7 +276,7 @@ def run(fields=DEFAULT_FIELDS, *, size: str = "small", repeats: int = 3,
         # to trip the CI regression gate on a one-off scheduler stall.
         repeats = 2
     result: dict = {
-        "bench": "pr3-observability",
+        "bench": "pr7-raw-speed",
         "size": size,
         "repeats": repeats,
         "smoke": smoke,
@@ -263,6 +292,11 @@ def run(fields=DEFAULT_FIELDS, *, size: str = "small", repeats: int = 3,
         print(f"[bench]   CR {f['cr']:.2f}x  "
               f"compress {f['throughput_mb_s']:.1f} MB/s  "
               f"decompress {f['decompress_mb_s']:.1f} MB/s", flush=True)
+        ab = f["solver_ablation"]
+        print(f"[bench]   solver {f['pca_solver'] or {}} "
+              f"dense {ab['dense_s'] * 1e3:.1f} ms -> "
+              f"auto {ab['auto_s'] * 1e3:.1f} ms "
+              f"({ab['speedup']:.2f}x)", flush=True)
     print("[bench] metrics snapshot pass (quality on, n_jobs=2) ...",
           flush=True)
     result["metrics"] = capture_metrics_snapshot(size)
@@ -304,7 +338,7 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="single repeat, skip the overhead study (CI)")
     ap.add_argument("--out", default=str(
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr3.json"))
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr7.json"))
     args = ap.parse_args(argv)
     run(args.fields, size=args.size, repeats=args.repeats,
         smoke=args.smoke, out=args.out)

@@ -196,9 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="per-chunk codec (any registered id -- see "
                          "'dpz store codecs'); 'auto' selects per "
                          "chunk against --budget")
-    sp.add_argument("--chunk", type=int, nargs="+", default=None,
-                    help="chunk shape, e.g. --chunk 16 16 16 "
-                         "(default: a per-ndim heuristic)")
+    sp.add_argument("--chunk", nargs="+", default=None,
+                    help="chunk shape, e.g. --chunk 16 16 16, or "
+                         "'auto' for plane-aligned chunks tuned for "
+                         "slab reads (default: a per-ndim heuristic)")
     sp.add_argument("--budget", type=float, default=None,
                     help="absolute error budget (codec=auto)")
     sp.add_argument("--jobs", type=int, default=0,
@@ -239,8 +240,8 @@ def build_parser() -> argparse.ArgumentParser:
     sa.add_argument("input", help="archive file (.dpza)")
     sa.add_argument("output", help="store file (.dpzs) or directory")
     _backend_arg(sa)
-    sa.add_argument("--chunk", type=int, nargs="+", default=None,
-                    help="chunk shape for every field")
+    sa.add_argument("--chunk", nargs="+", default=None,
+                    help="chunk shape for every field (ints or 'auto')")
     sa.add_argument("--jobs", type=int, default=0,
                     help="parallel workers (0 = all cores)")
 
@@ -605,6 +606,20 @@ def _store_pack_kwargs(args) -> dict:
     return kw
 
 
+def _parse_chunk(values):
+    """``--chunk`` values -> ``Store.add`` chunk_shape argument."""
+    if not values:
+        return None
+    if values == ["auto"]:
+        return "auto"
+    try:
+        return tuple(int(v) for v in values)
+    except ValueError:
+        raise _CLIError(
+            "--chunk takes integers or the single word 'auto', "
+            f"got {values!r}") from None
+
+
 def _cmd_store(args) -> int:
     from repro.store import Store
 
@@ -618,7 +633,7 @@ def _cmd_store(args) -> int:
         return 0
 
     if args.store_command == "pack":
-        chunk = tuple(args.chunk) if args.chunk else None
+        chunk = _parse_chunk(args.chunk)
         kw = _store_pack_kwargs(args)
         store = Store.create(args.output, backend=args.backend)
         for spec in args.fields:
@@ -635,7 +650,7 @@ def _cmd_store(args) -> int:
     if args.store_command == "from-archive":
         from repro.archive import FieldArchive
 
-        chunk = tuple(args.chunk) if args.chunk else None
+        chunk = _parse_chunk(args.chunk)
         store = Store.from_archive(FieldArchive.load(args.input),
                                    args.output, backend=args.backend,
                                    chunk_shape=chunk,

@@ -55,6 +55,13 @@ __all__ = ["DPZCompressor", "DPZStats"]
 
 _DTYPE_TAGS = {np.dtype(np.float32): "f4", np.dtype(np.float64): "f8"}
 
+#: Extra components published in ``stats.basis`` beyond the k the
+#: payload used.  A basis fitted at the *minimal* k for one chunk sits
+#: exactly on the TVE threshold, so siblings would reject it almost
+#: every time; the headroom gives a reusing chunk room to take one or
+#: two more components and still skip its own eigendecomposition.
+_BASIS_HEADROOM = 8
+
 
 @contextmanager
 def _stage(stats: "DPZStats", name: str, **span_kw):
@@ -99,6 +106,12 @@ class DPZStats:
     truncated_fraction: float = 0.0
     correction_fraction: float = 0.0
     sampling: SamplingReport | None = None
+    #: The float32 projection basis actually used ((k, M)); callers such
+    #: as the store cache it and feed it back via ``reuse_basis=``.
+    basis: np.ndarray | None = None
+    #: True when ``reuse_basis`` passed verification and the per-chunk
+    #: eigendecomposition was skipped entirely.
+    basis_reused: bool = False
 
     @property
     def delta_psnr(self) -> float | None:
@@ -162,13 +175,23 @@ class DPZCompressor:
         return blob
 
     def compress_with_stats(self, data: np.ndarray, *,
-                            stage_psnr: bool = False
+                            stage_psnr: bool = False,
+                            reuse_basis: np.ndarray | None = None
                             ) -> tuple[bytes, DPZStats]:
         """Compress and return ``(blob, stats)``.
 
         ``stage_psnr=True`` additionally reconstructs the data twice
         (once from unquantized and once from quantized scores) to fill
         ``psnr_stage12`` / ``psnr_final`` -- roughly doubling runtime.
+
+        ``reuse_basis`` is an optional ``(k, M)`` float32 basis from a
+        previous fit on like data (e.g. a sibling store chunk).  It is
+        *verified, never trusted*: the data is projected onto it and the
+        achieved TVE (captured energy over total energy) must still meet
+        ``config.tve``, else the basis is discarded and a fresh fit runs.
+        Reuse only applies on the plain path (TVE mode, no sampling, no
+        standardization) where the verification is exact; the basis that
+        ends up used either way is published as ``stats.basis``.
         """
         t_start = time.perf_counter()
         cfg = self.config
@@ -243,35 +266,81 @@ class DPZCompressor:
         # Stage 2: k-PCA.
         with _stage(stats, "pca", bytes_in=int(features.nbytes),
                     standardized=standardize) as sp:
-            if cfg.use_sampling:
-                k = min(report.k_estimate, plan.m_blocks)
-                if standardize or shared_cov is None:
-                    pca = PCA(n_components=k, solver="eigsh",
-                              standardize=standardize,
-                              center=False).fit(features)
+            reused = False
+            if (reuse_basis is not None and not cfg.use_sampling
+                    and not standardize and cfg.k_mode == "tve"
+                    and reuse_basis.ndim == 2
+                    and reuse_basis.shape[1] == features.shape[1]):
+                # Project first, verify after: the achieved TVE of the
+                # candidate basis on *this* data decides whether the
+                # cached fit still meets the configured threshold, and
+                # the smallest component prefix that clears it is kept
+                # (per-component captured energies are additive over an
+                # ordered orthonormal basis).  The energy identity
+                # ||scores||^2 == captured energy only holds for
+                # orthonormal rows, so a cheap Gram check guards it (a
+                # non-orthonormal basis could inflate the score norms
+                # and pass the threshold spuriously).
+                basis = reuse_basis.astype(np.float64)
+                gram_dev = float(np.abs(basis @ basis.T
+                                        - np.eye(basis.shape[0])).max())
+                if gram_dev < 1e-4:
+                    full_scores = features @ basis.T
+                    energy = float((features * features).sum())
+                    cum = np.cumsum((full_scores * full_scores).sum(axis=0))
+                    hits = np.flatnonzero(cum >= (cfg.tve - 1e-9) * energy)
+                    if hits.size:
+                        reused = True
+                        k = int(hits[0]) + 1
+                        comp32 = np.ascontiguousarray(
+                            reuse_basis[:k], dtype=np.float32)
+                        scores = np.ascontiguousarray(full_scores[:, :k])
+                        tve_at_k = (min(float(cum[k - 1]) / energy, 1.0)
+                                    if energy > 0 else 1.0)
+                        pca_mean = np.zeros(features.shape[1])
+                        pca_scale = None
+            if not reused:
+                if cfg.use_sampling:
+                    k = min(report.k_estimate, plan.m_blocks)
+                    if standardize or shared_cov is None:
+                        pca = PCA(n_components=k, solver="eigsh",
+                                  standardize=standardize,
+                                  center=False).fit(features)
+                    else:
+                        pca = PCA.from_covariance(shared_cov, k)
+                    curve = pca.tve_curve()
+                    tve_at_k = float(curve[-1])
                 else:
-                    pca = PCA.from_covariance(shared_cov, k)
-                curve = pca.tve_curve()
-                tve_at_k = float(curve[-1])
-            else:
-                res = fit_kpca(
-                    features, k_mode=cfg.k_mode, tve=cfg.tve,
-                    knee_fit=cfg.knee_fit, fixed_k=cfg.fixed_k,
-                    standardize=standardize, compute_scores=False,
-                )
-                pca, k, tve_at_k = res.pca, res.k, res.tve_at_k
-            # Round the basis to its stored (float32) precision *before*
-            # projecting, so encoder and decoder share one basis exactly.
-            comp32 = pca.components_[:k].astype(np.float32)
-            basis = comp32.astype(np.float64)
-            # (x - 0.0) is bitwise x: skip centering on the all-zero
-            # mean of the uncentered default.
-            centered = features - pca.mean_ if pca.mean_.any() else features
-            if pca.scale_ is not None:
-                centered = centered / pca.scale_
-            scores = centered @ basis.T
-            sp.add(k=k, bytes_out=int(scores.nbytes))
+                    res = fit_kpca(
+                        features, k_mode=cfg.k_mode, tve=cfg.tve,
+                        knee_fit=cfg.knee_fit, fixed_k=cfg.fixed_k,
+                        standardize=standardize, compute_scores=False,
+                        solver=cfg.pca_solver,
+                    )
+                    pca, k, tve_at_k = res.pca, res.k, res.tve_at_k
+                # Round the basis to its stored (float32) precision
+                # *before* projecting, so encoder and decoder share one
+                # basis exactly.
+                comp32 = pca.components_[:k].astype(np.float32)
+                basis = comp32.astype(np.float64)
+                # (x - 0.0) is bitwise x: skip centering on the all-zero
+                # mean of the uncentered default.
+                centered = (features - pca.mean_ if pca.mean_.any()
+                            else features)
+                if pca.scale_ is not None:
+                    centered = centered / pca.scale_
+                scores = centered @ basis.T
+                pca_mean = pca.mean_
+                pca_scale = pca.scale_
+            sp.add(k=k, basis_reused=reused, bytes_out=int(scores.nbytes))
         stats.k, stats.tve_at_k = k, tve_at_k
+        stats.basis_reused = reused
+        # Publish the reusable basis with headroom: the candidate as
+        # received when it was reused, else the freshly fitted
+        # components a little past k (see _BASIS_HEADROOM).
+        stats.basis = (np.asarray(reuse_basis, dtype=np.float32) if reused
+                       else pca.components_[:k + _BASIS_HEADROOM]
+                       .astype(np.float32))
 
         # Stage 3: quantization.  Scores live in normalized-data units,
         # so 'range' mode uses p directly and 'absolute' converts.
@@ -306,8 +375,8 @@ class DPZCompressor:
                 standardized=standardize, norm_offset=dmin, norm_scale=rng,
                 score_scale=score_scale, transform=cfg.transform,
                 outlier_dtype_tag="f8" if cfg.store_outliers_f64 else "f4",
-                components=comp32, mean=pca.mean_,
-                scale=pca.scale_, indices=q.indices, outliers=q.outliers,
+                components=comp32, mean=pca_mean,
+                scale=pca_scale, indices=q.indices, outliers=q.outliers,
             )
             # Optional strict pointwise bound (extension; see DPZConfig).
             if cfg.max_error is not None:

@@ -21,6 +21,7 @@ from repro.errors import ConfigError
 __all__ = ["DPZConfig", "DPZ_L", "DPZ_S"]
 
 _K_MODES = ("knee", "tve", "fixed")
+_PCA_SOLVERS = ("auto", "dense", "randomized")
 _KNEE_FITS = ("1d", "polyn")
 _STANDARDIZE = ("auto", "always", "never")
 _P_MODES = ("absolute", "range")
@@ -62,6 +63,11 @@ class DPZConfig:
         ``'auto'`` standardizes features only when the sampling VIF
         probe reports low linearity (paper Alg. 2 step 2); ``'always'``
         / ``'never'`` override.
+    pca_solver:
+        Stage-2 eigensolver: ``'dense'`` (the exact paths), ``'randomized'``
+        (seeded Halko range finder with an exactness fallback) or
+        ``'auto'`` (randomized where it wins; see
+        :func:`repro.core.kpca.fit_kpca`).
     use_sampling:
         Estimate ``k`` from subset PCA (Alg. 2) instead of a full-data
         eigenanalysis at the configured TVE.
@@ -108,6 +114,7 @@ class DPZConfig:
     knee_fit: str = "1d"
     fixed_k: int | None = None
     standardize: str = "auto"
+    pca_solver: str = "auto"
     use_sampling: bool = False
     sampling_subsets: int = 10
     sampling_picks: int = 3
@@ -139,6 +146,11 @@ class DPZConfig:
             raise ConfigError(f"knee_fit must be one of {_KNEE_FITS}")
         if self.standardize not in _STANDARDIZE:
             raise ConfigError(f"standardize must be one of {_STANDARDIZE}")
+        if self.pca_solver not in _PCA_SOLVERS:
+            raise ConfigError(
+                f"pca_solver must be one of {_PCA_SOLVERS}, got "
+                f"{self.pca_solver!r}"
+            )
         if self.sampling_subsets < 2:
             raise ConfigError("sampling_subsets must be >= 2")
         if not 1 <= self.sampling_picks <= self.sampling_subsets:

@@ -16,6 +16,34 @@ component count ``k`` is chosen by one of:
 Standardization is applied only when requested (paper: only for
 low-linearity data, since DCT-domain block features share a unit norm
 and rescaling would redistribute variance weight).
+
+Eigensolvers
+------------
+Two solver families back the fit (``solver=``):
+
+* ``'dense'``: the exact paths that existed before this knob -- a full
+  ``eigh`` for narrow feature matrices, an eigenvalues-only
+  ``eigvalsh`` curve plus truncated extraction for wide ones.
+* ``'randomized'``: a seeded Halko-style range finder.  A Gaussian
+  sketch ``X @ Om`` is expanded by one power iteration and
+  orthonormalized -- in float32, since it only locates the subspace --
+  then the basis ``Q`` is re-orthonormalized in float64 and the small
+  ``l x l`` Rayleigh-quotient matrix
+  ``Q^T C Q = (XQ)^T (XQ) / (n-1)`` is solved densely.  Its Ritz values
+  are *exactly* the variance captured along the returned orthonormal
+  directions, so a TVE threshold checked against the Ritz curve is a
+  guarantee on the achieved TVE of the kept basis, not an estimate.
+  When the sketch is too small to reach the threshold it is doubled
+  (``pca.solver.regrows``) until it does or the exactness fallback to
+  the dense path kicks in (``pca.solver.fallbacks``).
+* ``'auto'`` (default): randomized for wide uncentered TVE/fixed-mode
+  fits where it wins; dense everywhere else (knee mode needs the whole
+  curve's curvature, a caller-supplied covariance has already paid the
+  dense cost, and tiny feature counts solve faster exactly).
+
+The sketch RNG is seeded with a fixed constant, so the fitted basis is
+reproducible run-to-run and machine-to-machine (same guarantee the
+serialized archives rely on).
 """
 
 from __future__ import annotations
@@ -27,6 +55,7 @@ import scipy.sparse.linalg
 
 from repro.analysis.knee import detect_knee
 from repro.errors import ConfigError, DataShapeError
+from repro.observability import counter_inc
 from repro.transforms.pca import PCA, _fix_signs
 
 __all__ = ["KPCAResult", "fit_kpca"]
@@ -34,6 +63,33 @@ __all__ = ["KPCAResult", "fit_kpca"]
 #: Below this feature count a single dense ``eigh`` (full spectrum) is
 #: cheaper than a ``eigvalsh`` curve pass plus a truncated extraction.
 _DENSE_FEATURES = 256
+
+#: Valid ``solver=`` choices for :func:`fit_kpca`.
+_SOLVERS = ("auto", "dense", "randomized")
+
+#: Below this feature count the randomized sketch cannot beat one
+#: dense ``eigh`` (the sketch pipeline has ~5 BLAS calls of overhead).
+_RANDOMIZED_MIN_FEATURES = 128
+
+#: Fixed sketch seed: the randomized basis must be as reproducible as
+#: the dense one (bases are serialized into archives and compared
+#: bit-for-bit across runs).
+_SKETCH_SEED = 0x1D5EED
+
+#: Extra sketch columns beyond the target rank (Halko et al. recommend
+#: 5-10; the power iteration lets us sit at the top of that range).
+_OVERSAMPLE = 10
+
+#: Power iterations applied to the sketch.  One pass is enough to push
+#: the Ritz spectrum onto the true leading eigenvalues for the decaying
+#: spectra DCT features produce (verified by the k-selection parity
+#: tests); more would buy accuracy this use case cannot observe.
+_POWER_ITERS = 1
+
+#: First sketch width for TVE mode, where the rank is not known ahead
+#: of time; grown geometrically until the Ritz curve crosses the
+#: threshold.
+_SKETCH_START = 32
 
 
 @dataclass
@@ -90,13 +146,83 @@ def _select_k(curve: np.ndarray, k_mode: str, tve: float, knee_fit: str,
     raise ConfigError(f"unknown k_mode {k_mode!r}")
 
 
+def _randomized_spectrum(Xs: np.ndarray, X32: np.ndarray, l: int
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Leading Ritz pairs of ``Xs.T @ Xs / (n-1)`` from an ``l``-wide
+    seeded Gaussian sketch.
+
+    Never forms the ``f x f`` covariance: every product keeps one
+    ``l``-wide operand, so the cost is ``O(n f l)`` instead of
+    ``O(n f^2 + f^3)``.  The range finding runs in float32 (``X32``) --
+    it only has to *locate* the dominant subspace, and the basis is
+    rounded to float32 for storage downstream anyway -- while the
+    finishing QR and Rayleigh-Ritz run in float64 against ``Xs``, so
+    the returned rows are orthonormal to machine precision and the
+    returned eigenvalues are the variance the basis *actually*
+    captures.  That exactness is what makes TVE selection against the
+    Ritz curve a guarantee rather than an estimate.
+    """
+    n = Xs.shape[0]
+    rng = np.random.default_rng(_SKETCH_SEED)
+    Om = rng.standard_normal((Xs.shape[1], l)).astype(np.float32)
+    Y = X32.T @ (X32 @ Om)
+    for _ in range(_POWER_ITERS):
+        Q, _ = np.linalg.qr(Y)
+        Y = X32.T @ (X32 @ Q)
+    Q, _ = np.linalg.qr(Y.astype(np.float64))
+    W = Xs @ Q
+    B = (W.T @ W) / (n - 1)
+    eigvals, V = np.linalg.eigh(B)
+    order = np.argsort(eigvals)[::-1]
+    eigvals = np.maximum(eigvals[order], 0.0)
+    components = _fix_signs(np.ascontiguousarray((Q @ V[:, order]).T))
+    return eigvals, components
+
+
+def _randomized_fit(Xs: np.ndarray, denom: float, k_mode: str,
+                    tve: float, fixed_k: int | None
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray,
+                               int] | None:
+    """Adaptive randomized eigensolve; ``None`` means "go dense".
+
+    Grows the sketch geometrically until the Ritz TVE curve crosses the
+    threshold (TVE mode) or covers ``fixed_k``.  Once a sketch would
+    pass half the feature count, a dense solve is both cheaper and
+    exact, so the caller falls back (the exactness fallback).
+    """
+    f = Xs.shape[1]
+    if k_mode == "fixed":
+        if fixed_k is None:
+            raise ConfigError("k_mode='fixed' requires fixed_k")
+        l = min(f, max(int(fixed_k) + _OVERSAMPLE, _SKETCH_START))
+    else:
+        if not 0.0 < tve <= 1.0:
+            raise ConfigError(f"tve must be in (0, 1], got {tve}")
+        l = min(f, _SKETCH_START)
+    X32 = Xs.astype(np.float32)
+    while True:
+        eigvals, components = _randomized_spectrum(Xs, X32, l)
+        curve = np.cumsum(eigvals) / denom
+        if k_mode == "fixed":
+            k = max(1, min(int(fixed_k), curve.size))
+            return eigvals, components, curve, k
+        if curve[-1] >= tve - 1e-12:
+            hits = np.flatnonzero(curve >= tve - 1e-12)
+            return eigvals, components, curve, int(hits[0]) + 1
+        if 2 * l > f // 2:
+            return None
+        counter_inc("pca.solver.regrows")
+        l = 2 * l
+
+
 def fit_kpca(features: np.ndarray, *, k_mode: str = "tve",
              tve: float = 0.999, knee_fit: str = "1d",
              fixed_k: int | None = None,
              standardize: bool = False,
              center: bool = False,
              cov: np.ndarray | None = None,
-             compute_scores: bool = True) -> KPCAResult:
+             compute_scores: bool = True,
+             solver: str = "auto") -> KPCAResult:
     """Fit PCA over DCT-domain features and select ``k`` (Alg. 1).
 
     Parameters
@@ -122,6 +248,12 @@ def fit_kpca(features: np.ndarray, *, k_mode: str = "tve",
         When False, skip the projection and return ``scores=None``
         (the compressor reprojects against the float32-rounded basis
         anyway, so the full-precision projection here is wasted work).
+    solver:
+        ``'auto'`` | ``'dense'`` | ``'randomized'``; see the module
+        docstring.  ``'randomized'`` is honored only on the uncentered
+        TVE/fixed-mode path with no caller-supplied covariance;
+        anywhere else it falls back to the exact dense solve
+        (``pca.solver.fallbacks``).
 
     Notes
     -----
@@ -135,6 +267,9 @@ def fit_kpca(features: np.ndarray, *, k_mode: str = "tve",
     (Section IV-D1).  The dense ``M <= 256`` path is arithmetically
     identical to the pre-existing full fit, bit for bit.
     """
+    if solver not in _SOLVERS:
+        raise ConfigError(
+            f"unknown pca solver {solver!r}; expected one of {_SOLVERS}")
     X = np.asarray(features, dtype=np.float64)
     if X.ndim != 2:
         raise DataShapeError(f"PCA expects a 2-D matrix, got {X.ndim}-D")
@@ -145,6 +280,9 @@ def fit_kpca(features: np.ndarray, *, k_mode: str = "tve",
     if center or f > n:
         # Centered (or feature-heavy SVD) request: the generic solver
         # already does the right thing; nothing to share or truncate.
+        if solver == "randomized":
+            counter_inc("pca.solver.fallbacks")
+        counter_inc("pca.solver.dense")
         pca = PCA(standardize=standardize, center=center).fit(X)
         curve = pca.tve_curve()
         k = _select_k(curve, k_mode, tve, knee_fit, fixed_k)
@@ -161,6 +299,33 @@ def fit_kpca(features: np.ndarray, *, k_mode: str = "tve",
     else:
         std = None
         Xs = X
+
+    # Randomized dispatch.  The whole point is to never materialize the
+    # f x f covariance, so a caller-supplied cov (already paid for) and
+    # knee mode (needs the entire curve's curvature) stay dense.
+    want_randomized = (
+        (solver == "randomized"
+         or (solver == "auto" and f >= _RANDOMIZED_MIN_FEATURES))
+        and k_mode in ("tve", "fixed") and cov is None
+    )
+    if solver == "randomized" and not want_randomized:
+        counter_inc("pca.solver.fallbacks")
+    if want_randomized:
+        total = max(float((Xs * Xs).sum() / (n - 1)), 0.0)
+        denom = total if total > 0 else 1.0
+        fit = _randomized_fit(Xs, denom, k_mode, tve, fixed_k)
+        if fit is not None:
+            counter_inc("pca.solver.randomized")
+            eigvals, components, curve, k = fit
+            pca = PCA.from_spectrum(components, eigvals,
+                                    total_variance=total, scale=std,
+                                    standardize=standardize)
+            scores = pca.transform(X, k=k) if compute_scores else None
+            return KPCAResult(pca=pca, k=k, scores=scores,
+                              tve_at_k=float(curve[k - 1]))
+        counter_inc("pca.solver.fallbacks")
+
+    counter_inc("pca.solver.dense")
     if cov is None:
         cov = (Xs.T @ Xs) / (n - 1)
     total = max(float(np.trace(cov)), 0.0)

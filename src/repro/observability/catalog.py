@@ -30,20 +30,33 @@ COUNTERS: frozenset[str] = frozenset({
     "huffman.decode.symbols",
     "parallel.maps",
     "parallel.chunks",
+    "parallel.map.bypassed",
     "parallel.pool.created",
     "parallel.pool.reused",
     "parallel.pool.nested",
+    "pca.solver.dense",
+    "pca.solver.randomized",
+    "pca.solver.fallbacks",
+    "pca.solver.regrows",
     "quality.runs",
     "store.auto.fallbacks",
     "store.auto.trials",
     "store.backend.reads",
     "store.backend.writes",
+    "store.basis.fits",
+    "store.basis.refits",
+    "store.basis.reuses",
     "store.bytes.decoded",
     "store.bytes.read",
+    "store.cache.evictions",
+    "store.cache.hits",
+    "store.cache.invalidations",
+    "store.cache.misses",
     "store.chunks.compressed",
     "store.chunks.decoded",
     "store.faults.injected",
     "store.fields.packed",
+    "store.paste.fastpath",
     "store.region.reads",
     "sz.compress.runs",
     "sz.compress.bytes_in",
@@ -69,6 +82,7 @@ GAUGES: frozenset[str] = frozenset({
     "dpz.last.k",
     "parallel.pool.size",
     "parallel.queue.depth",
+    "store.cache.bytes",
     "store.last.amplification",
     "sz.last.cr",
     "zfp.last.cr",

@@ -140,6 +140,11 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
     # serially even on a many-core box.
     workers = min(resolve_jobs(config.n_jobs), max(len(items), 1))
     serial = workers <= 1 or len(items) < config.min_chunk
+    if serial and len(items) < config.min_chunk \
+            and resolve_jobs(config.n_jobs) > 1:
+        # Parallelism was requested but the work list is too small to
+        # amortize pool dispatch -- the tiny-list bypass fired.
+        counter_add("parallel.map.bypassed")
 
     nested = getattr(_in_worker, "flag", False)
     if nested and not serial:

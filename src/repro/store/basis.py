@@ -1,0 +1,129 @@
+"""Cross-chunk PCA-basis reuse for DPZ-compressed store chunks.
+
+Sibling chunks of one field are statistically alike: the projection
+basis DPZ fits on one 16^3 chunk almost always satisfies the TVE
+threshold on the next one.  Without reuse, ``Store.add`` re-pays the
+stage-2 eigendecomposition for every chunk -- multiplied again by the
+``codec="auto"`` trial loop.  With reuse, the basis is fitted once on a
+*representative* chunk and every other chunk merely verifies it
+(:meth:`DPZCompressor.compress_with_stats` projects, checks the
+achieved TVE against the configured threshold, and silently refits when
+the check fails -- the error budget is a guarantee, not a hope).
+
+Determinism: the cache is seeded by exactly one chunk and then
+*sealed* before the parallel fan-out.  Every other chunk sees the same
+single candidate basis, so the compressed bytes are identical whatever
+``n_jobs`` is or how threads interleave.  Letting refits update the
+cache mid-flight would make payloads depend on completion order.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+import numpy as np
+
+from repro.api import scheme_config
+from repro.core.compressor import DPZCompressor, DPZStats
+from repro.core.config import DPZConfig
+from repro.observability import counter_inc
+
+__all__ = ["BasisCache", "compress_dpz", "representative_index"]
+
+Array = "np.ndarray[Any, np.dtype[Any]]"
+
+
+class BasisCache:
+    """One fitted ``(k, M)`` float32 basis, keyed to one chunk shape.
+
+    Only chunks of the primary (full) chunk shape participate: edge
+    chunks have different feature geometry and always fit fresh.  The
+    cache is write-once -- :meth:`record` installs the first fitted
+    basis of the right shape until :meth:`seal` is called, after which
+    it is read-only (see the module docstring on determinism).
+    """
+
+    def __init__(self, chunk_shape: tuple[int, ...]) -> None:
+        self._shape = tuple(int(c) for c in chunk_shape)
+        self._lock = threading.Lock()
+        self._basis: "Array | None" = None
+        self._sealed = False
+
+    @property
+    def chunk_shape(self) -> tuple[int, ...]:
+        """The chunk shape this cache serves."""
+        return self._shape
+
+    def get(self, shape: tuple[int, ...]) -> "Array | None":
+        """Candidate basis for a chunk of ``shape`` (or ``None``)."""
+        if tuple(int(c) for c in shape) != self._shape:
+            return None
+        with self._lock:
+            return self._basis
+
+    def seal(self) -> None:
+        """Freeze the cache; later fits only count, never install."""
+        with self._lock:
+            self._sealed = True
+
+    def record(self, shape: tuple[int, ...], stats: DPZStats,
+               had_candidate: bool) -> None:
+        """Account one chunk's outcome (and maybe seed the basis).
+
+        * reused -> ``store.basis.reuses``;
+        * fresh fit after a declined candidate -> ``store.basis.refits``;
+        * first fresh fit of the right shape before sealing -> cached,
+          ``store.basis.fits``.
+        """
+        if stats.basis_reused:
+            counter_inc("store.basis.reuses")
+            return
+        if had_candidate:
+            counter_inc("store.basis.refits")
+            return
+        if (stats.basis is not None
+                and tuple(int(c) for c in shape) == self._shape):
+            with self._lock:
+                if not self._sealed and self._basis is None:
+                    self._basis = stats.basis
+                    counter_inc("store.basis.fits")
+
+
+def compress_dpz(chunk: Any, cache: "BasisCache | None" = None, *,
+                 scheme: str = "l", tve_nines: int | None = None,
+                 knee: bool = False, knee_fit: str = "1d",
+                 use_sampling: bool = False,
+                 config: DPZConfig | None = None) -> bytes:
+    """DPZ-compress one chunk, reusing ``cache``'s basis when it holds.
+
+    Same keywords (and same payload bytes, when no basis is reused) as
+    :func:`repro.api.dpz_compress`; a reused basis changes the payload
+    but never the self-describing format or the TVE contract.
+    """
+    cfg = config or scheme_config(scheme, tve_nines=tve_nines, knee=knee,
+                                  knee_fit=knee_fit,
+                                  use_sampling=use_sampling)
+    arr = np.asarray(chunk)
+    candidate = cache.get(tuple(arr.shape)) if cache is not None else None
+    blob, stats = DPZCompressor(cfg).compress_with_stats(
+        arr, reuse_basis=candidate)
+    if cache is not None:
+        cache.record(tuple(arr.shape), stats, candidate is not None)
+    return blob
+
+
+def representative_index(chunk_shapes: list[tuple[int, ...]],
+                         full_shape: tuple[int, ...]) -> int | None:
+    """Index of the chunk whose fit should seed the basis cache.
+
+    The middle of the full-shape chunks -- interior chunks see typical
+    field structure, corners see boundary effects.  ``None`` when no
+    chunk has the full shape (field smaller than one chunk edge-on).
+    """
+    full = tuple(int(c) for c in full_shape)
+    candidates = [i for i, s in enumerate(chunk_shapes)
+                  if tuple(int(c) for c in s) == full]
+    if not candidates:
+        return None
+    return candidates[len(candidates) // 2]

@@ -20,6 +20,7 @@ from repro.errors import ConfigError, DataShapeError
 
 __all__ = [
     "RegionSpec",
+    "auto_chunk_shape",
     "default_chunk_shape",
     "validate_chunk_shape",
     "grid_shape",
@@ -44,6 +45,37 @@ def default_chunk_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
     """Pick a chunk shape for ``shape`` (per-dim edge capped by ndim)."""
     edge = _DEFAULT_EDGE.get(len(shape), _DEFAULT_EDGE_ND)
     return tuple(min(n, edge) for n in shape)
+
+
+#: Value budget for one auto-selected chunk: ~64k values (512 KiB of
+#: float64), small enough that a single-plane read decodes little,
+#: large enough that per-chunk container overhead stays negligible.
+_AUTO_TARGET_VALUES = 65536
+
+
+def auto_chunk_shape(shape: tuple[int, ...]) -> tuple[int, ...]:
+    """Plane-aligned chunk shape: full trailing extents, thin axis 0.
+
+    Region reads on scientific fields overwhelmingly select planes or
+    slabs along the slowest-varying axis (z-slices of a 3-D volume,
+    row ranges of a 2-D table).  A chunk spanning the full extent of
+    every trailing dimension serves such a read from contiguous
+    chunks whose decoded values are *all* requested -- read
+    amplification approaches 1 instead of the edge-cubed blowup a
+    cubic chunk pays when only one of its planes is wanted.  The
+    leading extent is sized so one chunk holds about
+    ``_AUTO_TARGET_VALUES`` values (never less than one plane).
+
+    For 1-D fields plane alignment is meaningless and the per-ndim
+    default applies.
+    """
+    if len(shape) <= 1:
+        return default_chunk_shape(shape)
+    plane = 1
+    for n in shape[1:]:
+        plane *= int(n)
+    lead = max(1, _AUTO_TARGET_VALUES // max(plane, 1))
+    return (min(int(shape[0]), lead),) + tuple(int(n) for n in shape[1:])
 
 
 def validate_chunk_shape(shape: tuple[int, ...],

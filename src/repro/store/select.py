@@ -31,6 +31,7 @@ import numpy as np
 from repro.codecs.registry import codec_functions
 from repro.errors import ConfigError, ReproError
 from repro.observability import counter_inc
+from repro.store.basis import BasisCache, compress_dpz
 
 __all__ = ["AUTO_CANDIDATES", "candidate_kwargs", "trial_plane",
            "compress_chunk_auto"]
@@ -89,12 +90,19 @@ def _max_abs_err(a: "np.ndarray[Any, np.dtype[Any]]",
 
 
 def compress_chunk_auto(chunk: "np.ndarray[Any, np.dtype[Any]]",
-                        budget: float) -> tuple[str, bytes]:
+                        budget: float,
+                        basis_cache: "BasisCache | None" = None
+                        ) -> tuple[str, bytes]:
     """Pick a codec for ``chunk`` and compress it under ``budget``.
 
     Returns ``(codec_name, payload)``.  The payload's full-chunk max
     absolute error is verified to be ``<= budget``; the lossless
     ``raw`` codec is the final fallback, so the contract always holds.
+
+    ``basis_cache`` lets the DPZ candidate reuse a sibling chunk's
+    fitted projection basis (see :mod:`repro.store.basis`); the
+    verification step here is unchanged, so the budget guarantee does
+    not depend on the reused basis being any good.
     """
     if not budget > 0.0:
         raise ConfigError(
@@ -115,7 +123,11 @@ def compress_chunk_auto(chunk: "np.ndarray[Any, np.dtype[Any]]",
     for _, codec in ranked:
         compress, decompress = _fns(codec)
         try:
-            payload = compress(chunk, **candidate_kwargs(codec, budget))
+            if codec == "dpz" and basis_cache is not None:
+                payload = compress_dpz(chunk, basis_cache,
+                                       **candidate_kwargs(codec, budget))
+            else:
+                payload = compress(chunk, **candidate_kwargs(codec, budget))
             recon = decompress(payload)
         except ReproError:
             continue

@@ -69,6 +69,12 @@ from repro.store.backends import (
     chunk_key,
     resolve_backend,
 )
+from repro.store.basis import (
+    BasisCache,
+    compress_dpz,
+    representative_index,
+)
+from repro.store.cache import DEFAULT_CACHE_BYTES, ChunkCache
 from repro.store.chunking import RegionSpec
 from repro.store.format import (
     DTYPE_TAGS,
@@ -115,36 +121,43 @@ class Store:
     for them.
     """
 
-    def __init__(self, backend: ByteStore,
-                 fields: list[FieldMeta]) -> None:
+    def __init__(self, backend: ByteStore, fields: list[FieldMeta], *,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
         self._backend = backend
         self._fields: dict[str, FieldMeta] = {m.name: m for m in fields}
+        self._cache = ChunkCache(cache_bytes)
 
     # -- lifecycle --------------------------------------------------------
 
     @classmethod
     def create(cls, target: Union[PathLike, ByteStore], *,
-               backend: str = "auto") -> "Store":
+               backend: str = "auto",
+               cache_bytes: int = DEFAULT_CACHE_BYTES) -> "Store":
         """Create a new, empty store.
 
         ``target`` is a path (resolved via ``backend``: ``"auto"`` /
         ``"file"`` / ``"dir"`` / ``"memory"``; the default is the
         ``dpzs`` v1 single file) or an already-constructed
-        :class:`~repro.store.backends.ByteStore`.
+        :class:`~repro.store.backends.ByteStore`.  ``cache_bytes``
+        bounds this handle's in-memory decoded-chunk cache (0
+        disables it; the on-disk format is unaffected either way).
         """
         bk = (target if isinstance(target, ByteStore)
               else resolve_backend(target, backend=backend, create=True))
-        store = cls(bk, [])
+        store = cls(bk, [], cache_bytes=cache_bytes)
         store._write_manifest()
         return store
 
     @classmethod
     def open(cls, target: Union[PathLike, ByteStore], *,
-             backend: str = "auto") -> "Store":
+             backend: str = "auto",
+             cache_bytes: int = DEFAULT_CACHE_BYTES) -> "Store":
         """Open an existing store *lazily*: manifest only.
 
         No chunk payload is touched; a store holding terabytes of
-        chunks opens with one manifest-sized read.
+        chunks opens with one manifest-sized read.  ``cache_bytes``
+        bounds this handle's in-memory decoded-chunk cache (0
+        disables it).
         """
         bk = (target if isinstance(target, ByteStore)
               else resolve_backend(target, backend=backend))
@@ -156,7 +169,7 @@ class Store:
                 f"store (or never initialized)") from None
         if bk.framed:
             blob = unpack_kv_value(blob)
-        return cls(bk, decode_manifest(blob))
+        return cls(bk, decode_manifest(blob), cache_bytes=cache_bytes)
 
     def __enter__(self) -> "Store":
         """Context-manager entry; returns self."""
@@ -179,7 +192,7 @@ class Store:
     # -- writing ----------------------------------------------------------
 
     def add(self, name: str, data: Any, *, codec: str = "dpz",
-            chunk_shape: int | tuple[int, ...] | None = None,
+            chunk_shape: int | tuple[int, ...] | str | None = None,
             error_budget: float | None = None,
             n_jobs: int | None = 1,
             **codec_kwargs: Any) -> None:
@@ -189,7 +202,10 @@ class Store:
         ``"auto"``, which picks per chunk between SZ / ZFP / DPZ under
         ``error_budget`` (required, absolute).  A scalar (or
         single-element) ``chunk_shape`` broadcasts to every dimension;
-        ``None`` picks a per-ndim default.  Existing payloads are never
+        ``None`` picks a per-ndim default; the string ``"auto"`` picks
+        a plane-aligned shape tuned for slab reads (see
+        :func:`repro.store.chunking.auto_chunk_shape`).  Existing
+        payloads are never
         rewritten: new chunks are written first and the manifest key
         last, so a failure mid-append leaves the previous manifest
         intact.
@@ -223,6 +239,12 @@ class Store:
                 f"an empty field cannot be chunked")
         if chunk_shape is None:
             requested = chunking.default_chunk_shape(arr.shape)
+        elif isinstance(chunk_shape, str):
+            if chunk_shape != "auto":
+                raise ConfigError(
+                    f"chunk_shape {chunk_shape!r} not understood; "
+                    f"pass a tuple, an int, None, or 'auto'")
+            requested = chunking.auto_chunk_shape(arr.shape)
         elif isinstance(chunk_shape, int):
             requested = (chunk_shape,) * arr.ndim
         else:
@@ -233,16 +255,31 @@ class Store:
         subs = [np.ascontiguousarray(arr[sl])
                 for _, sl in chunking.iter_chunks(arr.shape, cshape)]
 
+        basis_cache: BasisCache | None = None
         if codec == "auto":
             budget = float(error_budget)  # type: ignore[arg-type]
+            basis_cache = BasisCache(cshape)
+            auto_cache = basis_cache
 
             def compress_one(sub: Any) -> tuple[str, bytes]:
                 t0 = time.perf_counter()
-                chosen, payload = compress_chunk_auto(sub, budget)
+                chosen, payload = compress_chunk_auto(sub, budget,
+                                                      auto_cache)
                 observe("store.chunk.compress.seconds",
                         time.perf_counter() - t0)
                 counter_inc("store.chunks.compressed")
                 return chosen, payload
+        elif codec == "dpz":
+            basis_cache = BasisCache(cshape)
+            dpz_cache = basis_cache
+
+            def compress_one(sub: Any) -> tuple[str, bytes]:
+                t0 = time.perf_counter()
+                payload = compress_dpz(sub, dpz_cache, **codec_kwargs)
+                observe("store.chunk.compress.seconds",
+                        time.perf_counter() - t0)
+                counter_inc("store.chunks.compressed")
+                return codec, payload
         else:
             compress, _ = codec_functions(codec)
 
@@ -256,9 +293,22 @@ class Store:
 
         with span("store.add", field=name, codec=codec,
                   n_chunks=len(subs), chunk_shape=list(cshape)):
-            results = parallel_map(
-                compress_one, subs,
-                config=ParallelConfig(n_jobs=n_jobs, min_chunk=2))
+            rep = (representative_index([s.shape for s in subs], cshape)
+                   if basis_cache is not None and len(subs) > 1 else None)
+            pconfig = ParallelConfig(n_jobs=n_jobs, min_chunk=2)
+            if rep is None:
+                results = parallel_map(compress_one, subs, config=pconfig)
+            else:
+                # Fit the representative chunk first, seal the basis
+                # cache, then fan out: every sibling verifies against
+                # one fixed basis, so payload bytes are independent of
+                # n_jobs and thread interleaving.
+                seeded = compress_one(subs[rep])
+                basis_cache.seal()
+                rest = parallel_map(compress_one,
+                                    subs[:rep] + subs[rep + 1:],
+                                    config=pconfig)
+                results = rest[:rep] + [seeded] + rest[rep:]
             meta = FieldMeta(
                 name=name, codec_label=codec, dtype_tag=dtype_tag,
                 shape=tuple(arr.shape), chunk_shape=cshape,
@@ -267,6 +317,10 @@ class Store:
                               if error_budget is not None else None),
             )
             self._append(meta, results)
+        # Appends invalidate any cached chunks under this field name
+        # (defensive: names are unique, but a failed append retried on
+        # this handle must never serve stale decodes).
+        self._cache.invalidate_field(name)
         counter_inc("store.fields.packed")
 
     def _append(self, meta: FieldMeta,
@@ -307,7 +361,8 @@ class Store:
     def from_archive(cls, archive: Union[FieldArchive, PathLike],
                      target: Union[PathLike, ByteStore], *,
                      backend: str = "auto",
-                     chunk_shape: int | tuple[int, ...] | None = None,
+                     chunk_shape: int | tuple[int, ...] | str
+                     | None = None,
                      n_jobs: int | None = 1) -> "Store":
         """Re-pack a monolithic :class:`FieldArchive` as a chunked store.
 
@@ -381,33 +436,32 @@ class Store:
         bounds, collapse = chunking.normalize_region(meta.shape, region)
         out_shape = tuple(hi - lo for lo, hi in bounds)
         dtype = np.dtype(DTYPE_TAGS[meta.dtype_tag])
-        out = np.zeros(out_shape, dtype=dtype)
         grid = chunking.grid_shape(meta.shape, meta.chunk_shape)
         coords = list(chunking.overlapping_chunks(
             meta.shape, meta.chunk_shape, bounds))
         t0 = time.perf_counter()
         bytes_read = 0
         bytes_decoded = 0
-        framed = self._backend.framed
         with span("store.region", field=name, n_chunks=len(coords)):
-            for coord in coords:
-                index = chunking.chunk_index(grid, coord)
-                ref = meta.chunks[index]
-                key = chunk_key(name, index)
-                try:
-                    value = self._backend[key]
-                except StoreKeyError as exc:
-                    raise FormatError(
-                        f"field {name!r} chunk {coord}: backend has "
-                        f"no key {key!r} ({exc})") from exc
-                counter_inc("store.backend.reads")
-                payload = unpack_kv_value(value) if framed else value
-                bytes_read += len(payload)
-                chunk = self._decode_chunk(meta, ref, payload, coord)
-                bytes_decoded += int(chunk.nbytes)
-                self._paste(out, bounds, meta, coord, chunk)
+            if len(coords) == 1:
+                # Single-chunk fast path: no zeroed output buffer, no
+                # paste -- copy the slice straight out of the decoded
+                # (possibly cached) chunk.
+                chunk, br, bd = self._load_chunk(meta, grid, coords[0])
+                bytes_read += br
+                bytes_decoded += bd
+                _, chunk_sel = self._intersect(bounds, meta, coords[0],
+                                               chunk.shape)
+                out = np.array(chunk[chunk_sel], dtype=dtype)
+                counter_inc("store.paste.fastpath")
+            else:
+                out = np.zeros(out_shape, dtype=dtype)
+                for coord in coords:
+                    chunk, br, bd = self._load_chunk(meta, grid, coord)
+                    bytes_read += br
+                    bytes_decoded += bd
+                    self._paste(out, bounds, meta, coord, chunk)
         counter_inc("store.region.reads")
-        counter_inc("store.chunks.decoded", len(coords))
         counter_inc("store.bytes.read", bytes_read)
         counter_inc("store.bytes.decoded", bytes_decoded)
         observe("store.region.seconds", time.perf_counter() - t0)
@@ -416,6 +470,36 @@ class Store:
                       bytes_decoded / out.nbytes)
         keep = tuple(0 if c else slice(None) for c in collapse)
         return out[keep]
+
+    def _load_chunk(self, meta: FieldMeta, grid: tuple[int, ...],
+                    coord: tuple[int, ...]) -> tuple[Any, int, int]:
+        """One decoded chunk through the shared cache.
+
+        Returns ``(chunk, bytes_read, bytes_decoded)``; both byte
+        counts are 0 on a cache hit -- a hit costs neither a backend
+        read nor a decode, which is exactly what the amplification
+        gauge should reflect.  The returned array is read-only when it
+        came from (or went into) the cache.
+        """
+        index = chunking.chunk_index(grid, coord)
+        cache_key = (meta.name, index)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached, 0, 0
+        ref = meta.chunks[index]
+        key = chunk_key(meta.name, index)
+        try:
+            value = self._backend[key]
+        except StoreKeyError as exc:
+            raise FormatError(
+                f"field {meta.name!r} chunk {coord}: backend has "
+                f"no key {key!r} ({exc})") from exc
+        counter_inc("store.backend.reads")
+        payload = unpack_kv_value(value) if self._backend.framed else value
+        chunk = self._decode_chunk(meta, ref, payload, coord)
+        chunk = self._cache.put(cache_key, chunk)
+        counter_inc("store.chunks.decoded")
+        return chunk, len(payload), int(chunk.nbytes)
 
     def _decode_chunk(self, meta: FieldMeta, ref: ChunkRef,
                       payload: bytes, coord: tuple[int, ...]) -> Any:
@@ -448,20 +532,36 @@ class Store:
         return chunk
 
     @staticmethod
-    def _paste(out: Any, bounds: tuple[tuple[int, int], ...],
-               meta: FieldMeta, coord: tuple[int, ...],
-               chunk: Any) -> None:
-        """Copy the chunk/region intersection into the output array."""
+    def _intersect(bounds: tuple[tuple[int, int], ...], meta: FieldMeta,
+                   coord: tuple[int, ...], chunk_shape: tuple[int, ...]
+                   ) -> tuple[tuple[slice, ...], tuple[slice, ...]]:
+        """Chunk/region intersection as (output, chunk) slice tuples."""
         out_sel: list[slice] = []
         chunk_sel: list[slice] = []
         for (lo, hi), ch, c, ext in zip(bounds, meta.chunk_shape, coord,
-                                        chunk.shape):
+                                        chunk_shape):
             base = c * ch
             a = max(lo, base)
             b = min(hi, base + int(ext))
             out_sel.append(slice(a - lo, b - lo))
             chunk_sel.append(slice(a - base, b - base))
-        out[tuple(out_sel)] = chunk[tuple(chunk_sel)]
+        return tuple(out_sel), tuple(chunk_sel)
+
+    @classmethod
+    def _paste(cls, out: Any, bounds: tuple[tuple[int, int], ...],
+               meta: FieldMeta, coord: tuple[int, ...],
+               chunk: Any) -> None:
+        """Copy the chunk/region intersection into the output array."""
+        out_sel, chunk_sel = cls._intersect(bounds, meta, coord,
+                                            chunk.shape)
+        if all(s.start == 0 and s.stop == ext
+               for s, ext in zip(chunk_sel, chunk.shape)):
+            # Fully-interior chunk: assign it whole, skipping the
+            # intersection view.
+            out[out_sel] = chunk
+            counter_inc("store.paste.fastpath")
+        else:
+            out[out_sel] = chunk[chunk_sel]
 
     def _require(self, name: str) -> FieldMeta:
         try:

@@ -63,3 +63,13 @@ def test_invalid_configs_rejected(kwargs):
 def test_valid_fixed_k():
     cfg = DPZConfig(k_mode="fixed", fixed_k=5)
     assert cfg.fixed_k == 5
+
+
+@pytest.mark.parametrize("solver", ["auto", "dense", "randomized"])
+def test_valid_pca_solver(solver):
+    assert DPZConfig(pca_solver=solver).pca_solver == solver
+
+
+def test_invalid_pca_solver_rejected():
+    with pytest.raises(ConfigError):
+        DPZConfig(pca_solver="lanczos")

@@ -89,7 +89,7 @@ def test_wide_path_truncated_extraction():
     """M > 256: eigvalsh curve + leading-k extraction, same answer."""
     rng = np.random.default_rng(13)
     X = _smoothish(rng, 800, 300)
-    got = fit_kpca(X, tve=0.999)
+    got = fit_kpca(X, tve=0.999, solver="dense")
     ref = _fit_kpca_reference(X, tve=0.999)
     assert got.k == ref.k
     # Only the leading k are extracted on the wide path.
@@ -111,7 +111,7 @@ def test_wide_path_forces_eigsh_branch():
     base = rng.standard_normal((n, f))
     decay = np.concatenate([np.full(5, 10.0), np.full(f - 5, 1e-3)])
     X = base * decay
-    res = fit_kpca(X, tve=0.999)
+    res = fit_kpca(X, tve=0.999, solver="dense")
     assert res.k <= f // 4  # precondition for the eigsh branch
     ref = _fit_kpca_reference(X, tve=0.999)
     assert res.k == ref.k

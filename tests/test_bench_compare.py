@@ -146,3 +146,91 @@ def test_committed_pr3_record_exercises_chunk_gate():
     assert pr3["metrics"]["gauges"]["quality.psnr_db"] > 0
     # Self-compare runs the gate (both sides have the histogram).
     assert compare(pr3, copy.deepcopy(pr3), log=_quiet) == []
+
+
+def _with_store(rec, amp_warm, n_reads=64):
+    rec = copy.deepcopy(rec)
+    rec["store"] = {"region_warm": {
+        "n_reads": n_reads, "edge": 16, "amplification": amp_warm}}
+    return rec
+
+
+def test_throughput_floor_met_passes():
+    base = _record(thr=50.0)
+    cand = _record(thr=110.0)  # 2.2x
+    assert compare(base, cand, throughput_min_ratio=2.0,
+                   min_ratio_fields=1, log=_quiet) == []
+
+
+def test_throughput_floor_unmet_fails():
+    base = _record(thr=50.0)
+    cand = _record(thr=80.0)  # 1.6x
+    failures = compare(base, cand, throughput_min_ratio=2.0,
+                       min_ratio_fields=1, log=_quiet)
+    assert len(failures) == 1 and "throughput" in failures[0]
+
+
+def test_throughput_floor_counts_fields():
+    # Two of three fields clear 2x: passes with min_ratio_fields=2,
+    # fails with 3.
+    base = _record(thr=50.0)
+    cand = _record(thr=110.0)
+    for name, thr in (("FLDSC", 120.0), ("HACC-x", 60.0)):
+        base["fields"][name] = dict(base["fields"]["Isotropic"])
+        cand["fields"][name] = dict(cand["fields"]["Isotropic"],
+                                    throughput_mb_s=thr)
+        base["fields"][name]["throughput_mb_s"] = 50.0
+    assert compare(base, cand, throughput_min_ratio=2.0,
+                   min_ratio_fields=2, log=_quiet) == []
+    failures = compare(base, cand, throughput_min_ratio=2.0,
+                       min_ratio_fields=3, log=_quiet)
+    assert len(failures) == 1
+
+
+def test_amplification_cap():
+    base = _record()
+    good = _with_store(_record(), amp_warm=0.4)
+    bad = _with_store(_record(), amp_warm=3.1)
+    assert compare(base, good, amplification_max=2.0, log=_quiet) == []
+    failures = compare(base, bad, amplification_max=2.0, log=_quiet)
+    assert len(failures) == 1 and "amplification" in failures[0]
+    # No store section at all: the cap skips silently.
+    assert compare(base, _record(), amplification_max=2.0,
+                   log=_quiet) == []
+
+
+def test_store_only_candidate_skips_field_gates():
+    # bench_store.py output has no "fields" key; comparing it against
+    # a full record must only run the store gates.
+    base = _record()
+    base["store"] = {"region": {"n_reads": 64, "edge": 16,
+                                "p50_s": 1e-3, "p95_s": 2e-3}}
+    cand = {"store": {"region": {"n_reads": 64, "edge": 16,
+                                 "p50_s": 1e-3, "p95_s": 2e-3}}}
+    assert compare(base, cand, log=_quiet) == []
+
+
+def test_region_latency_skipped_for_mismatched_read_counts():
+    base = {"fields": {}, "store": {"region": {
+        "n_reads": 64, "edge": 16, "p50_s": 1e-4, "p95_s": 2e-4}}}
+    cand = {"fields": {}, "store": {"region": {
+        "n_reads": 8, "edge": 16, "p50_s": 1.0, "p95_s": 2.0}}}
+    assert compare(base, cand, region_latency_tol=1.0, log=_quiet) == []
+
+
+def test_committed_pr7_record_meets_perf_gates():
+    """The raw-speed acceptance numbers hold in the committed record."""
+    root = pathlib.Path(__file__).resolve().parent.parent
+    pr3 = json.loads((root / "BENCH_pr3.json").read_text())
+    pr5 = json.loads((root / "BENCH_pr5.json").read_text())
+    pr7 = json.loads((root / "BENCH_pr7.json").read_text())
+    assert pr7["bench"] == "pr7-raw-speed"
+    failures = compare(pr3, pr7, throughput_tol=0.75, share_tol=0.30,
+                       chunk_latency_tol=3.0, throughput_min_ratio=2.0,
+                       min_ratio_fields=2, log=_quiet)
+    assert failures == []
+    failures = compare(pr5, pr7, region_latency_tol=3.0,
+                       amplification_max=2.0, log=_quiet)
+    assert failures == []
+    assert pr7["store"]["region_warm"]["amplification"] < 2.0
+    assert pr5["store"]["region"]["amplification"] > 7.0
