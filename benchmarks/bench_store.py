@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Region-retrieval bench for the chunked store: writes ``BENCH_pr7.json``.
+"""Region-retrieval bench for the chunked store: writes ``BENCH_pr8.json``.
 
 Packs the 64^3 isotropic-turbulence field into a ``dpzs`` store with
 16^3 chunks (sz codec, ``eps=1e-3``, two compression workers) and
@@ -33,7 +33,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/bench_store.py            # full run
     PYTHONPATH=src python benchmarks/bench_store.py --smoke    # CI quick
-    PYTHONPATH=src python benchmarks/bench_store.py --out BENCH_pr7.json
+    PYTHONPATH=src python benchmarks/bench_store.py --out BENCH_pr8.json
 """
 
 from __future__ import annotations
@@ -233,7 +233,7 @@ def run(*, size: str = "small", smoke: bool = False,
         record = result
         if p.exists():
             # Merge into an existing run_bench record so one
-            # BENCH_pr7.json carries both the compress-throughput
+            # BENCH_pr8.json carries both the compress-throughput
             # fields and the store section.
             try:
                 existing = json.loads(p.read_text())
@@ -253,7 +253,7 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="fewer regions and repeats (CI)")
     ap.add_argument("--out", default=str(
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr7.json"))
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr8.json"))
     args = ap.parse_args(argv)
     run(size=args.size, smoke=args.smoke, out=args.out)
     return 0

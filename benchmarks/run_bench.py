@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""Perf-trajectory bench harness: writes ``BENCH_pr7.json``.
+"""Perf-trajectory bench harness: writes ``BENCH_pr8.json``.
 
 Measures, for one field of each of the paper's three dataset families
 (turbulence / climate / cosmology):
@@ -37,11 +37,19 @@ compress wall time with ``pca_solver="dense"`` forced vs. the ``auto``
 default -- so the randomized-solver speedup is a number in the record,
 not an anecdote.
 
+The telemetry-plane PR adds a **worker-telemetry** section
+(``"worker_telemetry"``): the same traced store pack run serially and
+pooled (``n_jobs=4``), recording that every ``store.*`` counter total
+and the chunk-compress histogram are exactly ``n_jobs``-invariant
+after the parent merges the workers' snapshot frames, plus how many
+frames were merged and whether any merge had to fall back to the lossy
+midpoint path.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py            # full run
     PYTHONPATH=src python benchmarks/run_bench.py --smoke    # CI quick
-    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_pr7.json
+    PYTHONPATH=src python benchmarks/run_bench.py --out BENCH_pr8.json
 """
 
 from __future__ import annotations
@@ -261,6 +269,56 @@ def measure_huffman_microbench(n_symbols: int = 1_000_000,
     }
 
 
+def measure_worker_telemetry(size: str) -> dict:
+    """Traced store pack, serial vs. pooled: the merged worker frames
+    must make every ``store.*`` counter and the chunk-compress
+    histogram exactly ``n_jobs``-invariant."""
+    from repro.observability import get_registry
+    from repro.store import Store
+    from repro.store.backends.memory import MemoryStore
+
+    data = get_dataset("Isotropic", size)
+
+    def packed(n_jobs: int) -> dict:
+        get_registry().clear()
+        with use_tracer(Tracer()):
+            st = Store.create(MemoryStore())
+            st.add("vx", data, codec="dpz", chunk_shape=16, n_jobs=n_jobs)
+        snap = metrics_snapshot()
+        get_registry().clear()
+        return snap
+
+    serial = packed(1)
+    pooled = packed(4)
+    store_keys = sorted(
+        k for k in set(serial["counters"]) | set(pooled["counters"])
+        if k.startswith("store."))
+    mismatched = [k for k in store_keys
+                  if serial["counters"].get(k, 0)
+                  != pooled["counters"].get(k, 0)]
+    # Bucket placement of a *timing* histogram varies run to run (the
+    # values are wall-clock durations); the merge invariant is that no
+    # observation is lost, i.e. the total counts match exactly.
+    hist_s = serial["histograms"].get("store.chunk.compress.seconds", {})
+    hist_p = pooled["histograms"].get("store.chunk.compress.seconds", {})
+    return {
+        "n_jobs": 4,
+        "chunks": int(serial["counters"].get("store.chunks.compressed", 0)),
+        "merged_frames": int(
+            pooled["counters"].get("worker.snapshots.merged", 0)),
+        "lossy_merges": int(
+            pooled["counters"].get("worker.merge.lossy", 0)),
+        "counters_equal_serial": not mismatched,
+        "mismatched_counters": mismatched,
+        "histogram_count_serial": int(hist_s.get("count", 0)),
+        "histogram_count_pooled": int(hist_p.get("count", 0)),
+        "histogram_counts_equal": (
+            hist_s.get("count", 0) == hist_p.get("count", -1)),
+        "store_counters": {
+            k: int(pooled["counters"].get(k, 0)) for k in store_keys},
+    }
+
+
 #: Keys the CI smoke job asserts on (keep in sync with the workflow).
 EXPECTED_FIELD_KEYS = (
     "family", "cr", "throughput_mb_s", "decompress_mb_s",
@@ -276,7 +334,7 @@ def run(fields=DEFAULT_FIELDS, *, size: str = "small", repeats: int = 3,
         # to trip the CI regression gate on a one-off scheduler stall.
         repeats = 2
     result: dict = {
-        "bench": "pr7-raw-speed",
+        "bench": "pr8-telemetry-plane",
         "size": size,
         "repeats": repeats,
         "smoke": smoke,
@@ -308,6 +366,14 @@ def run(fields=DEFAULT_FIELDS, *, size: str = "small", repeats: int = 3,
     psnr = result["metrics"]["gauges"].get("quality.psnr_db")
     if psnr is not None:
         print(f"[bench]   quality PSNR {psnr:.2f} dB", flush=True)
+    print("[bench] worker telemetry (serial vs n_jobs=4 pack) ...",
+          flush=True)
+    result["worker_telemetry"] = measure_worker_telemetry(size)
+    wt = result["worker_telemetry"]
+    print(f"[bench]   {wt['chunks']} chunks, "
+          f"{wt['merged_frames']} frames merged, "
+          f"counters equal: {wt['counters_equal_serial']}, "
+          f"histogram equal: {wt['histogram_counts_equal']}", flush=True)
     if not smoke:
         print("[bench] tracing overhead ...", flush=True)
         result["tracing_overhead"] = measure_tracing_overhead(
@@ -338,7 +404,7 @@ def main(argv=None) -> int:
     ap.add_argument("--smoke", action="store_true",
                     help="single repeat, skip the overhead study (CI)")
     ap.add_argument("--out", default=str(
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr7.json"))
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr8.json"))
     args = ap.parse_args(argv)
     run(args.fields, size=args.size, repeats=args.repeats,
         smoke=args.smoke, out=args.out)

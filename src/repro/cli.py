@@ -127,6 +127,13 @@ def build_parser() -> argparse.ArgumentParser:
     pt.add_argument("--flamegraph", default=None, metavar="OUT.html",
                     help="also render the trace as a self-contained "
                          "flamegraph HTML file")
+    pt.add_argument("--profile", default=None, metavar="OUT.html",
+                    help="run a wall-clock sampling profiler alongside "
+                         "the trace and render the sampled stacks as a "
+                         "flamegraph HTML file")
+    pt.add_argument("--profile-interval", type=float, default=0.002,
+                    metavar="SECONDS",
+                    help="sampling period for --profile (default 2ms)")
     pt.add_argument("--diff", nargs=2, default=None,
                     metavar=("A.ndjson", "B.ndjson"),
                     help="compare two existing trace files per stage "
@@ -136,6 +143,25 @@ def build_parser() -> argparse.ArgumentParser:
                          "(default: $DPZ_RUNLOG or ./runs.ndjson)")
     pt.add_argument("--no-runlog", action="store_true",
                     help="do not append this run to the run registry")
+
+    po = sub.add_parser("top",
+                        help="live terminal dashboard over the metric "
+                             "registry (local or a telemetry endpoint)")
+    po.add_argument("--url", default=None, metavar="URL",
+                    help="poll this telemetry endpoint's /metrics.json "
+                         "(e.g. http://127.0.0.1:9412); default: this "
+                         "process's own registry")
+    po.add_argument("--listen", type=int, default=None, metavar="PORT",
+                    help="also serve /metrics, /healthz and /runs on "
+                         "this port while the dashboard runs (0 = "
+                         "ephemeral)")
+    po.add_argument("--interval", type=float, default=1.0,
+                    help="refresh period in seconds (default 1.0)")
+    po.add_argument("--iterations", type=int, default=None, metavar="N",
+                    help="render N frames then exit (default: until ^C)")
+    po.add_argument("--once", action="store_true",
+                    help="render a single frame without clearing the "
+                         "screen (scripts, tests)")
 
     pr = sub.add_parser("runs",
                         help="inspect the persistent run registry "
@@ -423,10 +449,20 @@ def _cmd_trace(args) -> int:
     counters_reset()
     metrics_reset()
     tracer = Tracer()
+    profiler = None
+    if args.profile:
+        from repro.observability import SamplingProfiler
+
+        profiler = SamplingProfiler(
+            tracer, interval=args.profile_interval).start()
     t0 = _time.perf_counter()
-    with use_tracer(tracer), use_quality():
-        blob, stats = comp.compress_with_stats(data)
-        recon = DPZCompressor.decompress(blob)
+    try:
+        with use_tracer(tracer), use_quality():
+            blob, stats = comp.compress_with_stats(data)
+            recon = DPZCompressor.decompress(blob)
+    finally:
+        if profiler is not None:
+            profiler.stop()
     wall_s = _time.perf_counter() - t0
     snapshot = metrics_snapshot()
     meta = {
@@ -451,6 +487,11 @@ def _cmd_trace(args) -> int:
         n_roots = write_flamegraph(tracer, args.flamegraph,
                                    title=f"dpz trace: {name}")
         print(f"flamegraph ({n_roots} root frames) -> {args.flamegraph}")
+    if profiler is not None:
+        profiler.write_flamegraph(args.profile,
+                                  title=f"dpz profile: {name}")
+        print(f"profile ({profiler.total_samples} samples @ "
+              f"{profiler.interval * 1e3:g}ms) -> {args.profile}")
     if not args.no_runlog:
         quality = {
             g[len("quality."):]: v for g, v in snapshot["gauges"].items()
@@ -471,6 +512,54 @@ def _cmd_trace(args) -> int:
     # Tracing must not perturb the archive: quick shape sanity check.
     assert recon.shape == data.shape
     return 0
+
+
+def _cmd_top(args) -> int:
+    import json as _json
+    import time as _time
+    import urllib.error
+    import urllib.request
+
+    from repro.observability import metrics_snapshot
+    from repro.observability.top import Dashboard
+
+    server = None
+    if args.listen is not None:
+        from repro.observability.server import start_server
+
+        server = start_server(args.listen)
+        print(f"serving telemetry on {server.url}", file=sys.stderr)
+
+    def fetch() -> dict:
+        if args.url:
+            url = args.url.rstrip("/") + "/metrics.json"
+            try:
+                with urllib.request.urlopen(url, timeout=5) as resp:
+                    return _json.loads(resp.read())
+            except (urllib.error.URLError, OSError, ValueError) as exc:
+                reason = getattr(exc, "reason", exc)
+                raise _CLIError(f"cannot fetch {url}: {reason}") from None
+        return metrics_snapshot()
+
+    dash = Dashboard()
+    frames = 1 if args.once else args.iterations
+    try:
+        while True:
+            rendered = dash.update(fetch())
+            if not args.once:
+                # Home + clear-to-end repaint: flicker-free in any
+                # terminal, no curses dependency.
+                sys.stdout.write("\x1b[H\x1b[J")
+            sys.stdout.write(rendered)
+            sys.stdout.flush()
+            if frames is not None and dash.frames >= frames:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        if server is not None:
+            server.close()
 
 
 def _cmd_runs(args) -> int:
@@ -715,6 +804,7 @@ _COMMANDS = {
     "datasets": _cmd_datasets,
     "bench": _cmd_bench,
     "trace": _cmd_trace,
+    "top": _cmd_top,
     "runs": _cmd_runs,
     "pack": _cmd_pack,
     "unpack": _cmd_unpack,
@@ -729,15 +819,44 @@ def main(argv: list[str] | None = None) -> int:
 
     Anticipated failures (bad input path, malformed container, unknown
     run id) print one line to stderr and exit 2 -- no traceback.
+
+    ``DPZ_METRICS_PORT=<port>`` serves live ``/metrics`` / ``/healthz``
+    / ``/runs`` for the duration of any command (and installs a tracer
+    so the metrics actually flow), letting ``dpz top --url`` or a
+    Prometheus scrape watch e.g. a long ``dpz store pack`` from
+    another terminal.  ``dpz top`` itself is exempt: it has its own
+    ``--listen`` flag and must not steal the port it wants to poll.
     """
+    import os as _os
+
     from repro.errors import ReproError
 
     args = build_parser().parse_args(argv)
+    server = None
+    prev_tracer = _UNSET = object()
     try:
+        if (_os.environ.get("DPZ_METRICS_PORT")
+                and args.command != "top"):
+            from repro.observability import Tracer, get_tracer, set_tracer
+            from repro.observability.server import maybe_start_from_env
+
+            server = maybe_start_from_env()
+            if server is not None:
+                print(f"serving telemetry on {server.url}",
+                      file=sys.stderr)
+                if get_tracer() is None:
+                    prev_tracer = set_tracer(Tracer())
         return _COMMANDS[args.command](args)
     except (_CLIError, ReproError) as exc:
         print(f"dpz {args.command}: error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if prev_tracer is not _UNSET:
+            from repro.observability import set_tracer
+
+            set_tracer(prev_tracer)
+        if server is not None:
+            server.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

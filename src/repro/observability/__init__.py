@@ -23,6 +23,21 @@ live; otherwise **zero overhead**):
   :mod:`repro.observability.flamegraph` exports self-contained
   flamegraph HTML from span trees (``dpz trace --flamegraph``).
 
+On top of those, the telemetry plane added for live operation:
+
+* :mod:`repro.observability.aggregate` -- worker-telemetry frames:
+  pooled ``parallel_map`` tasks capture their metric emissions into a
+  private registry and ship one compact snapshot back for an exact
+  parent-side merge, so counter totals are ``n_jobs``-invariant.
+* :mod:`repro.observability.server` -- a stdlib threaded HTTP endpoint
+  (``/metrics`` Prometheus text, ``/metrics.json``, ``/healthz``,
+  ``/runs``) started by ``dpz top --listen`` or ``$DPZ_METRICS_PORT``.
+* :mod:`repro.observability.profiler` -- a wall-clock sampling
+  profiler over the tracer's live span stacks, rendered through the
+  flamegraph exporter (``dpz trace --profile``).
+* :mod:`repro.observability.top` -- the ``dpz top`` dashboard
+  renderer (pure snapshot -> text).
+
 Typical use::
 
     from repro.observability import Tracer, use_tracer, use_quality
@@ -34,6 +49,13 @@ Typical use::
     print(metrics_snapshot()["gauges"]["quality.psnr_db"])
 """
 
+from repro.observability.aggregate import (
+    capture_worker,
+    merge_frame,
+    merge_frames,
+    snapshot_frame,
+    worker_origin,
+)
 from repro.observability.counters import (
     counter_add,
     counters_reset,
@@ -66,6 +88,10 @@ from repro.observability.metrics import (
     metrics_snapshot,
     observe,
     render_prometheus,
+)
+from repro.observability.profiler import (
+    SamplingProfiler,
+    use_profiler,
 )
 from repro.observability.quality import (
     QualityConfig,
@@ -149,4 +175,39 @@ __all__ = [
     "folded_to_text",
     "render_html",
     "write_flamegraph",
+    # worker telemetry aggregation
+    "capture_worker",
+    "snapshot_frame",
+    "merge_frame",
+    "merge_frames",
+    "worker_origin",
+    # telemetry endpoint (lazy -- see __getattr__)
+    "TelemetryServer",
+    "start_server",
+    "maybe_start_from_env",
+    # sampling profiler
+    "SamplingProfiler",
+    "use_profiler",
+    # dashboard (lazy -- see __getattr__)
+    "Dashboard",
 ]
+
+#: Lazily-resolved exports (PEP 562).  The telemetry server pulls in
+#: ``http.server`` and the dashboard is CLI-only; importing the package
+#: -- which every compress does -- must not pay for either.
+_LAZY = {
+    "TelemetryServer": "repro.observability.server",
+    "start_server": "repro.observability.server",
+    "maybe_start_from_env": "repro.observability.server",
+    "Dashboard": "repro.observability.top",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module 'repro.observability' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module), name)

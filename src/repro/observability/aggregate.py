@@ -1,0 +1,214 @@
+"""Worker telemetry aggregation: snapshot frames and exact merges.
+
+The metric registry and the tracer are process-global, which is fine
+until work fans out: a pooled :func:`~repro.parallel.executor
+.parallel_map` task that emits ``store.chunks.compressed`` or observes
+``store.chunk.compress.seconds`` must not race dozens of siblings on
+shared series -- and in a *process* pool those emissions would die with
+the worker outright.  This module is the boundary protocol:
+
+1. each task runs under a private task-local
+   :class:`~repro.observability.metrics.MetricsRegistry`
+   (:func:`capture_worker` installs it via the thread-local override in
+   :mod:`repro.observability.metrics`);
+2. when the task finishes, :func:`snapshot_frame` reduces that registry
+   to a compact JSON-ready **worker-telemetry frame** (schema in
+   FORMATS.md) that ships back with the task's result -- it crosses a
+   thread boundary today and would pickle across a process boundary
+   unchanged;
+3. the parent calls :func:`merge_frame`, which folds the frame into the
+   default registry: **exact** for counters (totals are n_jobs-
+   invariant), **bucket-wise exact** for histograms whose bounds match
+   (they always do between equal-version processes -- bounds are a pure
+   function of the constructor arguments), last-write-wins for gauges.
+
+A task that raises never reaches step 2, so a failed worker merges
+nothing and cannot poison the parent's series.  Bounds mismatches
+(e.g. a histogram created with different ``lo``/``hi`` on either side)
+degrade to re-observing each bucket's geometric midpoint and are
+counted in ``worker.merge.lossy`` -- degraded, visible, never wrong by
+more than one bucket width.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+
+from repro.observability.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    use_local_registry,
+)
+
+__all__ = [
+    "WORKER_FRAME",
+    "WORKER_FRAME_VERSION",
+    "capture_worker",
+    "snapshot_frame",
+    "merge_frame",
+    "merge_frames",
+    "worker_origin",
+]
+
+#: Frame discriminator / version (FORMATS.md "Worker-telemetry frame").
+WORKER_FRAME = "dpz-worker-telemetry"
+WORKER_FRAME_VERSION = 1
+
+
+def worker_origin() -> str:
+    """An origin label for the calling worker thread.
+
+    Pool threads are named ``repro-parallel_<n>``; the trailing integer
+    becomes ``worker.<n>``.  Threads without a parseable slot (nested
+    transient pools, bare threads) fall back to a stable
+    ``worker.t<ident>`` label.
+    """
+    name = threading.current_thread().name
+    slot = name.rsplit("_", 1)[-1]
+    if slot.isdigit():
+        return f"worker.{slot}"
+    return f"worker.t{threading.get_ident() % 10000}"
+
+
+@contextmanager
+def capture_worker():
+    """Run the enclosed task under a fresh private registry.
+
+    Yields the registry; pass it to :func:`snapshot_frame` after the
+    task body succeeds.  On an exception the registry simply goes out
+    of scope -- nothing is merged.
+    """
+    with use_local_registry(MetricsRegistry()) as local:
+        yield local
+
+
+def snapshot_frame(registry: MetricsRegistry, *,
+                   origin: str | None = None) -> dict:
+    """Reduce a task-local registry to one compact, JSON-ready frame.
+
+    Zero-valued counters and empty histograms are dropped (a frame for
+    a task that emitted nothing is just the envelope).  Histograms
+    carry their full bucket layout (``lo``/``hi``/``buckets_per_decade``
+    plus raw counts) so the receiving side can verify bounds and merge
+    bucket-for-bucket.
+    """
+    snap = registry.snapshot()
+    frame: dict = {
+        "frame": WORKER_FRAME,
+        "version": WORKER_FRAME_VERSION,
+        "origin": origin if origin is not None else worker_origin(),
+    }
+    counters = {n: v for n, v in snap["counters"].items() if v}
+    if counters:
+        frame["counters"] = counters
+    if snap["gauges"]:
+        frame["gauges"] = dict(snap["gauges"])
+    histograms = {}
+    for name, rec in snap["histograms"].items():
+        if not rec["count"]:
+            continue
+        histograms[name] = {
+            "lo": rec["lo"], "hi": rec["hi"],
+            "buckets_per_decade": rec["buckets_per_decade"],
+            "counts": rec["counts"],
+            "count": rec["count"],
+            "sum": rec["sum"],
+            "min": rec.get("min"),
+            "max": rec.get("max"),
+        }
+    if histograms:
+        frame["histograms"] = histograms
+    return frame
+
+
+def _merge_lossy(hist: Histogram, rec: dict) -> None:
+    """Bounds mismatch fallback: re-observe bucket geometric midpoints.
+
+    Each source observation lands within one source bucket width of its
+    true value; totals (``count``) stay exact, ``sum`` is re-derived
+    from the midpoints.
+    """
+    lo = float(rec["lo"])
+    bpd = int(rec["buckets_per_decade"])
+    hi = float(rec["hi"])
+    counts = rec["counts"]
+    step = 10.0 ** (1.0 / bpd)
+    for i, c in enumerate(counts):
+        if not c:
+            continue
+        if i == 0:
+            mid = lo
+        elif i == len(counts) - 1:
+            mid = hi
+        else:
+            lo_edge = lo * step ** (i - 1)
+            mid = lo_edge * math.sqrt(step)
+        for _ in range(int(c)):
+            hist.observe(mid)
+
+
+def merge_frame(frame: dict, *,
+                into: MetricsRegistry | None = None) -> dict:
+    """Fold one worker-telemetry frame into ``into`` (default registry).
+
+    Returns a small merge report ``{"origin", "counters", "gauges",
+    "histograms", "lossy"}`` (series counts, not values) that callers
+    attach to their span metadata.  Unknown frame versions raise
+    ``ValueError`` -- the executor and any future RPC layer ship
+    frames produced by this very module, so a mismatch is a bug, not
+    an input condition.
+    """
+    if frame.get("frame") != WORKER_FRAME:
+        raise ValueError(f"not a worker-telemetry frame: "
+                         f"{frame.get('frame')!r}")
+    if frame.get("version") != WORKER_FRAME_VERSION:
+        raise ValueError(f"unsupported worker-telemetry frame version "
+                         f"{frame.get('version')!r}")
+    registry = get_registry() if into is None else into
+    lossy = 0
+    counters = frame.get("counters", {})
+    for name, value in counters.items():
+        registry.counter(name).add(value)
+    gauges = frame.get("gauges", {})
+    for name, value in gauges.items():
+        registry.gauge(name).set(float(value))
+    histograms = frame.get("histograms", {})
+    for name, rec in histograms.items():
+        hist = registry.histogram(
+            name, lo=float(rec["lo"]), hi=float(rec["hi"]),
+            buckets_per_decade=int(rec["buckets_per_decade"]))
+        if hist.bounds_signature() == (float(rec["lo"]), float(rec["hi"]),
+                                       int(rec["buckets_per_decade"])):
+            hist.merge_binned(rec["counts"], rec["count"], rec["sum"],
+                              rec.get("min"), rec.get("max"))
+        else:
+            _merge_lossy(hist, rec)
+            lossy += 1
+    registry.counter("worker.snapshots.merged").add(1)
+    if lossy:
+        registry.counter("worker.merge.lossy").add(lossy)
+    return {
+        "origin": frame.get("origin", "worker.?"),
+        "counters": len(counters),
+        "gauges": len(gauges),
+        "histograms": len(histograms),
+        "lossy": lossy,
+    }
+
+
+def merge_frames(frames, *, into: MetricsRegistry | None = None) -> int:
+    """Merge an iterable of frames; returns how many were merged.
+
+    ``None`` entries (tasks that produced no frame) are skipped, so the
+    caller can pass a result list positionally aligned with its tasks.
+    """
+    merged = 0
+    for frame in frames:
+        if frame is None:
+            continue
+        merge_frame(frame, into=into)
+        merged += 1
+    return merged

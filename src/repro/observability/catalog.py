@@ -38,7 +38,10 @@ COUNTERS: frozenset[str] = frozenset({
     "pca.solver.randomized",
     "pca.solver.fallbacks",
     "pca.solver.regrows",
+    "profiler.samples",
     "quality.runs",
+    "server.errors",
+    "server.requests",
     "store.auto.fallbacks",
     "store.auto.trials",
     "store.backend.reads",
@@ -72,6 +75,8 @@ COUNTERS: frozenset[str] = frozenset({
     "zlib.compress.bytes_in",
     "zlib.compress.bytes_out",
     "zlib.compress.stored_raw",
+    "worker.merge.lossy",
+    "worker.snapshots.merged",
     "zlib.decompress.calls",
     "zlib.decompress.bytes_in",
 })

@@ -32,10 +32,14 @@ __all__ = ["counter_add", "counters_snapshot", "counters_reset"]
 
 
 def counter_add(name: str, value: int = 1) -> None:
-    """Add ``value`` to counter ``name`` (no-op when tracing is off)."""
+    """Add ``value`` to counter ``name`` (no-op when tracing is off).
+
+    Routes through the *active* registry so worker-telemetry capture
+    (:mod:`repro.observability.aggregate`) sees legacy emitters too.
+    """
     if _tracer._ACTIVE is None:
         return
-    _metrics.get_registry().counter(name).add(value)
+    _metrics.get_active_registry().counter(name).add(value)
 
 
 def counters_snapshot() -> dict[str, int]:

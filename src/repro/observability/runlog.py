@@ -22,6 +22,7 @@ is the library entry the CLI uses for per-stage regression triage.
 from __future__ import annotations
 
 import dataclasses
+import difflib
 import hashlib
 import json
 import os
@@ -166,20 +167,49 @@ def load_runs(path: str | None = None) -> list[dict]:
     return runs
 
 
+def _nearest_ids(ids: list[str], key: str, n: int = 3) -> list[str]:
+    """The registry ids closest to a failed lookup key.
+
+    ``difflib`` similarity over the id prefix of the same length as the
+    key, so a one-character typo in a short prefix still ranks its
+    intended run first.  Newest runs win ties (``ids`` arrives oldest
+    first; reversed below).
+    """
+    scored = [(difflib.SequenceMatcher(None, key, rid[:max(len(key), 4)])
+               .ratio(), rid) for rid in reversed(ids)]
+    # Stable sort: zero-similarity ties stay newest-first, so a fully
+    # unrelated key still gets the most recent runs as candidates.
+    scored.sort(key=lambda pair: -pair[0])
+    return [rid for _score, rid in scored[:n]]
+
+
 def find_run(runs: list[dict], key: str) -> dict:
     """Resolve ``key`` to one record: an index (``0``, ``-1``) or a
-    ``run_id`` prefix."""
+    ``run_id`` prefix.
+
+    Failed lookups raise ``KeyError`` whose message carries the nearest
+    candidate ids -- the CLI prints it verbatim, so a typo'd
+    ``dpz runs show`` tells the operator what they probably meant
+    instead of just "no".
+    """
     try:
         return runs[int(key)]
     except (ValueError, IndexError):
         pass
+    ids = [r.get("run_id", "") for r in runs if r.get("run_id")]
     matches = [r for r in runs if r.get("run_id", "").startswith(key)]
     if len(matches) == 1:
         return matches[0]
     if not matches:
-        raise KeyError(f"no run matches {key!r}")
+        near = _nearest_ids(ids, key)
+        hint = f" (nearest: {', '.join(near)})" if near else ""
+        raise KeyError(f"no run matches {key!r}{hint}")
+    match_ids = [r["run_id"] for r in matches]
+    shown = ", ".join(match_ids[:5])
+    if len(match_ids) > 5:
+        shown += ", ..."
     raise KeyError(f"run id prefix {key!r} is ambiguous "
-                   f"({len(matches)} matches)")
+                   f"({len(match_ids)} matches: {shown})")
 
 
 def format_run_table(runs: list[dict]) -> str:

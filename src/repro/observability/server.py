@@ -1,0 +1,236 @@
+"""Live telemetry endpoint: ``/metrics``, ``/healthz``, ``/runs``.
+
+A stdlib-only threaded HTTP server that exposes the default metric
+registry while a run is in flight, so ``curl localhost:9412/metrics``
+(or a Prometheus scrape, or ``dpz top --url``) can watch a long
+``dpz store pack`` instead of waiting for the post-hoc run record.
+
+Routes
+------
+``/metrics``
+    The registry in Prometheus text exposition format
+    (``text/plain; version=0.0.4``) -- exactly
+    :func:`~repro.observability.metrics.render_prometheus`.
+``/metrics.json``
+    The same registry as the ``metrics_snapshot()`` JSON dict; this is
+    what ``dpz top`` polls (no text-format parsing in the dashboard).
+``/healthz``
+    JSON liveness: uptime, pid, whether tracing is on, thread-pool
+    liveness (:func:`~repro.parallel.executor.pool_status`) and
+    decoded-chunk cache occupancy across open stores.
+``/runs``
+    The run registry (``runs.ndjson`` via ``$DPZ_RUNLOG``) as a JSON
+    array; missing registry file -> ``[]``, never an error.
+
+Schemas for all four responses are specified in FORMATS.md.
+
+Lifecycle and cost
+------------------
+Nothing in this module runs unless :class:`TelemetryServer` is
+explicitly started -- by ``dpz top --listen``, by ``$DPZ_METRICS_PORT``
+(see :func:`maybe_start_from_env`), or by a test.  When not started
+the rest of the library pays nothing: no import of this module, no
+socket, no thread.  When started, the cost is one daemon accept thread
+plus one short-lived thread per request; request handling only *reads*
+shared state (registry snapshots take the metric locks briefly).
+
+The server counts its own traffic (``server.requests`` /
+``server.errors``) directly into the default registry -- unlike hot-path
+emitters these are not gated on tracing, because a running server is
+itself an explicit opt-in.
+
+>>> from repro.observability.server import start_server
+>>> srv = start_server(0)                   # port 0: ephemeral
+>>> srv.url
+'http://127.0.0.1:54321'
+>>> srv.close()
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.errors import ConfigError
+from repro.observability import tracer as _tracer
+from repro.observability.metrics import get_registry, metrics_snapshot
+from repro.observability.runlog import load_runs, resolve_runlog
+
+__all__ = [
+    "TelemetryServer",
+    "start_server",
+    "maybe_start_from_env",
+    "METRICS_PORT_ENV",
+]
+
+#: Environment opt-in: ``DPZ_METRICS_PORT=9412 dpz store pack ...``
+#: serves live telemetry for the duration of the command.
+METRICS_PORT_ENV = "DPZ_METRICS_PORT"
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _healthz_payload(server: "TelemetryServer") -> dict:
+    # Lazy imports: the executor and store packages import observability,
+    # so importing them at module top would be a cycle; at request time
+    # both are long since loaded (or load cheaply).
+    from repro.parallel.executor import pool_status
+    from repro.store.store import open_store_stats
+
+    return {
+        "status": "ok",
+        "pid": os.getpid(),
+        "started_utc": server.started_utc,
+        "uptime_s": round(time.time() - server.started_at, 3),
+        "tracing": _tracer.tracing_enabled(),
+        "pool": pool_status(),
+        "stores": open_store_stats(),
+        "requests": get_registry().counter("server.requests").value,
+    }
+
+
+def _runs_payload() -> list[dict]:
+    try:
+        return load_runs(resolve_runlog())
+    except FileNotFoundError:
+        return []
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One GET router; the owning :class:`TelemetryServer` is on the
+    server object (``self.server.telemetry``)."""
+
+    server_version = "dpz-telemetry/1"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        pass  # silent: telemetry must not spam the CLI's stderr
+
+    def _send(self, status: int, body: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, payload) -> None:
+        body = json.dumps(payload, sort_keys=True, default=str).encode()
+        self._send(status, body, "application/json")
+
+    def do_GET(self) -> None:  # noqa: N802  (http.server API)
+        registry = get_registry()
+        registry.counter("server.requests").add(1)
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        try:
+            if path in ("/metrics", "/"):
+                self._send(200, registry.render_prometheus().encode(),
+                           PROMETHEUS_CONTENT_TYPE)
+            elif path == "/metrics.json":
+                self._send_json(200, metrics_snapshot())
+            elif path == "/healthz":
+                self._send_json(200, _healthz_payload(self.server.telemetry))
+            elif path == "/runs":
+                self._send_json(200, _runs_payload())
+            else:
+                registry.counter("server.errors").add(1)
+                self._send_json(404, {
+                    "error": f"unknown path {path!r}",
+                    "routes": ["/metrics", "/metrics.json",
+                               "/healthz", "/runs"],
+                })
+        except BrokenPipeError:
+            pass  # client went away mid-response; nothing to salvage
+        # A handler bug must become a 500 response, never an unhandled
+        # traceback killing the connection thread -- so this is one of
+        # the rare places a blanket catch is the *correct* taxonomy.
+        except Exception as exc:  # dpzlint: ignore[DPZ302]
+            registry.counter("server.errors").add(1)
+            try:
+                self._send_json(500, {"error": f"{type(exc).__name__}: "
+                                               f"{exc}"})
+            except Exception:  # dpzlint: ignore[DPZ302]
+                pass  # the 500 itself failed; the socket is gone
+
+
+class TelemetryServer:
+    """A started, self-contained telemetry endpoint.
+
+    ``port=0`` binds an ephemeral port (tests); the bound port is on
+    ``.port`` / ``.url`` either way.  A bind failure (port taken,
+    privileged port) raises one-line :class:`~repro.errors.ConfigError`
+    instead of a socket traceback -- two processes racing for the same
+    ``$DPZ_METRICS_PORT`` is an operator condition, not a bug.
+    """
+
+    def __init__(self, port: int = 0, host: str = "127.0.0.1") -> None:
+        if not 0 <= port <= 65535:
+            raise ConfigError(f"port must be in [0, 65535], got {port}")
+        try:
+            self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        except OSError as exc:
+            raise ConfigError(
+                f"cannot serve telemetry on {host}:{port}: "
+                f"{exc.strerror or exc}") from None
+        self._httpd.daemon_threads = True
+        self._httpd.telemetry = self  # type: ignore[attr-defined]
+        self.host = host
+        self.port = int(self._httpd.server_address[1])
+        self.started_at = time.time()
+        self.started_utc = time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.started_at))
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        """Base URL clients should hit (no trailing slash)."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "TelemetryServer":
+        """Serve on a daemon thread; returns self for chaining."""
+        if self._thread is not None:
+            raise ConfigError("telemetry server already started")
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="repro-telemetry", daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Graceful shutdown: stop accepting, join, release the socket."""
+        if self._thread is not None:
+            self._httpd.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def start_server(port: int = 0, host: str = "127.0.0.1") -> TelemetryServer:
+    """Construct and start a :class:`TelemetryServer` in one call."""
+    return TelemetryServer(port, host).start()
+
+
+def maybe_start_from_env() -> TelemetryServer | None:
+    """Start a server iff ``$DPZ_METRICS_PORT`` is set; else ``None``.
+
+    A malformed value raises :class:`~repro.errors.ConfigError` (the
+    operator asked for telemetry and should not silently miss it).
+    """
+    raw = os.environ.get(METRICS_PORT_ENV)
+    if raw is None or raw.strip() == "":
+        return None
+    try:
+        port = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"${METRICS_PORT_ENV} must be an integer port, got {raw!r}"
+        ) from None
+    return start_server(port)

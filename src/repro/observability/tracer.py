@@ -161,6 +161,10 @@ class Tracer:
         self._spans: list[Span] = []
         self._next_id = 1
         self._stacks = threading.local()
+        # thread ident -> that thread's (live, mutable) span stack.
+        # Registered once per thread so the sampling profiler can see
+        # every thread's stack; only the owning thread mutates a stack.
+        self._live: dict[int, list[Span]] = {}
 
     # -- span lifecycle ---------------------------------------------------
 
@@ -184,6 +188,8 @@ class Tracer:
         if stack is None:
             stack = []
             self._stacks.stack = stack
+            with self._lock:
+                self._live[threading.get_ident()] = stack
         return stack
 
     def _push(self, record: Span) -> None:
@@ -203,6 +209,24 @@ class Tracer:
             stack.remove(record)
         with self._lock:
             self._spans.append(record)
+
+    def live_stacks(self) -> dict[int, tuple[str, ...]]:
+        """Every thread's currently-open span names, innermost last.
+
+        This is the sampling profiler's read surface.  Owning threads
+        keep mutating their stacks while we read, so each stack is
+        snapshotted with one atomic ``list()`` copy -- a sample taken
+        mid-push/pop may be one frame stale, which is exactly the
+        statistical error a wall-clock sampler already carries.
+        """
+        with self._lock:
+            stacks = list(self._live.items())
+        out: dict[int, tuple[str, ...]] = {}
+        for ident, stack in stacks:
+            names = tuple(s.name for s in list(stack))
+            if names:
+                out[ident] = names
+        return out
 
     def current(self) -> Span | None:
         """The innermost span still open on *this* thread, if any.

@@ -42,8 +42,15 @@ from repro.observability import (
     span,
     tracing_enabled,
 )
+from repro.observability.aggregate import (
+    capture_worker,
+    merge_frames,
+    snapshot_frame,
+    worker_origin,
+)
 
-__all__ = ["ParallelConfig", "parallel_map", "resolve_jobs", "shutdown_pool"]
+__all__ = ["ParallelConfig", "parallel_map", "pool_status", "resolve_jobs",
+           "shutdown_pool"]
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -89,6 +96,22 @@ _in_worker = threading.local()
 
 def _worker_init() -> None:
     _in_worker.flag = True
+
+
+def pool_status() -> dict:
+    """Liveness snapshot of the shared pool (the ``/healthz`` source).
+
+    Never creates a pool; safe to call from any thread at any time.
+    """
+    with _pool_lock:
+        pool, workers = _pool, _pool_workers
+    threads = getattr(pool, "_threads", None) if pool is not None else None
+    return {
+        "created": pool is not None,
+        "workers": workers,
+        "alive": (sum(1 for t in threads if t.is_alive())
+                  if threads is not None else 0),
+    }
 
 
 def shutdown_pool() -> None:
@@ -181,11 +204,36 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
             observe("parallel.chunk.seconds", time.perf_counter() - t0)
             gauge_add("parallel.queue.depth", -1)
 
+    def run_chunk_pooled(pair):
+        # Pooled tasks capture their metric emissions into a private
+        # task-local registry and ship a compact snapshot frame back
+        # with the result; the parent merges the frames below.  A task
+        # that raises returns no frame, so a failed worker merges
+        # nothing (pool not poisoned).  The chunk-latency observation
+        # and queue-depth decrement happen *outside* the capture: they
+        # are parent-side bookkeeping that must stay live.
+        i, item = pair
+        origin = worker_origin()
+        t0 = time.perf_counter()
+        try:
+            with capture_worker() as local:
+                with span("parallel.chunk", index=i, origin=origin):
+                    result = fn(item)
+            return result, snapshot_frame(local, origin=origin)
+        finally:
+            observe("parallel.chunk.seconds", time.perf_counter() - t0)
+            gauge_add("parallel.queue.depth", -1)
+
     with span("parallel.map", n_items=len(items),
-              workers=1 if serial else workers, serial=serial):
+              workers=1 if serial else workers, serial=serial) as sp:
         if serial:
             return [run_chunk(p) for p in enumerate(items)]
         if nested:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                return submit(pool, run_chunk, enumerate(items))
-        return submit(_get_pool(workers), run_chunk, enumerate(items))
+                pairs = submit(pool, run_chunk_pooled, enumerate(items))
+        else:
+            pairs = submit(_get_pool(workers), run_chunk_pooled,
+                           enumerate(items))
+        n_merged = merge_frames(frame for _, frame in pairs)
+        sp.add(worker_frames=n_merged)
+        return [result for result, _ in pairs]

@@ -46,10 +46,11 @@ from repro.store.chunking import (
 )
 from repro.store.format import ChunkRef, FieldMeta
 from repro.store.select import AUTO_CANDIDATES, compress_chunk_auto
-from repro.store.store import Store
+from repro.store.store import Store, open_store_stats
 
 __all__ = [
     "Store",
+    "open_store_stats",
     "ByteStore",
     "MemoryStore",
     "DirectoryStore",

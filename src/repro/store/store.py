@@ -47,6 +47,7 @@ from __future__ import annotations
 import os
 import struct
 import time
+import weakref
 from typing import Any, Iterable, Union
 
 import numpy as np
@@ -88,7 +89,7 @@ from repro.store.format import (
 )
 from repro.store.select import compress_chunk_auto
 
-__all__ = ["Store"]
+__all__ = ["Store", "open_store_stats"]
 
 PathLike = Union[str, "os.PathLike[str]"]
 Array = "np.ndarray[Any, np.dtype[Any]]"
@@ -102,6 +103,27 @@ _FROM_ARCHIVE_KW: dict[str, dict[str, Any]] = {
     "mgard": {"rel_eps": 1e-4},
     "zfp": {"rate": 8.0},
 }
+
+
+# Every live Store handle, for the telemetry /healthz endpoint.  A
+# WeakSet so a handle going out of scope unregisters itself -- Store
+# has no close(); its lifecycle *is* garbage collection.
+_OPEN_STORES: "weakref.WeakSet[Store]" = weakref.WeakSet()
+
+
+def open_store_stats() -> dict[str, int]:
+    """Aggregate cache occupancy across every live :class:`Store`.
+
+    The ``/healthz`` liveness source: how many handles exist and how
+    many decoded-chunk bytes they pin.  Iterating a WeakSet during GC
+    is safe -- dead handles simply stop appearing.
+    """
+    stores = list(_OPEN_STORES)
+    return {
+        "open_stores": len(stores),
+        "cache_bytes": sum(s._cache.nbytes for s in stores),
+        "cache_entries": sum(len(s._cache) for s in stores),
+    }
 
 
 def _canonical(data: Any) -> tuple[Any, str]:
@@ -126,6 +148,7 @@ class Store:
         self._backend = backend
         self._fields: dict[str, FieldMeta] = {m.name: m for m in fields}
         self._cache = ChunkCache(cache_bytes)
+        _OPEN_STORES.add(self)
 
     # -- lifecycle --------------------------------------------------------
 

@@ -1,0 +1,67 @@
+"""The metric catalog must cover every family the runtime emits."""
+
+from __future__ import annotations
+
+from repro.observability.catalog import (
+    COUNTERS,
+    GAUGES,
+    HISTOGRAMS,
+    METRIC_NAMES,
+)
+
+
+def test_store_cache_family_is_registered():
+    assert {"store.cache.hits", "store.cache.misses",
+            "store.cache.evictions",
+            "store.cache.invalidations"} <= COUNTERS
+    assert "store.cache.bytes" in GAUGES
+
+
+def test_parallel_pool_family_is_registered():
+    assert {"parallel.pool.created", "parallel.pool.reused",
+            "parallel.pool.nested"} <= COUNTERS
+    assert {"parallel.pool.size", "parallel.queue.depth"} <= GAUGES
+    assert "parallel.chunk.seconds" in HISTOGRAMS
+
+
+def test_telemetry_plane_families_are_registered():
+    assert {"worker.snapshots.merged", "worker.merge.lossy",
+            "server.requests", "server.errors",
+            "profiler.samples"} <= COUNTERS
+
+
+def test_kind_sets_are_disjoint():
+    assert not (COUNTERS & GAUGES)
+    assert not (COUNTERS & HISTOGRAMS)
+    assert not (GAUGES & HISTOGRAMS)
+    assert METRIC_NAMES == COUNTERS | GAUGES | HISTOGRAMS
+
+
+def test_runtime_emissions_stay_in_catalog():
+    """End-to-end: a pooled traced run plus a server scrape only ever
+    creates cataloged (or registered-prefix) series."""
+    import urllib.request
+
+    from repro.observability import (
+        Tracer,
+        counter_add,
+        get_registry,
+        use_tracer,
+    )
+    from repro.observability.catalog import METRIC_PREFIXES
+    from repro.observability.server import start_server
+    from repro.parallel.executor import ParallelConfig, parallel_map
+
+    get_registry().clear()
+    try:
+        with use_tracer(Tracer()):
+            parallel_map(lambda x: counter_add("store.chunks.compressed"),
+                         list(range(8)),
+                         config=ParallelConfig(n_jobs=2))
+        with start_server(0) as srv:
+            urllib.request.urlopen(srv.url + "/metrics", timeout=5).read()
+        for name in get_registry().names():
+            assert name in METRIC_NAMES or any(
+                name.startswith(p) for p in METRIC_PREFIXES), name
+    finally:
+        get_registry().clear()

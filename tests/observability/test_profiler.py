@@ -1,0 +1,157 @@
+"""Sampling profiler: span-stack attribution, records, flamegraph."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.observability import (
+    SamplingProfiler,
+    Tracer,
+    get_registry,
+    span,
+    use_profiler,
+    use_tracer,
+)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    get_registry().clear()
+    yield
+    get_registry().clear()
+
+
+def _busy(tracer: Tracer, seconds: float = 0.08) -> None:
+    with use_tracer(tracer):
+        with span("outer"):
+            with span("inner"):
+                time.sleep(seconds)
+
+
+class TestSampling:
+    def test_samples_attribute_to_span_stack(self):
+        tracer = Tracer()
+        with SamplingProfiler(tracer, interval=0.002) as prof:
+            _busy(tracer)
+        assert prof.total_samples > 0
+        folded = prof.folded()
+        assert "outer;inner" in folded
+        # Nearly all wall time was inside outer;inner.
+        assert folded["outer;inner"] >= 0.8 * sum(folded.values())
+
+    def test_idle_ticks_counted_when_nothing_is_open(self):
+        prof = SamplingProfiler(Tracer(), interval=0.002).start()
+        time.sleep(0.03)
+        prof.stop()
+        assert prof.ticks > 0
+        assert prof.idle_ticks == prof.ticks
+        assert prof.total_samples == 0
+
+    def test_follows_installed_tracer_when_none_given(self):
+        tracer = Tracer()
+        with use_profiler(interval=0.002) as prof:
+            _busy(tracer)
+        assert "outer;inner" in prof.folded()
+
+    def test_stop_publishes_sample_counter(self):
+        tracer = Tracer()
+        with SamplingProfiler(tracer, interval=0.002) as prof:
+            _busy(tracer, 0.04)
+        assert get_registry().counter("profiler.samples").value == \
+            prof.total_samples > 0
+
+    def test_sees_pool_worker_stacks(self):
+        from repro.parallel.executor import ParallelConfig, parallel_map
+
+        tracer = Tracer()
+        with SamplingProfiler(tracer, interval=0.002) as prof:
+            with use_tracer(tracer):
+                parallel_map(lambda x: time.sleep(0.02),
+                             list(range(8)),
+                             config=ParallelConfig(n_jobs=4))
+        assert any("parallel.chunk" in stack
+                   for stack in prof.folded()), prof.folded()
+
+
+class TestOutputs:
+    def _profiled(self) -> SamplingProfiler:
+        tracer = Tracer()
+        with SamplingProfiler(tracer, interval=0.002) as prof:
+            _busy(tracer)
+        return prof
+
+    def test_to_records_schema(self):
+        prof = self._profiled()
+        records = prof.to_records()
+        header, samples = records[0], records[1:]
+        assert header["event"] == "profile"
+        assert header["format"] == "repro-profile"
+        assert header["version"] == 1
+        assert header["interval_s"] == prof.interval
+        assert header["total_samples"] == sum(r["count"] for r in samples)
+        for rec in samples:
+            assert rec["event"] == "sample"
+            assert isinstance(rec["stack"], list) and rec["stack"]
+            assert rec["count"] >= 1
+            assert rec["est_s"] == pytest.approx(
+                rec["count"] * prof.interval)
+
+    def test_flamegraph_html(self, tmp_path):
+        prof = self._profiled()
+        out = tmp_path / "prof.html"
+        n_roots = prof.write_flamegraph(str(out), title="test profile")
+        html = out.read_text()
+        assert n_roots >= 1
+        assert "test profile" in html
+        assert "outer" in html and "inner" in html
+
+    def test_span_forest_durations_nest(self):
+        prof = self._profiled()
+        spans = prof._span_forest()
+        by_id = {s["span_id"]: s for s in spans}
+        for s in spans:
+            if s["parent_id"] is not None:
+                # A parent's estimated time includes all its children.
+                assert by_id[s["parent_id"]]["dur"] >= s["dur"]
+
+
+class TestLifecycle:
+    def test_double_start_refused(self):
+        prof = SamplingProfiler(Tracer(), interval=0.01).start()
+        try:
+            with pytest.raises(ConfigError, match="already running"):
+                prof.start()
+        finally:
+            prof.stop()
+
+    def test_stop_is_idempotent(self):
+        prof = SamplingProfiler(Tracer(), interval=0.01).start()
+        prof.stop()
+        prof.stop()
+
+    def test_bad_interval_and_mode_rejected(self):
+        with pytest.raises(ConfigError, match="interval"):
+            SamplingProfiler(Tracer(), interval=0.0)
+        with pytest.raises(ConfigError, match="mode"):
+            SamplingProfiler(Tracer(), mode="magic")
+
+    def test_signal_mode_falls_back_off_main_thread(self):
+        import threading
+
+        results: dict = {}
+
+        def run() -> None:
+            prof = SamplingProfiler(Tracer(), interval=0.01,
+                                    mode="signal").start()
+            results["mode"] = prof.mode
+            results["reason"] = prof.fallback_reason
+            prof.stop()
+
+        t = threading.Thread(target=run)
+        t.start()
+        t.join()
+        assert results["mode"] == "thread"
+        assert "main thread" in results["reason"]

@@ -1,0 +1,85 @@
+"""Dashboard rendering: totals, rates, and graceful empty panels."""
+
+from __future__ import annotations
+
+from repro.observability.top import Dashboard, _fmt_num, _fmt_secs
+
+
+def _snapshot(*, compressed=0, hits=0, misses=0, cache_bytes=0.0,
+              queue=0.0, pool=0.0, region_hist=None) -> dict:
+    snap = {
+        "counters": {
+            "store.chunks.compressed": compressed,
+            "store.cache.hits": hits,
+            "store.cache.misses": misses,
+        },
+        "gauges": {
+            "store.cache.bytes": cache_bytes,
+            "parallel.queue.depth": queue,
+            "parallel.pool.size": pool,
+        },
+        "histograms": {},
+    }
+    if region_hist is not None:
+        snap["histograms"]["store.region.seconds"] = region_hist
+    return snap
+
+
+class TestPanels:
+    def test_empty_snapshot_renders_all_panels(self):
+        out = Dashboard().update({})
+        for panel in ("throughput", "cache", "latency", "pool"):
+            assert panel in out
+        assert "(no traffic yet)" in out
+        assert "(cold)" in out
+        assert "(no samples)" in out
+
+    def test_totals_then_rates(self):
+        clock_values = iter([10.0, 12.0])
+        dash = Dashboard(clock=lambda: next(clock_values))
+        first = dash.update(_snapshot(compressed=100))
+        assert "chunks compressed" in first and "100" in first
+        assert "/s" not in first  # no rate on the first frame
+        second = dash.update(_snapshot(compressed=300))
+        # 200 more chunks over 2 seconds -> 100/s.
+        assert "100/s" in second
+        assert "300" in second
+
+    def test_counter_reset_clamps_rate_to_zero(self):
+        clock_values = iter([0.0, 1.0])
+        dash = Dashboard(clock=lambda: next(clock_values))
+        dash.update(_snapshot(compressed=500))
+        out = dash.update(_snapshot(compressed=20))  # process restarted
+        assert "-" not in out.split("chunks compressed")[1].split("\n")[0]
+        assert "0/s" in out
+
+    def test_cache_panel_hit_rate(self):
+        out = Dashboard().update(_snapshot(hits=75, misses=25,
+                                           cache_bytes=2 ** 20))
+        assert "75% hit rate" in out
+        assert "1.05M" in out  # 2**20 bytes
+
+    def test_latency_panel_quantiles(self):
+        hist = {"count": 40, "p50": 0.004, "p95": 0.120}
+        out = Dashboard().update(_snapshot(region_hist=hist))
+        assert "region read" in out
+        assert "4.0ms" in out and "120.0ms" in out and "n=40" in out
+
+    def test_pool_panel_gauges(self):
+        out = Dashboard().update(_snapshot(queue=17.0, pool=8.0))
+        assert "queue depth" in out and "17" in out
+        assert "workers" in out and "8" in out
+
+
+class TestFormatting:
+    def test_fmt_num_scales(self):
+        assert _fmt_num(950) == "950"
+        assert _fmt_num(1_500) == "1.50k"
+        assert _fmt_num(2_300_000) == "2.30M"
+        assert _fmt_num(7.5e9) == "7.50G"
+
+    def test_fmt_secs_units(self):
+        assert _fmt_secs(0.00042) == "420us"
+        assert _fmt_secs(0.035) == "35.0ms"
+        assert _fmt_secs(2.5) == "2.50s"
+        assert _fmt_secs(float("nan")) == "-"

@@ -66,7 +66,53 @@ def test_disabled_overhead_under_one_percent():
     the effect being measured, so we bound the overhead instead: each
     disabled helper is a global load + None test + return, and a traced
     run on this field fires well under 500 instrumentation calls.
+    Both sides are best-of-N: the bound compares intrinsic costs, and a
+    single timing window flakes on a one-off scheduler stall when the
+    test runs late in a long suite.
     """
+    data = get_dataset("Isotropic", "small")
+    comp = DPZCompressor(DPZ_L)
+    comp.compress(data)  # warm
+    compress_s = float("inf")
+    for _ in range(3):
+        t0 = time.perf_counter()
+        comp.compress(data)
+        compress_s = min(compress_s, time.perf_counter() - t0)
+
+    n = 50_000
+    per_bundle_s = float("inf")
+    for _ in range(4):
+        t0 = time.perf_counter()
+        for _ in range(n):
+            span("bench.noop")
+            counter_inc("bench.noop")
+            gauge_set("bench.noop", 1.0)
+            observe("bench.noop", 1.0)
+        per_bundle_s = min(per_bundle_s, (time.perf_counter() - t0) / n)
+
+    # A traced compress+decompress on this field opens ~12 spans, ~12
+    # histogram observes and a handful of counter/gauge calls, so 200
+    # bundles (800 helper calls) is well over 10x anything the pipeline
+    # actually executes -- while leaving slack for the CPU throttling
+    # that hits tight interpreter loops late in a long suite much
+    # harder than the numpy-bound compress baseline.
+    bound = 200 * per_bundle_s
+    assert bound < 0.01 * compress_s, (
+        f"disabled observability bound {bound * 1e6:.1f}us is not <1% of "
+        f"compress ({compress_s * 1e3:.1f}ms)")
+    # And nothing leaked into the registry while disabled.
+    from repro.observability import metrics_snapshot
+    assert "bench.noop" not in metrics_snapshot()["counters"]
+
+
+def test_untraced_parallel_map_overhead_under_one_percent():
+    """The telemetry plane must cost nothing on the untraced pooled
+    path: no capture registry, no frame, no merge.  Analytic bound as
+    above -- per-item dispatch overhead of ``parallel_map`` versus a
+    bare loop, scaled to a realistic chunk count, must stay under 1%
+    of one real chunked compress."""
+    from repro.parallel.executor import ParallelConfig, parallel_map
+
     data = get_dataset("Isotropic", "small")
     comp = DPZCompressor(DPZ_L)
     comp.compress(data)  # warm
@@ -74,21 +120,53 @@ def test_disabled_overhead_under_one_percent():
     comp.compress(data)
     compress_s = time.perf_counter() - t0
 
-    n = 200_000
+    items = list(range(2_000))
+    fn = int  # trivially cheap: the measurement is pure dispatch
+    config = ParallelConfig(n_jobs=1)
+    parallel_map(fn, items, config=config)  # warm
     t0 = time.perf_counter()
-    for _ in range(n):
-        span("bench.noop")
-        counter_inc("bench.noop")
-        gauge_set("bench.noop", 1.0)
-        observe("bench.noop", 1.0)
-    per_bundle_s = (time.perf_counter() - t0) / n
+    parallel_map(fn, items, config=config)
+    with_map_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    [fn(item) for item in items]
+    bare_s = time.perf_counter() - t0
 
-    # 500 call sites x (span + counter + gauge + histogram) per run is
-    # several times anything the pipeline actually executes.
-    bound = 500 * per_bundle_s
+    per_item_overhead = max(with_map_s - bare_s, 0.0) / len(items)
+    # A 64^3 field at 16^3 chunks is 64 chunks; bound at 512.
+    bound = 512 * per_item_overhead
     assert bound < 0.01 * compress_s, (
-        f"disabled observability bound {bound * 1e6:.1f}us is not <1% of "
-        f"compress ({compress_s * 1e3:.1f}ms)")
-    # And nothing leaked into the registry while disabled.
+        f"untraced parallel_map bound {bound * 1e6:.1f}us is not <1% "
+        f"of compress ({compress_s * 1e3:.1f}ms)")
+    # And the untraced run left no telemetry behind.
     from repro.observability import metrics_snapshot
-    assert "bench.noop" not in metrics_snapshot()["counters"]
+    snap = metrics_snapshot()
+    assert "worker.snapshots.merged" not in snap["counters"]
+    assert "parallel.maps" not in snap["counters"]
+
+
+def test_server_not_started_costs_nothing():
+    """With no telemetry server started there must be no server
+    thread, no socket, and -- unless something else imported it -- not
+    even the server module."""
+    import subprocess
+    import sys as _sys
+    import threading
+
+    assert not [t for t in threading.enumerate()
+                if t.name == "repro-telemetry"]
+    # A fresh interpreter importing the package and compressing must
+    # never pull in the HTTP machinery.
+    code = (
+        "import sys\n"
+        "import numpy as np\n"
+        "from repro.core.compressor import DPZCompressor\n"
+        "from repro.core.config import DPZ_L\n"
+        "DPZCompressor(DPZ_L).compress("
+        "np.random.RandomState(0).rand(16, 16, 16).astype(np.float32))\n"
+        "assert 'repro.observability.server' not in sys.modules\n"
+        "assert 'http.server' not in sys.modules\n"
+    )
+    proc = subprocess.run(
+        [_sys.executable, "-c", code], capture_output=True, text=True,
+        env={"PATH": "", "PYTHONPATH": ":".join(_sys.path)})
+    assert proc.returncode == 0, proc.stderr
