@@ -278,8 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the repo-native static-analysis pass")
     pn.add_argument("paths", nargs="+",
                     help="files or directories to lint")
-    pn.add_argument("--format", choices=("human", "json"),
-                    default="human", help="output format")
+    pn.add_argument("--format", choices=("human", "json", "json-v1"),
+                    default="human",
+                    help="output format (json-v1 = frozen version-1 "
+                         "schema for legacy report readers)")
     pn.add_argument("--select", default=None,
                     help="comma-separated rule ids to run "
                          "(default: all)")
@@ -782,13 +784,14 @@ def _cmd_lint(args) -> int:
         lint_paths,
         resolve_selection,
         to_json,
+        to_json_v1,
         to_text,
     )
 
     rules = resolve_selection(args.select)
     report = lint_paths(args.paths, rules)
-    rendered = (to_json(report, rules) if args.format == "json"
-                else to_text(report, rules))
+    renderers = {"json": to_json, "json-v1": to_json_v1, "human": to_text}
+    rendered = renderers[args.format](report, rules)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             fh.write(rendered + "\n")

@@ -26,12 +26,12 @@ never a bare ``KeyError``.
 from __future__ import annotations
 
 import importlib
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Protocol
 
 import numpy as np
 
+from repro.devtools.sanitize import checked_rlock
 from repro.errors import ConfigError
 
 __all__ = [
@@ -77,7 +77,9 @@ class CodecSpec:
         object.__setattr__(self, "pair", (self.compress, self.decompress))
 
 
-_LOCK = threading.RLock()
+# Reentrant: _ensure_builtins holds it while importing modules whose
+# bodies call register_codec, which takes it again on the same thread.
+_LOCK = checked_rlock("codecs.registry._LOCK")
 _REGISTRY: dict[str, CodecSpec] = {}
 _builtins_loaded = False
 

@@ -1,6 +1,19 @@
 """Developer tooling for the repro codebase.
 
-Nothing in this subpackage is imported by the runtime compression
-pipeline; it holds tools that operate *on* the codebase, chiefly
-:mod:`repro.devtools.lint` (the ``dpz lint`` static-analysis pass).
+Two halves live here:
+
+* :mod:`repro.devtools.lint` -- the ``dpz lint`` static-analysis pass
+  (per-file rules plus the cross-module call-graph engine behind the
+  DPZ8xx concurrency family).  Nothing in the runtime pipeline imports
+  it.
+* :mod:`repro.devtools.sanitize` -- the ``DPZ_SANITIZE=1`` runtime
+  thread sanitizer.  The concurrency-bearing runtime modules *do*
+  import its :func:`~repro.devtools.sanitize.checked_lock` /
+  :func:`~repro.devtools.sanitize.checked_rlock` factories, which is
+  safe by construction: the module depends only on the standard
+  library and :mod:`repro.errors`, and with the flag unset (the
+  default) the factories return plain ``threading`` locks.
+
+This package's ``__init__`` must therefore stay empty of imports so
+that pulling in the sanitizer never drags the lint engine along.
 """

@@ -12,7 +12,12 @@ local test still passes:
 * metric names must come from the central catalog (DPZ401),
 * compress/decompress entry points must be traced (DPZ501),
 * no mutable default arguments (DPZ601),
-* the public API surface must be documented (DPZ701).
+* the public API surface must be documented (DPZ701),
+* worker-reachable code may not mutate shared state unguarded, call
+  process-global singleton mutators, invert lock order, or skip a
+  majority-established field guard (DPZ801-DPZ804 -- project-scope
+  rules over the cross-module call graph in
+  :mod:`repro.devtools.lint.callgraph`).
 
 Run it as ``dpz lint src/`` (human output) or
 ``dpz lint src/ --format json`` (CI artifact).  Suppress a finding
@@ -36,7 +41,12 @@ from repro.devtools.lint.registry import (
     resolve_selection,
     rule,
 )
-from repro.devtools.lint.report import JSON_VERSION, to_json, to_text
+from repro.devtools.lint.report import (
+    JSON_VERSION,
+    to_json,
+    to_json_v1,
+    to_text,
+)
 
 __all__ = [
     "FileContext",
@@ -53,5 +63,6 @@ __all__ = [
     "resolve_selection",
     "JSON_VERSION",
     "to_json",
+    "to_json_v1",
     "to_text",
 ]

@@ -27,9 +27,15 @@ import re
 import tokenize
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, cast
 
-from repro.devtools.lint.registry import Rule, all_rules
+from repro.devtools.lint.callgraph import Project, build_project
+from repro.devtools.lint.registry import (
+    CheckFn,
+    ProjectCheckFn,
+    Rule,
+    all_rules,
+)
 from repro.errors import ConfigError
 
 __all__ = ["Finding", "FileContext", "LintReport", "lint_file",
@@ -171,11 +177,17 @@ def _derive_module(path: str) -> str:
 
 @dataclass
 class LintReport:
-    """Aggregate result of one lint run."""
+    """Aggregate result of one lint run.
+
+    ``call_graph`` carries the cross-module analysis digest (module /
+    edge / worker-reachability counts) when any project-scope rule ran;
+    ``None`` otherwise.  The v2 JSON report embeds it.
+    """
 
     findings: list[Finding]
     files_checked: int
     suppressed: int
+    call_graph: dict[str, int] | None = None
 
     @property
     def counts(self) -> dict[str, int]:
@@ -207,48 +219,132 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
                 yield f
 
 
-def lint_file(path: str | Path, rules: dict[str, Rule] | None = None,
-              *, module: str | None = None) -> tuple[list[Finding], int]:
-    """Lint one file; returns ``(findings, n_suppressed)``.
+def _load_context(path: str | Path, module: str | None = None
+                  ) -> tuple[FileContext | None, list[Finding]]:
+    """Read + parse one file into a context, degrading to findings.
 
-    Unparseable files yield a single :data:`PARSE_ERROR_ID` finding
-    rather than aborting the whole run.
+    An unreadable file (broken symlink, permission error) or an
+    unparseable one yields a single :data:`PARSE_ERROR_ID` finding
+    instead of aborting the run; a ``skip-file`` directive yields
+    neither a context nor findings.
     """
-    if rules is None:
-        rules = all_rules()
-    text = Path(path).read_text(encoding="utf-8")
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return None, [Finding(
+            rule=PARSE_ERROR_ID, path=str(path), line=1, col=0,
+            message=f"could not read file: {exc.strerror or exc}")]
+    except UnicodeDecodeError as exc:
+        return None, [Finding(
+            rule=PARSE_ERROR_ID, path=str(path), line=1, col=0,
+            message=f"could not decode file as UTF-8: {exc.reason}")]
     try:
         ctx = FileContext(str(path), text, module=module)
     except SyntaxError as exc:
-        return [Finding(rule=PARSE_ERROR_ID, path=str(path),
-                        line=exc.lineno or 1, col=exc.offset or 0,
-                        message=f"could not parse file: {exc.msg}")], 0
+        return None, [Finding(
+            rule=PARSE_ERROR_ID, path=str(path),
+            line=exc.lineno or 1, col=exc.offset or 0,
+            message=f"could not parse file: {exc.msg}")]
     if ctx.skip_file:
-        return [], 0
+        return None, []
+    return ctx, []
+
+
+def _run_file_rules(ctx: FileContext, rules: dict[str, Rule]
+                    ) -> tuple[list[Finding], int]:
     findings: list[Finding] = []
     suppressed = 0
     for r in rules.values():
-        for f in r.check(ctx):
+        if r.scope != "file":
+            continue
+        for f in cast(CheckFn, r.check)(ctx):
             if ctx.suppressed(f):
                 suppressed += 1
             else:
                 findings.append(f)
+    return findings, suppressed
+
+
+def _run_project_rules(project: Project, rules: dict[str, Rule],
+                       by_path: dict[str, FileContext]
+                       ) -> tuple[list[Finding], int]:
+    findings: list[Finding] = []
+    suppressed = 0
+    for r in rules.values():
+        if r.scope != "project":
+            continue
+        for f in cast(ProjectCheckFn, r.check)(project):
+            ctx = by_path.get(f.path)
+            if ctx is not None and ctx.suppressed(f):
+                suppressed += 1
+            else:
+                findings.append(f)
+    return findings, suppressed
+
+
+def _has_project_rules(rules: dict[str, Rule]) -> bool:
+    return any(r.scope == "project" for r in rules.values())
+
+
+def lint_file(path: str | Path, rules: dict[str, Rule] | None = None,
+              *, module: str | None = None) -> tuple[list[Finding], int]:
+    """Lint one file; returns ``(findings, n_suppressed)``.
+
+    Unreadable or unparseable files yield a single
+    :data:`PARSE_ERROR_ID` finding rather than aborting the whole run.
+    Project-scope rules see a single-file project: cross-module
+    resolution degrades to name-based matching, which is exactly what
+    the fixture corpus exercises.
+    """
+    if rules is None:
+        rules = all_rules()
+    ctx, pre = _load_context(path, module)
+    if ctx is None:
+        return pre, 0
+    findings, suppressed = _run_file_rules(ctx, rules)
+    if _has_project_rules(rules):
+        project = build_project([ctx])
+        pf, ps = _run_project_rules(project, rules, {ctx.path: ctx})
+        findings.extend(pf)
+        suppressed += ps
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings, suppressed
 
 
 def lint_paths(paths: Iterable[str | Path],
                rules: dict[str, Rule] | None = None) -> LintReport:
-    """Lint every Python file under ``paths``."""
+    """Lint every Python file under ``paths``.
+
+    Runs in two passes: per-file rules as each file parses, then --
+    when any project-scope rule is selected -- the cross-module pass
+    over a :class:`~repro.devtools.lint.callgraph.Project` built from
+    every successfully parsed file.
+    """
     if rules is None:
         rules = all_rules()
     findings: list[Finding] = []
     suppressed = 0
     n_files = 0
+    contexts: list[FileContext] = []
+    by_path: dict[str, FileContext] = {}
     for f in iter_python_files(paths):
         n_files += 1
-        file_findings, file_suppressed = lint_file(f, rules)
+        ctx, pre = _load_context(f)
+        findings.extend(pre)
+        if ctx is None:
+            continue
+        contexts.append(ctx)
+        by_path[ctx.path] = ctx
+        file_findings, file_suppressed = _run_file_rules(ctx, rules)
         findings.extend(file_findings)
         suppressed += file_suppressed
+    call_graph: dict[str, int] | None = None
+    if contexts and _has_project_rules(rules):
+        project = build_project(contexts)
+        call_graph = project.summary()
+        pf, ps = _run_project_rules(project, rules, by_path)
+        findings.extend(pf)
+        suppressed += ps
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return LintReport(findings=findings, files_checked=n_files,
-                      suppressed=suppressed)
+                      suppressed=suppressed, call_graph=call_graph)

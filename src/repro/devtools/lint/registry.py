@@ -16,19 +16,31 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Iterable
+from typing import TYPE_CHECKING, Callable, Iterable, TypeVar, Union
 
 from repro.errors import ConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.devtools.lint.callgraph import Project
     from repro.devtools.lint.engine import FileContext, Finding
 
 __all__ = ["Rule", "rule", "all_rules", "get_rule", "resolve_selection"]
 
 _RULE_ID = re.compile(r"^DPZ\d{3}$")
 
-#: Callable signature every rule check implements.
+#: Callable signature of a file-scope rule check.
 CheckFn = Callable[["FileContext"], Iterable["Finding"]]
+
+#: Callable signature of a project-scope rule check (cross-module
+#: analysis over the whole-tree call graph).
+ProjectCheckFn = Callable[["Project"], Iterable["Finding"]]
+
+AnyCheckFn = Union[CheckFn, ProjectCheckFn]
+
+_Fn = TypeVar("_Fn", bound=AnyCheckFn)
+
+#: Valid values for :attr:`Rule.scope`.
+SCOPES = ("file", "project")
 
 
 @dataclass(frozen=True)
@@ -46,21 +58,28 @@ class Rule:
     rationale:
         Why violating the invariant is a real hazard in this repo.
     check:
-        The checker callable.
+        The checker callable.  File-scope checks receive one
+        :class:`~repro.devtools.lint.engine.FileContext`; project-scope
+        checks receive a whole-tree
+        :class:`~repro.devtools.lint.callgraph.Project`.
+    scope:
+        ``"file"`` (the default) or ``"project"``.
     """
 
     id: str
     name: str
     summary: str
     rationale: str
-    check: CheckFn
+    check: AnyCheckFn
+    scope: str = "file"
 
 
 _RULES: dict[str, Rule] = {}
 
 
 def rule(rule_id: str, name: str, summary: str,
-         rationale: str = "") -> Callable[[CheckFn], CheckFn]:
+         rationale: str = "", *, scope: str = "file"
+         ) -> Callable[[_Fn], _Fn]:
     """Register a checker under ``rule_id`` (decorator).
 
     Duplicate or malformed ids are programming errors and raise
@@ -68,12 +87,15 @@ def rule(rule_id: str, name: str, summary: str,
     """
     if not _RULE_ID.match(rule_id):
         raise ConfigError(f"bad rule id {rule_id!r} (want DPZ###)")
+    if scope not in SCOPES:
+        raise ConfigError(
+            f"bad rule scope {scope!r} for {rule_id}; want one of {SCOPES}")
 
-    def deco(fn: CheckFn) -> CheckFn:
+    def deco(fn: _Fn) -> _Fn:
         if rule_id in _RULES:
             raise ConfigError(f"duplicate rule id {rule_id}")
         _RULES[rule_id] = Rule(id=rule_id, name=name, summary=summary,
-                               rationale=rationale, check=fn)
+                               rationale=rationale, check=fn, scope=scope)
         return fn
 
     return deco

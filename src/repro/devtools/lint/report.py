@@ -1,7 +1,22 @@
 """Rendering lint results: human one-liners and machine JSON.
 
-The JSON document is versioned (``{"version": 1}``) because CI uploads
-it as an artifact and the schema therefore outlives any one checkout.
+The JSON document is versioned because CI uploads it as an artifact
+and the schema therefore outlives any one checkout.  Version 2 adds
+two keys on top of the v1 shape:
+
+``call_graph``
+    Digest of the cross-module analysis (module/function/edge counts,
+    worker-reachability) when any project-scope rule ran; ``null``
+    otherwise.
+``fixture_corpus``
+    Per-rule precision/recall stats from the seeded race-fixture
+    corpus for every selected DPZ8xx rule -- evidence in the artifact
+    that the concurrency checkers themselves still detect what they
+    claim to.
+
+Readers pinned to the v1 schema keep working via
+``dpz lint --format json-v1`` (:func:`to_json_v1`), which emits the
+exact version-1 document with none of the new keys.
 """
 
 from __future__ import annotations
@@ -12,9 +27,9 @@ from typing import Any
 from repro.devtools.lint.engine import LintReport
 from repro.devtools.lint.registry import Rule
 
-__all__ = ["to_text", "to_json", "JSON_VERSION"]
+__all__ = ["to_text", "to_json", "to_json_v1", "JSON_VERSION"]
 
-JSON_VERSION = 1
+JSON_VERSION = 2
 
 
 def to_text(report: LintReport, rules: dict[str, Rule]) -> str:
@@ -35,13 +50,19 @@ def to_text(report: LintReport, rules: dict[str, Rule]) -> str:
             f"dpzlint: {report.files_checked} files clean"
             + (f" ({report.suppressed} suppressed)"
                if report.suppressed else ""))
+    if report.call_graph:
+        cg = report.call_graph
+        lines.append(
+            f"call graph: {cg['modules']} modules, "
+            f"{cg['functions']} functions, {cg['edges']} edges, "
+            f"{cg['worker_reachable_functions']} worker-reachable")
     return "\n".join(lines)
 
 
-def to_json(report: LintReport, rules: dict[str, Rule]) -> str:
-    """Machine-readable report (stable, versioned schema)."""
-    doc: dict[str, Any] = {
-        "version": JSON_VERSION,
+def _base_doc(report: LintReport, rules: dict[str, Rule]
+              ) -> dict[str, Any]:
+    """The fields shared by every JSON schema version."""
+    return {
         "tool": "dpzlint",
         "files_checked": report.files_checked,
         "suppressed": report.suppressed,
@@ -56,4 +77,29 @@ def to_json(report: LintReport, rules: dict[str, Rule]) -> str:
             for f in report.findings
         ],
     }
+
+
+def to_json(report: LintReport, rules: dict[str, Rule]) -> str:
+    """Machine-readable report, current (version-2) schema."""
+    doc = _base_doc(report, rules)
+    doc["version"] = JSON_VERSION
+    doc["call_graph"] = report.call_graph
+    # Only pay the corpus cost when a corpus-backed rule was selected.
+    from repro.devtools.lint.corpus import CORPUS, corpus_stats
+
+    if any(rid in rules for rid in CORPUS):
+        doc["fixture_corpus"] = corpus_stats(rules)
+    else:
+        doc["fixture_corpus"] = {}
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def to_json_v1(report: LintReport, rules: dict[str, Rule]) -> str:
+    """Machine-readable report, frozen version-1 schema.
+
+    Exists for CI consumers written against the original artifact
+    shape; emits exactly the v1 keys and nothing else.
+    """
+    doc = _base_doc(report, rules)
+    doc["version"] = 1
     return json.dumps(doc, indent=2, sort_keys=True)

@@ -14,10 +14,12 @@ invariant family:
  DPZ5xx    tracing coverage
  DPZ6xx    API hygiene (mutable defaults)
  DPZ7xx    documentation coverage
+ DPZ8xx    concurrency safety (project scope, call-graph based)
 ========  ==============================================
 """
 
 from repro.devtools.lint.rules import (  # noqa: F401  (import = register)
+    concurrency,
     determinism,
     exceptions,
     hygiene,

@@ -1,0 +1,233 @@
+"""Runtime thread sanitizer: checked locks with ownership + ordering.
+
+The static DPZ8xx rules prove what they can see; this module checks at
+runtime what they cannot.  With ``DPZ_SANITIZE=1`` in the environment,
+the concurrency-bearing singletons (the decoded-chunk cache, the metric
+registry, the shared thread pool, the codec registry, the tracer, the
+run registry) construct their locks through :func:`checked_lock` /
+:func:`checked_rlock` instead of ``threading.Lock`` and get back
+instrumented locks that assert, on every transition:
+
+* **ownership** -- releasing a lock a thread does not hold, or
+  re-acquiring a non-reentrant lock the same thread already holds
+  (guaranteed deadlock), raises :class:`~repro.errors.SanitizerError`
+  immediately instead of hanging the process;
+* **ordering** -- every acquisition records a *lock-order edge* from
+  each lock the thread already holds to the lock being taken, into one
+  process-wide order graph keyed by lock **names** (lock classes, in
+  the lockdep sense -- every ``ChunkCache`` instance shares one node).
+  An acquisition whose edge would close a cycle raises
+  :class:`~repro.errors.SanitizerError` naming the inverted pair, which
+  turns a once-a-week ABBA deadlock hang into a deterministic test
+  failure at the first inconsistent acquisition.
+
+With the environment flag unset (the default, and the only mode
+production code ever runs in), the factories return plain
+``threading.Lock()`` / ``threading.RLock()`` objects: zero wrappers,
+zero overhead, zero behavior change.  The flag is sampled when the
+lock is *created* -- for the module-level singletons that means at
+import -- so ``DPZ_SANITIZE=1`` must be set before ``repro`` is
+imported (the CI sanitizer job and the thread-hammer tests both export
+it at process start).
+
+Only the standard library and :mod:`repro.errors` are imported here,
+so runtime modules can depend on this one without cycles or cost.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Protocol
+
+from repro.errors import SanitizerError
+
+__all__ = [
+    "enabled",
+    "checked_lock",
+    "checked_rlock",
+    "CheckedLock",
+    "CheckedRLock",
+    "lock_order_edges",
+    "reset_lock_order",
+    "held_locks",
+]
+
+
+class LockLike(Protocol):
+    """What callers may assume about a lock from these factories."""
+
+    def acquire(self, blocking: bool = True,
+                timeout: float = -1) -> bool: ...
+
+    def release(self) -> None: ...
+
+    def __enter__(self) -> bool: ...
+
+    def __exit__(self, exc_type: object, exc: object,
+                 tb: object) -> object: ...
+
+
+def enabled() -> bool:
+    """True when ``DPZ_SANITIZE`` is set to anything but ``""``/``0``."""
+    return os.environ.get("DPZ_SANITIZE", "") not in ("", "0")
+
+
+# -- process-wide order graph ------------------------------------------------
+
+#: Guards the order graph itself; deliberately a *plain* lock -- the
+#: sanitizer must not recurse into its own machinery.
+_GRAPH_LOCK = threading.Lock()
+
+#: lock name -> names acquired while it was held (order edges).
+_ORDER_EDGES: dict[str, set[str]] = {}
+
+
+class _HeldStack(threading.local):
+    """Per-thread stack of checked-lock names currently held."""
+
+    def __init__(self) -> None:
+        self.names: list[str] = []
+
+
+_HELD = _HeldStack()
+
+
+def held_locks() -> tuple[str, ...]:
+    """Names of checked locks this thread holds, outermost first."""
+    return tuple(_HELD.names)
+
+
+def lock_order_edges() -> dict[str, frozenset[str]]:
+    """Snapshot of the observed lock-order graph (for tests/debugging)."""
+    with _GRAPH_LOCK:
+        return {k: frozenset(v) for k, v in _ORDER_EDGES.items()}
+
+
+def reset_lock_order() -> None:
+    """Forget every recorded order edge (test isolation)."""
+    with _GRAPH_LOCK:
+        _ORDER_EDGES.clear()
+
+
+def _reaches(src: str, dst: str) -> bool:
+    """Whether ``dst`` is reachable from ``src`` (caller holds graph)."""
+    frontier = [src]
+    seen = {src}
+    while frontier:
+        node = frontier.pop()
+        for nxt in _ORDER_EDGES.get(node, ()):
+            if nxt == dst:
+                return True
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return False
+
+
+def _note_acquire(name: str, held: list[str]) -> None:
+    """Record order edges ``held[i] -> name``; raise on a cycle.
+
+    Same-name edges are skipped: two instances of one lock class held
+    together (hand-over-hand on cache entries, say) is a legitimate
+    pattern the class-level graph cannot order.
+    """
+    with _GRAPH_LOCK:
+        for prior in held:
+            if prior == name:
+                continue
+            # Adding prior -> name closes a cycle iff prior is already
+            # reachable from name.
+            if _reaches(name, prior):
+                raise SanitizerError(
+                    f"lock-order inversion: acquiring {name!r} while "
+                    f"holding {prior!r}, but {prior!r} has previously "
+                    f"been acquired after {name!r} (ABBA deadlock "
+                    f"candidate); edges: {sorted(_ORDER_EDGES)}")
+            _ORDER_EDGES.setdefault(prior, set()).add(name)
+
+
+class CheckedLock:
+    """A non-reentrant lock with ownership and order assertions."""
+
+    _reentrant = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._owner: int | None = None
+        self._count = 0
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        me = threading.get_ident()
+        if self._owner == me:
+            if not self._reentrant:
+                raise SanitizerError(
+                    f"self-deadlock: thread already holds "
+                    f"non-reentrant lock {self.name!r}")
+            self._count += 1
+            return True
+        _note_acquire(self.name, _HELD.names)
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            self._owner = me
+            self._count = 1
+            _HELD.names.append(self.name)
+        return ok
+
+    def release(self) -> None:
+        me = threading.get_ident()
+        if self._owner != me:
+            raise SanitizerError(
+                f"lock {self.name!r} released by thread {me} which "
+                f"does not hold it (owner: {self._owner})")
+        self._count -= 1
+        if self._count == 0:
+            self._owner = None
+            # Remove the innermost occurrence; releases are almost
+            # always LIFO but out-of-order release is legal.
+            for i in range(len(_HELD.names) - 1, -1, -1):
+                if _HELD.names[i] == self.name:
+                    del _HELD.names[i]
+                    break
+            self._lock.release()
+
+    def locked(self) -> bool:
+        """Mirror ``threading.Lock.locked`` (diagnostics only)."""
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = f"held by {self._owner}" if self._owner else "unlocked"
+        return f"<{type(self).__name__} {self.name!r} {state}>"
+
+
+class CheckedRLock(CheckedLock):
+    """Reentrant variant: same-thread re-acquisition nests instead of
+    raising (matching ``threading.RLock``)."""
+
+    _reentrant = True
+
+
+def checked_lock(name: str) -> LockLike:
+    """A ``threading.Lock`` -- checked when ``DPZ_SANITIZE`` is set.
+
+    ``name`` identifies the lock *class* in sanitizer reports and the
+    order graph; every instance created with the same name shares one
+    node, so use one name per lock field/global, not per object.
+    """
+    if enabled():
+        return CheckedLock(name)
+    return threading.Lock()
+
+
+def checked_rlock(name: str) -> LockLike:
+    """A ``threading.RLock`` -- checked when ``DPZ_SANITIZE`` is set."""
+    if enabled():
+        return CheckedRLock(name)
+    return threading.RLock()

@@ -18,6 +18,9 @@ subsystems raise more specific subclasses:
   both :class:`StoreError` and :class:`KeyError`, so ``MutableMapping``
   conveniences (``.get``, ``in``) keep working while callers that
   catch the repro taxonomy still see every backend failure.
+* :class:`SanitizerError` -- the ``DPZ_SANITIZE=1`` runtime thread
+  sanitizer detected a concurrency violation (lock released by a
+  non-owner, self-deadlock, lock-order inversion).
 """
 
 from __future__ import annotations
@@ -58,6 +61,17 @@ class StoreError(ReproError):
     violate the keyspace grammar, and faults surfaced by the
     fault-injecting test backend.  Backends never leak a bare
     ``OSError``; they wrap it here.
+    """
+
+
+class SanitizerError(ReproError):
+    """The runtime thread sanitizer (``DPZ_SANITIZE=1``) found a
+    concurrency violation.
+
+    Raised by :mod:`repro.devtools.sanitize` checked locks for
+    non-owner releases, same-thread re-acquisition of non-reentrant
+    locks, and acquisitions that close a cycle in the observed
+    lock-order graph (ABBA deadlock candidates).
     """
 
 

@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 import threading
 from contextlib import contextmanager
+from typing import Iterable, Iterator
 
 from repro.observability.metrics import (
     Histogram,
@@ -74,7 +75,7 @@ def worker_origin() -> str:
 
 
 @contextmanager
-def capture_worker():
+def capture_worker() -> Iterator[MetricsRegistry]:
     """Run the enclosed task under a fresh private registry.
 
     Yields the registry; pass it to :func:`snapshot_frame` after the
@@ -199,7 +200,8 @@ def merge_frame(frame: dict, *,
     }
 
 
-def merge_frames(frames, *, into: MetricsRegistry | None = None) -> int:
+def merge_frames(frames: Iterable[dict | None], *,
+                 into: MetricsRegistry | None = None) -> int:
     """Merge an iterable of frames; returns how many were merged.
 
     ``None`` entries (tasks that produced no frame) are skipped, so the

@@ -48,6 +48,7 @@ import threading
 from contextlib import contextmanager
 from typing import Union
 
+from repro.devtools.sanitize import checked_lock
 from repro.errors import ConfigError
 from repro.observability import tracer as _tracer
 
@@ -87,7 +88,7 @@ class Counter:
         self.name = name
         self.help = help
         self._value = 0
-        self._lock = threading.Lock()
+        self._lock = checked_lock("observability.metrics.Counter._lock")
 
     @property
     def value(self) -> int:
@@ -118,7 +119,7 @@ class Gauge:
         self.name = name
         self.help = help
         self._value = 0.0
-        self._lock = threading.Lock()
+        self._lock = checked_lock("observability.metrics.Gauge._lock")
 
     @property
     def value(self) -> float:
@@ -181,7 +182,8 @@ class Histogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
-        self._lock = threading.Lock()
+        self._lock = checked_lock(
+            "observability.metrics.Histogram._lock")
 
     def _bucket_index(self, value: float) -> int:
         if value <= self.lo:
@@ -310,7 +312,8 @@ class MetricsRegistry:
     """Thread-safe name -> metric map with typed get-or-create."""
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = checked_lock(
+            "observability.metrics.MetricsRegistry._lock")
         self._metrics: dict[str, _Metric] = {}
 
     def _get_or_create(self, cls, name: str, help: str, **kw) -> _Metric:

@@ -29,6 +29,7 @@ import os
 import time
 from typing import IO
 
+from repro.devtools.sanitize import checked_lock
 from repro.observability.metrics import metrics_snapshot
 from repro.observability.tracer import Tracer
 
@@ -133,16 +134,29 @@ def build_record(*, dataset: str, shape, dtype: str, config,
     return record
 
 
+#: Serializes registry appends.  Two threads finishing traced runs at
+#: once (``dpz serve``-style operation) would otherwise interleave
+#: ``write()`` calls and corrupt a line; ``load_runs`` tolerates a torn
+#: *trailing* line from a killed process but not a torn middle.
+_APPEND_LOCK = checked_lock("observability.runlog._APPEND_LOCK")
+
+
 def append_record(record: dict, path_or_fh: str | IO[str] | None = None
                   ) -> str | None:
-    """Append one record line to the registry; returns the path used."""
+    """Append one record line to the registry; returns the path used.
+
+    Appends are serialized under a module lock so concurrent runs in
+    one process cannot interleave partial lines.
+    """
     line = json.dumps(record, sort_keys=True, default=str) + "\n"
     if hasattr(path_or_fh, "write"):
-        path_or_fh.write(line)
+        with _APPEND_LOCK:
+            path_or_fh.write(line)
         return None
     path = resolve_runlog(path_or_fh)
-    with open(path, "a") as fh:
-        fh.write(line)
+    with _APPEND_LOCK:
+        with open(path, "a") as fh:
+            fh.write(line)
     return path
 
 

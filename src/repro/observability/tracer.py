@@ -38,6 +38,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.devtools.sanitize import checked_lock
+
 __all__ = [
     "Span",
     "Tracer",
@@ -157,7 +159,7 @@ class Tracer:
 
     def __init__(self) -> None:
         self._epoch = time.perf_counter()
-        self._lock = threading.Lock()
+        self._lock = checked_lock("observability.tracer.Tracer._lock")
         self._spans: list[Span] = []
         self._next_id = 1
         self._stacks = threading.local()

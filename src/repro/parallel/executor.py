@@ -29,10 +29,11 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Sequence, TypeVar
+from typing import Callable, Iterable, Sequence, TypeVar
 
 import time
 
+from repro.devtools.sanitize import checked_lock
 from repro.errors import ConfigError
 from repro.observability import (
     counter_add,
@@ -54,6 +55,8 @@ __all__ = ["ParallelConfig", "parallel_map", "pool_status", "resolve_jobs",
 
 T = TypeVar("T")
 R = TypeVar("R")
+_U = TypeVar("_U")
+_V = TypeVar("_V")
 
 
 @dataclass(frozen=True)
@@ -88,17 +91,23 @@ def resolve_jobs(n_jobs: int | None) -> int:
 
 # -- process-lifetime pool ---------------------------------------------------
 
+class _WorkerFlag(threading.local):
+    """Per-thread marker set by the pool initializer."""
+
+    flag: bool = False
+
+
 _pool: ThreadPoolExecutor | None = None
 _pool_workers = 0
-_pool_lock = threading.Lock()
-_in_worker = threading.local()
+_pool_lock = checked_lock("parallel.executor._pool_lock")
+_in_worker = _WorkerFlag()
 
 
 def _worker_init() -> None:
     _in_worker.flag = True
 
 
-def pool_status() -> dict:
+def pool_status() -> dict[str, object]:
     """Liveness snapshot of the shared pool (the ``/healthz`` source).
 
     Never creates a pool; safe to call from any thread at any time.
@@ -169,11 +178,12 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
         # amortize pool dispatch -- the tiny-list bypass fired.
         counter_add("parallel.map.bypassed")
 
-    nested = getattr(_in_worker, "flag", False)
+    nested = _in_worker.flag
     if nested and not serial:
         counter_add("parallel.pool.nested")
 
-    def submit(pool: ThreadPoolExecutor, task, payload) -> list:
+    def submit(pool: ThreadPoolExecutor, task: Callable[[_U], _V],
+               payload: Iterable[_U]) -> list[_V]:
         return list(pool.map(task, payload))
 
     if not tracing_enabled():
@@ -194,7 +204,7 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
     counter_add("parallel.chunks", len(items))
     gauge_add("parallel.queue.depth", len(items))
 
-    def run_chunk(pair):
+    def run_chunk(pair: tuple[int, T]) -> R:
         i, item = pair
         t0 = time.perf_counter()
         try:
@@ -204,7 +214,7 @@ def parallel_map(fn: Callable[[T], R], items: Sequence[T], *,
             observe("parallel.chunk.seconds", time.perf_counter() - t0)
             gauge_add("parallel.queue.depth", -1)
 
-    def run_chunk_pooled(pair):
+    def run_chunk_pooled(pair: tuple[int, T]) -> "tuple[R, dict | None]":
         # Pooled tasks capture their metric emissions into a private
         # task-local registry and ship a compact snapshot frame back
         # with the result; the parent merges the frames below.  A task

@@ -19,7 +19,6 @@ cache mid-flight would make payloads depend on completion order.
 
 from __future__ import annotations
 
-import threading
 from typing import Any
 
 import numpy as np
@@ -27,6 +26,7 @@ import numpy as np
 from repro.api import scheme_config
 from repro.core.compressor import DPZCompressor, DPZStats
 from repro.core.config import DPZConfig
+from repro.devtools.sanitize import checked_lock
 from repro.observability import counter_inc
 
 __all__ = ["BasisCache", "compress_dpz", "representative_index"]
@@ -46,7 +46,7 @@ class BasisCache:
 
     def __init__(self, chunk_shape: tuple[int, ...]) -> None:
         self._shape = tuple(int(c) for c in chunk_shape)
-        self._lock = threading.Lock()
+        self._lock = checked_lock("store.basis.BasisCache._lock")
         self._basis: "Array | None" = None
         self._sealed = False
 

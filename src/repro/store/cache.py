@@ -25,12 +25,12 @@ Design points:
 
 from __future__ import annotations
 
-import threading
 from collections import OrderedDict
 from typing import Any
 
 import numpy as np
 
+from repro.devtools.sanitize import checked_lock
 from repro.errors import ConfigError
 from repro.observability import counter_inc, gauge_set
 
@@ -56,7 +56,7 @@ class ChunkCache:
             raise ConfigError(
                 f"cache budget must be >= 0 bytes, got {max_bytes}")
         self._max_bytes = int(max_bytes)
-        self._lock = threading.Lock()
+        self._lock = checked_lock("store.cache.ChunkCache._lock")
         self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
         self._nbytes = 0
 

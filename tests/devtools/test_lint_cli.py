@@ -8,12 +8,18 @@ upheld by the code that defines them.
 from __future__ import annotations
 
 import json
+import os
 import textwrap
 from pathlib import Path
 
 import repro
 from repro import cli
-from repro.devtools.lint import JSON_VERSION, all_rules, lint_paths
+from repro.devtools.lint import (
+    JSON_VERSION,
+    PARSE_ERROR_ID,
+    all_rules,
+    lint_paths,
+)
 
 CLEAN_SRC = """\
     # dpzlint: module=repro.codecs.fake
@@ -71,6 +77,44 @@ def test_lint_json_schema(tmp_path, capsys):
     assert finding["path"].endswith("dirty.py")
 
 
+def test_lint_json_v2_call_graph_and_corpus(tmp_path, capsys):
+    path = _write(tmp_path, "clean.py", CLEAN_SRC)
+    rc = cli.main(["lint", str(path), "--format", "json"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == 2
+    cg = doc["call_graph"]
+    assert set(cg) == {"modules", "functions", "edges", "worker_roots",
+                       "worker_reachable_functions"}
+    assert cg["modules"] == 1
+    corpus = doc["fixture_corpus"]
+    assert set(corpus) == {"DPZ801", "DPZ802", "DPZ803", "DPZ804"}
+    for entry in corpus.values():
+        assert entry["pass"] is True
+        assert entry["racy_flagged"] == entry["racy_total"]
+        assert entry["clean_false_positives"] == 0
+
+
+def test_lint_json_v1_keeps_frozen_schema(tmp_path, capsys):
+    path = _write(tmp_path, "dirty.py", DIRTY_SRC)
+    rc = cli.main(["lint", str(path), "--format", "json-v1"])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["version"] == 1
+    assert set(doc) == {"version", "tool", "files_checked", "suppressed",
+                        "counts", "rules", "findings"}
+    assert doc["counts"] == {"DPZ101": 1}
+
+
+def test_lint_corpus_skipped_when_not_selected(tmp_path, capsys):
+    path = _write(tmp_path, "clean.py", CLEAN_SRC)
+    rc = cli.main(["lint", str(path), "--format", "json",
+                   "--select", "DPZ101"])
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["fixture_corpus"] == {}
+
+
 def test_lint_select_limits_rules(tmp_path, capsys):
     path = _write(tmp_path, "dirty.py", DIRTY_SRC)
     rc = cli.main(["lint", str(path), "--select", "DPZ201"])
@@ -87,6 +131,26 @@ def test_lint_out_writes_report_file(tmp_path, capsys):
     doc = json.loads(out_file.read_text())
     assert doc["counts"] == {"DPZ101": 1}
     capsys.readouterr()
+
+
+def test_lint_broken_symlink_reports_dpz000_and_continues(tmp_path, capsys):
+    """A directory entry that cannot be read must degrade to one DPZ000
+    finding, not a traceback, and the remaining files must still lint."""
+    _write(tmp_path, "dirty.py", DIRTY_SRC)
+    os.symlink(tmp_path / "does-not-exist.py", tmp_path / "dead.py")
+    rc = cli.main(["lint", str(tmp_path)])
+    assert rc == 1
+    out = capsys.readouterr().out
+    assert PARSE_ERROR_ID in out
+    assert "could not read file" in out
+    assert "DPZ101" in out  # the readable sibling still linted
+
+
+def test_lint_unreadable_file_via_api(tmp_path):
+    os.symlink(tmp_path / "gone.py", tmp_path / "dead.py")
+    report = lint_paths([str(tmp_path)])
+    assert [f.rule for f in report.findings] == [PARSE_ERROR_ID]
+    assert report.files_checked == 1
 
 
 def test_lint_missing_path_is_usage_error(tmp_path, capsys):

@@ -1,0 +1,245 @@
+"""Runtime thread sanitizer: checked-lock semantics and the
+thread-hammer over the real concurrency-bearing singletons.
+
+The locks inside ``ChunkCache`` and ``MetricsRegistry`` are created in
+``__init__``, so setting ``DPZ_SANITIZE=1`` via monkeypatch *before*
+constructing an instance is enough to get instrumented locks in-process
+-- no subprocess needed.  (Module-level locks sample the flag at
+import; the CI sanitizer job covers those by exporting the variable at
+process start.)
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.devtools import sanitize
+from repro.devtools.sanitize import (
+    CheckedLock,
+    CheckedRLock,
+    checked_lock,
+    checked_rlock,
+    held_locks,
+    lock_order_edges,
+    reset_lock_order,
+)
+from repro.errors import SanitizerError
+
+
+@pytest.fixture(autouse=True)
+def _clean_order_graph():
+    reset_lock_order()
+    yield
+    reset_lock_order()
+
+
+@pytest.fixture()
+def sanitized(monkeypatch):
+    monkeypatch.setenv("DPZ_SANITIZE", "1")
+
+
+# -- factory gating ----------------------------------------------------------
+
+def test_factories_return_plain_locks_when_disabled(monkeypatch):
+    monkeypatch.delenv("DPZ_SANITIZE", raising=False)
+    assert not isinstance(checked_lock("x"), CheckedLock)
+    assert not isinstance(checked_rlock("x"), CheckedRLock)
+
+
+def test_factories_return_checked_locks_when_enabled(sanitized):
+    assert isinstance(checked_lock("x"), CheckedLock)
+    assert isinstance(checked_rlock("x"), CheckedRLock)
+
+
+def test_zero_is_disabled(monkeypatch):
+    monkeypatch.setenv("DPZ_SANITIZE", "0")
+    assert not sanitize.enabled()
+
+
+# -- ownership ---------------------------------------------------------------
+
+def test_self_deadlock_raises():
+    lock = CheckedLock("t.self")
+    with lock:
+        with pytest.raises(SanitizerError, match="self-deadlock"):
+            lock.acquire()
+
+
+def test_rlock_reenters():
+    lock = CheckedRLock("t.rlock")
+    with lock:
+        with lock:
+            assert lock.locked()
+    assert not lock.locked()
+
+
+def test_non_owner_release_raises():
+    lock = CheckedLock("t.owner")
+    lock.acquire()
+    errors: list[str] = []
+
+    def intruder() -> None:
+        try:
+            lock.release()
+        except SanitizerError as exc:
+            errors.append(str(exc))
+
+    t = threading.Thread(target=intruder)
+    t.start()
+    t.join()
+    lock.release()
+    assert errors and "does not hold it" in errors[0]
+
+
+def test_release_unheld_raises():
+    lock = CheckedLock("t.unheld")
+    with pytest.raises(SanitizerError):
+        lock.release()
+
+
+def test_held_stack_tracks_nesting():
+    a, b = CheckedLock("t.a"), CheckedLock("t.b")
+    with a:
+        with b:
+            assert held_locks() == ("t.a", "t.b")
+        assert held_locks() == ("t.a",)
+    assert held_locks() == ()
+
+
+# -- lock ordering -----------------------------------------------------------
+
+def test_consistent_order_records_edge():
+    a, b = CheckedLock("t.first", ), CheckedLock("t.second")
+    with a:
+        with b:
+            pass
+    assert "t.second" in lock_order_edges().get("t.first", frozenset())
+
+
+def test_inversion_raises():
+    a, b = CheckedLock("t.inv.a"), CheckedLock("t.inv.b")
+    with a:
+        with b:
+            pass
+    with b:
+        with pytest.raises(SanitizerError, match="lock-order inversion"):
+            a.acquire()
+
+
+def test_transitive_inversion_raises():
+    a, b, c = (CheckedLock("t.tr.a"), CheckedLock("t.tr.b"),
+               CheckedLock("t.tr.c"))
+    with a:
+        with b:
+            pass
+    with b:
+        with c:
+            pass
+    with c:
+        with pytest.raises(SanitizerError, match="lock-order inversion"):
+            a.acquire()
+
+
+def test_same_name_nesting_allowed():
+    """Two instances of one lock class may nest (hand-over-hand)."""
+    a1, a2 = CheckedLock("t.same"), CheckedLock("t.same")
+    with a1:
+        with a2:
+            pass
+
+
+def test_reset_isolates():
+    a, b = CheckedLock("t.rs.a"), CheckedLock("t.rs.b")
+    with a:
+        with b:
+            pass
+    reset_lock_order()
+    with b:
+        with a:  # would be an inversion without the reset
+            pass
+
+
+# -- thread hammer over the real singletons ----------------------------------
+
+N_THREADS = 8
+N_OPS = 200
+
+
+def _hammer(target, n_threads: int = N_THREADS) -> None:
+    """Run ``target(i)`` from many threads; re-raise the first error."""
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(n_threads)
+
+    def body(i: int) -> None:
+        barrier.wait()
+        try:
+            target(i)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=body, args=(i,))
+               for i in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+
+
+def test_hammer_chunk_cache_under_sanitizer(sanitized):
+    from repro.store.cache import ChunkCache
+
+    cache = ChunkCache(max_bytes=1 << 16)
+    assert isinstance(cache._lock, CheckedLock)
+
+    def ops(i: int) -> None:
+        for k in range(N_OPS):
+            key = ("field", (i + k) % 32, "raw")
+            cache.put(key, b"x" * 64)
+            cache.get(key)
+            if k % 50 == 0:
+                cache.invalidate_field("field")
+            len(cache)
+
+    _hammer(ops)
+    cache.clear()
+
+
+def test_hammer_metrics_registry_under_sanitizer(sanitized):
+    from repro.observability.metrics import MetricsRegistry
+
+    reg = MetricsRegistry()
+    assert isinstance(reg._lock, CheckedLock)
+
+    def ops(i: int) -> None:
+        for k in range(N_OPS):
+            reg.counter(f"hammer.c{k % 4}").add(1)
+            reg.gauge("hammer.g").set(float(k))
+            reg.histogram("hammer.h").observe(k * 0.001)
+            if k % 64 == 0:
+                reg.snapshot()
+
+    _hammer(ops)
+    snap = reg.snapshot()
+    assert snap["counters"]["hammer.c0"] >= N_THREADS
+
+
+def test_hammer_cache_and_registry_interleaved(sanitized):
+    """Both singletons together: the cross-class lock-order graph the
+    hammer builds must stay acyclic (no SanitizerError)."""
+    from repro.observability.metrics import MetricsRegistry
+    from repro.store.cache import ChunkCache
+
+    cache = ChunkCache(max_bytes=1 << 14)
+    reg = MetricsRegistry()
+
+    def ops(i: int) -> None:
+        for k in range(N_OPS):
+            cache.put((i, k % 16), bytes(32))
+            reg.counter("hammer.mixed").add(1)
+            cache.get((i, k % 16))
+
+    _hammer(ops)
