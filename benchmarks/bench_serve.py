@@ -1,0 +1,323 @@
+#!/usr/bin/env python
+"""Load bench for ``dpz serve``: writes ``BENCH_pr10.json``.
+
+Packs the 64^3 isotropic-turbulence field into a ``dpzs`` store
+(sz codec, ``eps=1e-3``, 16^3 chunks), starts a :class:`ServeApp` on a
+loopback port, and hammers it with concurrent
+:class:`~repro.serve.ServeClient` threads under two workloads:
+
+* **zipf** -- rank-skewed region popularity (a few hot chunks take
+  most of the traffic), the access pattern the coalescing chunk cache
+  is built for,
+* **uniform** -- every chunk-aligned region equally likely, the
+  cache-hostile baseline.
+
+Each workload reports p50/p99 request latency, sustained throughput
+(ok requests / wall time), the store-cache hit rate, and the
+request-coalescing counters -- all scraped from the server's own
+``/metrics.json``.  Every response is compared bit-for-bit against an
+in-process ``Store.get_region`` reference, so the bench doubles as an
+end-to-end integrity check under real concurrency.
+
+The ``"serve"`` section of the output extends the ``BENCH_*.json``
+trajectory: ``benchmarks/compare.py --serve-p99-max/--serve-hit-rate-min/
+--serve-throughput-min/--serve-coalesce-min`` gate it in CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full run
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke    # CI quick
+    PYTHONPATH=src python benchmarks/bench_serve.py --out BENCH_pr10.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import tempfile
+import threading
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.datasets.registry import get_dataset  # noqa: E402
+from repro.errors import ServeBusyError  # noqa: E402
+from repro.observability import get_registry  # noqa: E402
+from repro.serve import (  # noqa: E402
+    BackgroundServer,
+    ServeApp,
+    ServeClient,
+    StoreRegistry,
+)
+from repro.store import Store  # noqa: E402
+
+FIELD = "Isotropic"
+CHUNK = (16, 16, 16)
+REGION_EDGE = 16
+EPS = 1e-3
+ZIPF_S = 1.2          # rank exponent for the skewed workload
+MAX_RETRIES = 100     # per request, on 503 shed
+WARMUP = 2            # untimed requests per client before the clock
+
+
+def _quantile(samples: list[float], q: float) -> float:
+    """Nearest-rank quantile of a non-empty sample list."""
+    xs = sorted(samples)
+    idx = min(len(xs) - 1, max(0, int(round(q * (len(xs) - 1)))))
+    return xs[idx]
+
+
+def _aligned_regions(shape: tuple[int, ...]) -> list[tuple[slice, ...]]:
+    """Every chunk-aligned 16^3 region of the field, in rank order."""
+    steps = [range(0, n, REGION_EDGE) for n in shape]
+    out = []
+    for i in steps[0]:
+        for j in steps[1]:
+            for k in steps[2]:
+                out.append((slice(i, i + REGION_EDGE),
+                            slice(j, j + REGION_EDGE),
+                            slice(k, k + REGION_EDGE)))
+    return out
+
+
+def _workload(app: ServeApp, alias: str, regions, ref,
+              *, weights, n_clients: int, n_requests: int,
+              target_rps: float, seed: int) -> dict:
+    """Drive ``n_clients`` paced threads x ``n_requests`` each.
+
+    Clients hold the aggregate *offered* rate at ``target_rps`` (each
+    thread fires every ``n_clients / target_rps`` seconds, phase-
+    desynchronised).  That makes the reported latency a service-level
+    measurement instead of pure queueing delay: if the server cannot
+    sustain the target, the sleeps vanish, throughput falls below the
+    target and the latency gate fails -- which is exactly the signal
+    we want from a load test.
+
+    Before the timed phase every client fires ``WARMUP`` untimed
+    requests at once -- a deliberate thundering herd into the cold
+    cache that exercises the coalescing path (hundreds of concurrent
+    misses on the same hot chunks) and brings the cache to steady
+    state, so the timed quantiles measure service latency rather than
+    the one-off cold-start decode storm.  Warmup responses are still
+    checked bit-for-bit and still counted by the server's metrics.
+    """
+    interval = n_clients / target_rps
+    warm_barrier = threading.Barrier(n_clients + 1)
+    barrier = threading.Barrier(n_clients + 1)
+    latencies: list[list[float]] = [[] for _ in range(n_clients)]
+    sheds = [0] * n_clients
+    mismatches: list[object] = []
+
+    def fetch(c: ServeClient, idx: int, pick: int):
+        """One request with shed-retry; returns the array or None."""
+        for _ in range(MAX_RETRIES):
+            try:
+                return c.region(alias, "field", regions[pick])
+            except ServeBusyError as exc:
+                sheds[idx] += 1
+                time.sleep(max(exc.retry_after, 0.005))
+        return None
+
+    def client(idx: int) -> None:
+        rng = np.random.default_rng(seed + idx)
+        warm_picks = rng.choice(len(regions), size=WARMUP, p=weights)
+        picks = rng.choice(len(regions), size=n_requests, p=weights)
+        try:
+            with ServeClient(app.host, app.port, timeout=60.0) as c:
+                c.healthz()  # establish the connection before timing
+                warm_barrier.wait()
+                for pick in warm_picks:
+                    arr = fetch(c, idx, int(pick))
+                    if arr is not None and \
+                            not np.array_equal(arr, ref[int(pick)]):
+                        mismatches.append(regions[int(pick)])
+                barrier.wait()
+                # Spread the clients across the pacing interval so the
+                # offered load is smooth, not a thundering herd.
+                next_t = (time.perf_counter()
+                          + rng.uniform(0.0, interval))
+                for pick in picks:
+                    now = time.perf_counter()
+                    if now < next_t:
+                        time.sleep(next_t - now)
+                    next_t += interval
+                    t0 = time.perf_counter()
+                    arr = fetch(c, idx, int(pick))
+                    if arr is None:
+                        mismatches.append("starved by backpressure")
+                        continue
+                    latencies[idx].append(time.perf_counter() - t0)
+                    if not np.array_equal(arr, ref[int(pick)]):
+                        mismatches.append(regions[int(pick)])
+        except Exception as exc:  # noqa: BLE001 -- report, don't hang
+            mismatches.append(exc)
+            for b in (warm_barrier, barrier):
+                try:
+                    b.wait(timeout=1.0)
+                except threading.BrokenBarrierError:
+                    pass
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    warm_barrier.wait(timeout=600.0)
+    barrier.wait(timeout=600.0)
+    t0 = time.perf_counter()
+    for t in threads:
+        t.join(timeout=600.0)
+    wall = time.perf_counter() - t0
+    if any(t.is_alive() for t in threads):
+        raise RuntimeError("bench clients did not finish in time")
+    if mismatches:
+        raise RuntimeError(f"served responses diverged: {mismatches[:3]}")
+
+    flat = [lat for per in latencies for lat in per]
+    with ServeClient(app.host, app.port) as c:
+        counters = c.metrics_json()["counters"]
+    hits = counters.get("store.cache.hits", 0)
+    misses = counters.get("store.cache.misses", 0)
+    co_hits = counters.get("serve.coalesce.hits", 0)
+    co_waits = counters.get("serve.coalesce.waits", 0)
+    n_ok = len(flat)
+    return {
+        "n_clients": n_clients,
+        "requests_per_client": n_requests,
+        "target_rps": target_rps,
+        "n_ok": n_ok,
+        "n_shed": int(sum(sheds)),
+        "wall_s": round(wall, 6),
+        "throughput_rps": round(n_ok / wall, 1) if wall > 0 else 0.0,
+        "p50_ms": round(_quantile(flat, 0.50) * 1e3, 3),
+        "p99_ms": round(_quantile(flat, 0.99) * 1e3, 3),
+        "cache_hit_rate": round(hits / (hits + misses), 4)
+        if hits + misses else 0.0,
+        "coalesce_hits": int(co_hits),
+        "coalesce_waits": int(co_waits),
+        "coalesce_rate": round((co_hits + co_waits) / n_ok, 4)
+        if n_ok else 0.0,
+    }
+
+
+def bench_serve(size: str, n_clients: int, n_requests: int,
+                workers: int, target_rps: float, tmpdir: str) -> dict:
+    """Pack the field, serve it, and run both workloads against it."""
+    data = get_dataset(FIELD, size)
+    path = pathlib.Path(tmpdir) / "bench.dpzs"
+    with Store.create(path) as st:
+        st.add("field", data, codec="sz", chunk_shape=CHUNK,
+               eps=EPS, n_jobs=2)
+
+    regions = _aligned_regions(data.shape)
+    with Store.open(path, cache_bytes=0) as ref_store:
+        ref = [ref_store.get_region("field", r) for r in regions]
+
+    ranks = np.arange(1, len(regions) + 1, dtype=np.float64)
+    zipf = ranks ** -ZIPF_S
+    zipf /= zipf.sum()
+    uniform = np.full(len(regions), 1.0 / len(regions))
+
+    registry = StoreRegistry([f"bench={path}"], cache_bytes=1 << 26)
+    app = ServeApp(registry, port=0, workers=workers,
+                   max_queue=max(64, n_clients * 4))
+    result: dict = {
+        "field": FIELD,
+        "shape": list(data.shape),
+        "chunk_shape": list(CHUNK),
+        "codec": "sz",
+        "eps": EPS,
+        "workers": workers,
+        "n_regions": len(regions),
+        "workloads": {},
+    }
+    with BackgroundServer(app):
+        for name, weights in (("zipf", zipf), ("uniform", uniform)):
+            # Each workload starts from a cold cache and zeroed
+            # counters so its hit/coalesce rates are its own.
+            registry.get("bench")  # force lazy open
+            cache = registry.cache("bench")
+            if cache is not None:
+                cache.clear()
+            get_registry().clear()
+            stats = _workload(app, "bench", regions, ref,
+                              weights=weights, n_clients=n_clients,
+                              n_requests=n_requests,
+                              target_rps=target_rps, seed=9000)
+            result["workloads"][name] = stats
+            print(f"[bench]   {name:<8} {stats['n_ok']} ok / "
+                  f"{stats['n_shed']} shed  "
+                  f"p50 {stats['p50_ms']:.2f} ms  "
+                  f"p99 {stats['p99_ms']:.2f} ms  "
+                  f"{stats['throughput_rps']:.0f} req/s  "
+                  f"hit {stats['cache_hit_rate']:.0%}  "
+                  f"coalesce {stats['coalesce_hits']}h/"
+                  f"{stats['coalesce_waits']}w", flush=True)
+    result["bit_identical"] = True  # _workload raises on any mismatch
+    return result
+
+
+def run(*, size: str = "small", smoke: bool = False,
+        workers: int = 4, target_rps: float | None = None,
+        out: str | None = None) -> dict:
+    """Run the serve bench; returns (and optionally writes) the record."""
+    n_clients = 32 if smoke else 256
+    n_requests = 8 if smoke else 16
+    if target_rps is None:
+        target_rps = 500.0 if smoke else 1000.0
+    result: dict = {
+        "bench": "pr10-serve",
+        "size": size,
+        "smoke": smoke,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+    }
+    print(f"[bench] {FIELD} served region storm "
+          f"({n_clients} clients x {n_requests} requests, "
+          f"offered {target_rps:.0f} req/s) ...", flush=True)
+    with tempfile.TemporaryDirectory() as tmpdir:
+        result["serve"] = bench_serve(size, n_clients, n_requests,
+                                      workers, target_rps, tmpdir)
+    if out:
+        p = pathlib.Path(out)
+        record = result
+        if p.exists():
+            # Merge into an existing bench record so one BENCH_*.json
+            # can carry both compression fields and the serve section.
+            try:
+                existing = json.loads(p.read_text())
+            except (OSError, json.JSONDecodeError):
+                existing = None
+            if isinstance(existing, dict) and "fields" in existing:
+                existing["serve"] = result["serve"]
+                record = existing
+        p.write_text(json.dumps(record, indent=2) + "\n")
+        print(f"[bench] wrote {out}", flush=True)
+    return result
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--size", choices=["small", "full"], default="small")
+    ap.add_argument("--smoke", action="store_true",
+                    help="fewer clients and requests (CI)")
+    ap.add_argument("--workers", type=int, default=4,
+                    help="server worker threads (default 4)")
+    ap.add_argument("--target-rps", type=float, default=None,
+                    help="aggregate offered request rate "
+                         "(default 1000, or 500 with --smoke)")
+    ap.add_argument("--out", default=str(
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_pr10.json"))
+    args = ap.parse_args(argv)
+    run(size=args.size, smoke=args.smoke, workers=args.workers,
+        target_rps=args.target_rps, out=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

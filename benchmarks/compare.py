@@ -168,6 +168,52 @@ def _amplification_gate(failures: list[str], candidate: dict,
         f"(cap {max_amp:.3f}x)  {st}")
 
 
+def _serve_gate(failures: list[str], candidate: dict, *,
+                p99_max_ms: float | None, hit_rate_min: float | None,
+                throughput_min: float | None,
+                coalesce_min: float | None, log) -> None:
+    """Absolute SLO caps on the ``bench_serve.py`` load-test section.
+
+    Candidate-only (no baseline needed): the serve bench paces its
+    offered load, so p99 latency, sustained throughput, the zipf
+    cache-hit rate, and the zipf coalescing rate are service-level
+    numbers a single record must clear.  Skips records with no
+    ``serve`` section so the gate stays usable across the trajectory.
+    """
+    workloads = candidate.get("serve", {}).get("workloads", {})
+    if not workloads:
+        return
+    log("[compare] serve load test (bench_serve)")
+    for name, w in sorted(workloads.items()):
+        log(f"[compare]   {name:<8} p99 {w['p99_ms']:>8.2f} ms  "
+            f"{w['throughput_rps']:>7.1f} req/s  "
+            f"hit {w['cache_hit_rate']:.1%}  "
+            f"coalesce {w['coalesce_rate']:.2%}")
+        if p99_max_ms is not None:
+            _check(failures, float(w["p99_ms"]) <= p99_max_ms,
+                   f"serve {name}: p99 {w['p99_ms']:.2f} ms exceeds "
+                   f"cap {p99_max_ms:.2f} ms")
+        if throughput_min is not None:
+            _check(failures,
+                   float(w["throughput_rps"]) >= throughput_min,
+                   f"serve {name}: {w['throughput_rps']:.1f} req/s "
+                   f"below floor {throughput_min:.1f}")
+    zipf = workloads.get("zipf")
+    if zipf is not None:
+        if hit_rate_min is not None:
+            _check(failures,
+                   float(zipf["cache_hit_rate"]) >= hit_rate_min,
+                   f"serve zipf: cache hit rate "
+                   f"{zipf['cache_hit_rate']:.1%} below floor "
+                   f"{hit_rate_min:.1%}")
+        if coalesce_min is not None:
+            _check(failures,
+                   float(zipf["coalesce_rate"]) > coalesce_min,
+                   f"serve zipf: coalesce rate "
+                   f"{zipf['coalesce_rate']:.2%} not above "
+                   f"{coalesce_min:.2%}")
+
+
 def compare(baseline: dict, candidate: dict, *, cr_tol: float = 0.02,
             throughput_tol: float = 0.5, share_tol: float = 0.10,
             chunk_latency_tol: float = 1.0,
@@ -175,6 +221,10 @@ def compare(baseline: dict, candidate: dict, *, cr_tol: float = 0.02,
             throughput_min_ratio: float | None = None,
             min_ratio_fields: int = 2,
             amplification_max: float | None = None,
+            serve_p99_max: float | None = None,
+            serve_hit_rate_min: float | None = None,
+            serve_throughput_min: float | None = None,
+            serve_coalesce_min: float | None = None,
             log=print) -> list[str]:
     """Diff two bench records; returns the list of failure messages."""
     failures: list[str] = []
@@ -224,6 +274,10 @@ def compare(baseline: dict, candidate: dict, *, cr_tol: float = 0.02,
                              throughput_min_ratio, min_ratio_fields, log)
     if amplification_max is not None:
         _amplification_gate(failures, candidate, amplification_max, log)
+    _serve_gate(failures, candidate, p99_max_ms=serve_p99_max,
+                hit_rate_min=serve_hit_rate_min,
+                throughput_min=serve_throughput_min,
+                coalesce_min=serve_coalesce_min, log=log)
     return failures
 
 
@@ -266,6 +320,19 @@ def main(argv=None) -> int:
                     help="cap on the candidate's warm-cache region "
                          "amplification (byte-based, machine-"
                          "independent; off by default)")
+    ap.add_argument("--serve-p99-max", type=float, default=None,
+                    help="cap on each serve workload's p99 latency "
+                         "in ms (off by default)")
+    ap.add_argument("--serve-hit-rate-min", type=float, default=None,
+                    help="floor on the serve zipf workload's cache "
+                         "hit rate, 0..1 (off by default)")
+    ap.add_argument("--serve-throughput-min", type=float, default=None,
+                    help="floor on each serve workload's sustained "
+                         "req/s (off by default)")
+    ap.add_argument("--serve-coalesce-min", type=float, default=None,
+                    help="the serve zipf coalesce rate must be "
+                         "strictly above this, 0..1 (off by default; "
+                         "pass 0 to require any coalescing)")
     args = ap.parse_args(argv)
 
     baseline = json.loads(pathlib.Path(args.baseline).read_text())
@@ -285,7 +352,11 @@ def main(argv=None) -> int:
                        region_latency_tol=args.region_latency_tol,
                        throughput_min_ratio=args.throughput_min_ratio,
                        min_ratio_fields=args.min_ratio_fields,
-                       amplification_max=args.amplification_max)
+                       amplification_max=args.amplification_max,
+                       serve_p99_max=args.serve_p99_max,
+                       serve_hit_rate_min=args.serve_hit_rate_min,
+                       serve_throughput_min=args.serve_throughput_min,
+                       serve_coalesce_min=args.serve_coalesce_min)
     if failures:
         print(f"[compare] REGRESSION: {len(failures)} check(s) failed")
         for msg in failures:

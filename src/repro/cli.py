@@ -33,6 +33,11 @@ store
     store region in.dpzs NAME 0:16,8:24,3 out.npy``, ``dpz store
     from-archive in.dpza out.dpzs``, ``dpz store codecs`` (list the
     registered codec ids).
+serve
+    ``dpz serve STORE ... [--port 8742 | --unix-socket PATH]
+    [--workers N] [--cache-bytes B]`` -- serve store regions over the
+    HTTP wire protocol (FORMATS.md), with request coalescing and
+    queue-depth backpressure; SIGTERM/SIGINT drain gracefully.
 """
 
 from __future__ import annotations
@@ -273,6 +278,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     ssub.add_parser("codecs",
                     help="list the registered codec ids")
+
+    pv = sub.add_parser("serve",
+                        help="serve store regions over HTTP "
+                             "(request coalescing + backpressure; "
+                             "wire protocol in FORMATS.md)")
+    pv.add_argument("stores", nargs="+", metavar="SPEC",
+                    help="store path or ALIAS=PATH "
+                         "(e.g. snap.dpzs hot=run42.dpzs)")
+    pv.add_argument("--host", default="127.0.0.1",
+                    help="bind address (default 127.0.0.1)")
+    pv.add_argument("--port", type=int, default=8742,
+                    help="TCP port (0 = ephemeral; default 8742)")
+    pv.add_argument("--unix-socket", default=None, metavar="PATH",
+                    help="listen on a unix-domain socket instead of "
+                         "TCP")
+    pv.add_argument("--workers", type=int, default=4,
+                    help="decode worker threads (default 4)")
+    pv.add_argument("--max-queue", type=int, default=None,
+                    help="queued+running decode cap before shedding "
+                         "503s (default: workers * 8)")
+    pv.add_argument("--cache-bytes", type=int, default=None,
+                    help="decoded-chunk cache budget, split across "
+                         "stores (default 64 MiB)")
 
     pn = sub.add_parser("lint",
                         help="run the repo-native static-analysis pass")
@@ -779,6 +807,41 @@ def _cmd_store(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+    import signal
+
+    from repro.serve import ServeApp, StoreRegistry
+    from repro.store.cache import DEFAULT_CACHE_BYTES
+
+    cache_bytes = (DEFAULT_CACHE_BYTES if args.cache_bytes is None
+                   else args.cache_bytes)
+    registry = StoreRegistry(args.stores, cache_bytes=cache_bytes)
+    app = ServeApp(registry, host=args.host, port=args.port,
+                   unix_socket=args.unix_socket, workers=args.workers,
+                   max_queue=args.max_queue)
+    print(f"serving {registry.aliases()} on {app.url} "
+          f"({app.workers} workers, queue cap {app.max_queue})",
+          file=sys.stderr)
+
+    async def _run() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass  # platform without signal support; ^C still works
+        await app.run(stop)
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        pass
+    print("serve: drained and shut down", file=sys.stderr)
+    return 0
+
+
 def _cmd_lint(args) -> int:
     from repro.devtools.lint import (
         lint_paths,
@@ -813,6 +876,7 @@ _COMMANDS = {
     "unpack": _cmd_unpack,
     "list": _cmd_list,
     "store": _cmd_store,
+    "serve": _cmd_serve,
     "lint": _cmd_lint,
 }
 

@@ -20,13 +20,15 @@ __all__ = ["check_raise_taxonomy", "check_broad_except"]
 
 #: Layers whose raises must come from repro.errors.
 TAXONOMY_LAYERS = ("repro.codecs", "repro.core", "repro.baselines",
-                   "repro.store.backends")
+                   "repro.store.backends", "repro.serve")
 
 #: Allowed exception class names in taxonomy layers.  The repro.errors
-#: hierarchy, plus NotImplementedError for abstract hooks.
+#: hierarchy (``RequestFailed`` is repro.serve's ServeError subclass),
+#: plus NotImplementedError for abstract hooks.
 ALLOWED_RAISES = frozenset({
     "ReproError", "CodecError", "FormatError", "ConfigError",
     "DataShapeError", "StoreError", "StoreKeyError",
+    "ServeError", "ServeBusyError", "RequestFailed",
     "NotImplementedError",
 })
 

@@ -38,6 +38,12 @@ _CATALOG_EXEMPT = (
 #: Layers whose compress/decompress entry points must be traced.
 SPAN_LAYERS = ("repro.baselines", "repro.core.compressor")
 
+#: Layers whose request handlers must be traced, and the method names
+#: that count as request handlers there (``ServeApp.handle`` is the
+#: worker-pool body every store-touching request funnels through).
+SERVE_SPAN_LAYERS = ("repro.serve",)
+_SERVE_ENTRY_METHODS = frozenset({"handle"})
+
 #: Module-level one-call wrappers (``sz_compress``) count as entry
 #: points too, but delegating into a traced method satisfies the rule.
 _ENTRY_FN = re.compile(r"^[a-z0-9]+_(compress|decompress)$")
@@ -149,6 +155,18 @@ def _satisfies_span(fn: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
       "unnoticed.")
 def check_span_coverage(ctx: FileContext) -> Iterator[Finding]:
     """Flag compress/decompress entry points that never open a span."""
+    if ctx.in_layer(*SERVE_SPAN_LAYERS):
+        for fn, stack in walk_functions(ctx.tree):
+            is_method = bool(stack) and stack[-1][:1].isupper()
+            if not (is_method and fn.name in _SERVE_ENTRY_METHODS):
+                continue
+            if not _satisfies_span(fn):
+                yield ctx.finding(
+                    "DPZ501", fn,
+                    f"{fn.name}() is a serve request handler but opens "
+                    f"no tracer span; wrap the work in "
+                    f"`with span(\"serve.request\")`")
+        return
     if not ctx.in_layer(*SPAN_LAYERS):
         return
     for fn, stack in walk_functions(ctx.tree):

@@ -21,6 +21,9 @@ subsystems raise more specific subclasses:
 * :class:`SanitizerError` -- the ``DPZ_SANITIZE=1`` runtime thread
   sanitizer detected a concurrency violation (lock released by a
   non-owner, self-deadlock, lock-order inversion).
+* :class:`ServeError` -- the ``dpz serve`` region-retrieval service
+  (or its client) failed at the HTTP layer: malformed wire frames,
+  unexpected status codes, a saturated server.
 """
 
 from __future__ import annotations
@@ -73,6 +76,28 @@ class SanitizerError(ReproError):
     locks, and acquisitions that close a cycle in the observed
     lock-order graph (ABBA deadlock candidates).
     """
+
+
+class ServeError(ReproError):
+    """The region-retrieval service or its client failed.
+
+    Raised by :mod:`repro.serve` for HTTP-layer conditions: a response
+    frame that does not parse, an unexpected status code, a connection
+    that died mid-stream.  :class:`ServeBusyError` narrows it for the
+    backpressure path.
+    """
+
+
+class ServeBusyError(ServeError):
+    """The server shed this request (HTTP 503, queue saturated).
+
+    Carries ``retry_after`` (seconds, from the ``Retry-After`` header)
+    so callers can implement polite backoff.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = float(retry_after)
 
 
 class StoreKeyError(StoreError, KeyError):

@@ -40,6 +40,12 @@ COUNTERS: frozenset[str] = frozenset({
     "pca.solver.regrows",
     "profiler.samples",
     "quality.runs",
+    "serve.bytes.sent",
+    "serve.coalesce.hits",
+    "serve.coalesce.waits",
+    "serve.errors",
+    "serve.requests",
+    "serve.shed",
     "server.errors",
     "server.requests",
     "store.auto.fallbacks",
@@ -87,6 +93,7 @@ GAUGES: frozenset[str] = frozenset({
     "dpz.last.k",
     "parallel.pool.size",
     "parallel.queue.depth",
+    "serve.queue.depth",
     "store.cache.bytes",
     "store.last.amplification",
     "sz.last.cr",
@@ -100,6 +107,7 @@ HISTOGRAMS: frozenset[str] = frozenset({
     "huffman.encode.symbols_per_call",
     "huffman.decode.symbols_per_call",
     "parallel.chunk.seconds",
+    "serve.request.seconds",
     "store.chunk.compress.seconds",
     "store.region.seconds",
     "sz.compress.seconds",

@@ -56,6 +56,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 from repro.errors import ConfigError
 from repro.observability import tracer as _tracer
+from repro.observability.lifecycle import (
+    Drainer,
+    bind_failure,
+    validate_port,
+)
 from repro.observability.metrics import get_registry, metrics_snapshot
 from repro.observability.runlog import load_runs, resolve_runlog
 
@@ -121,6 +126,22 @@ class _Handler(BaseHTTPRequestHandler):
         self._send(status, body, "application/json")
 
     def do_GET(self) -> None:  # noqa: N802  (http.server API)
+        try:
+            tracked = self.server.telemetry.drainer.track().__enter__()
+        except ConfigError:
+            # Shutdown already started: refuse instead of racing the
+            # socket teardown mid-response.
+            try:
+                self._send_json(503, {"error": "server is draining"})
+            except OSError:
+                pass
+            return
+        try:
+            self._do_get_tracked()
+        finally:
+            tracked.__exit__(None, None, None)
+
+    def _do_get_tracked(self) -> None:
         registry = get_registry()
         registry.counter("server.requests").add(1)
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
@@ -166,14 +187,12 @@ class TelemetryServer:
     """
 
     def __init__(self, port: int = 0, host: str = "127.0.0.1") -> None:
-        if not 0 <= port <= 65535:
-            raise ConfigError(f"port must be in [0, 65535], got {port}")
+        validate_port(port)
         try:
             self._httpd = ThreadingHTTPServer((host, port), _Handler)
         except OSError as exc:
-            raise ConfigError(
-                f"cannot serve telemetry on {host}:{port}: "
-                f"{exc.strerror or exc}") from None
+            raise bind_failure("telemetry", f"{host}:{port}",
+                               exc) from None
         self._httpd.daemon_threads = True
         self._httpd.telemetry = self  # type: ignore[attr-defined]
         self.host = host
@@ -181,6 +200,7 @@ class TelemetryServer:
         self.started_at = time.time()
         self.started_utc = time.strftime(
             "%Y-%m-%dT%H:%M:%SZ", time.gmtime(self.started_at))
+        self.drainer = Drainer()
         self._thread: threading.Thread | None = None
 
     @property
@@ -198,10 +218,20 @@ class TelemetryServer:
         self._thread.start()
         return self
 
-    def close(self) -> None:
-        """Graceful shutdown: stop accepting, join, release the socket."""
+    def close(self, drain_timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight requests,
+        join, release the socket.
+
+        Requests already being handled when ``close`` is called finish
+        (bounded by ``drain_timeout``); requests arriving after it get
+        a 503.  Pre-drain, a scrape racing shutdown could observe a
+        half-torn-down process -- that gap is exactly what the shared
+        :class:`~repro.observability.lifecycle.Drainer` closes.
+        """
         if self._thread is not None:
             self._httpd.shutdown()
+            self.drainer.close()
+            self.drainer.wait_idle(drain_timeout)
             self._thread.join(timeout=5.0)
             self._thread = None
         self._httpd.server_close()

@@ -155,11 +155,20 @@ class Tracer:
     Install with :func:`use_tracer` (or :func:`set_tracer`); every
     :func:`span` call anywhere in the library then records into this
     instance until it is uninstalled.
+
+    ``retain_spans=False`` keeps the tracer *live* but unbounded-safe:
+    spans still time themselves, feed per-thread live stacks (so the
+    sampling profiler and metric gating keep working) and update
+    metrics, but finished records are discarded instead of accumulated.
+    That is the mode a long-running server wants -- ``dpz serve``
+    handling thousands of requests per second must not grow a span
+    list without bound.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, retain_spans: bool = True) -> None:
         self._epoch = time.perf_counter()
         self._lock = checked_lock("observability.tracer.Tracer._lock")
+        self._retain = bool(retain_spans)
         self._spans: list[Span] = []
         self._next_id = 1
         self._stacks = threading.local()
@@ -209,6 +218,8 @@ class Tracer:
             stack.pop()
         elif record in stack:  # unbalanced exit; recover
             stack.remove(record)
+        if not self._retain:
+            return
         with self._lock:
             self._spans.append(record)
 

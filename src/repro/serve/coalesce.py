@@ -1,0 +1,133 @@
+"""Request coalescing for concurrent chunk decodes (singleflight).
+
+The plain :class:`~repro.store.cache.ChunkCache` is thread-safe but
+not *coalescing*: two requests missing on the same chunk both decode
+it, and only one result lands in the cache.  For a single reader the
+wasted decode is noise; for ``dpz serve`` under a zipf-skewed load it
+is the difference between N decodes of the hot chunk and one.
+
+:class:`CoalescingChunkCache` layers a singleflight protocol on top of
+the LRU:
+
+* The **first** thread to miss on a key *claims* the decode --
+  ``get`` returns ``None`` and the caller proceeds exactly as with the
+  plain cache (:meth:`~repro.store.store.Store._load_chunk` is
+  unchanged).
+* **Subsequent** threads missing on the same key *wait* on the
+  claimer's flight instead of decoding
+  (``serve.coalesce.waits``).  When the claimer's ``put`` lands they
+  wake with the decoded array (``serve.coalesce.hits``) -- handed over
+  on the flight itself, so coalescing works even with ``max_bytes=0``.
+* A claimer that **fails** (backend error, corrupt payload) calls
+  ``cancel``; waiters wake empty-handed and fall back to decoding
+  themselves, so one poisoned request never wedges its neighbours.
+  The store guarantees this via a try/except around the decode path.
+* A waiter that **times out** (default 30 s -- far beyond any sane
+  decode) also falls back to decoding itself.  The timeout is a
+  last-resort liveness guard, not a tuning knob.
+
+The flight table holds only in-flight keys (bounded by worker-pool
+width), so it adds no memory pressure beyond the LRU budget.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+from repro.devtools.sanitize import checked_lock
+from repro.observability import counter_inc
+from repro.store.cache import CacheKey, ChunkCache
+
+__all__ = ["CoalescingChunkCache", "DEFAULT_FLIGHT_TIMEOUT"]
+
+#: How long a waiter parks on someone else's decode before giving up
+#: and decoding itself (liveness backstop, not a tuning knob).
+DEFAULT_FLIGHT_TIMEOUT = 30.0
+
+
+class _Flight:
+    """One in-progress decode: an event plus a result slot."""
+
+    __slots__ = ("event", "value")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.value: Any | None = None
+
+
+class CoalescingChunkCache(ChunkCache):
+    """A :class:`ChunkCache` where concurrent misses decode once.
+
+    Drop-in for the plain cache (``Store.open(chunk_cache=...)``); the
+    singleflight handshake rides entirely on the existing
+    ``get``/``put``/``cancel`` call pattern.
+    """
+
+    def __init__(self, max_bytes: int, *,
+                 wait_timeout: float = DEFAULT_FLIGHT_TIMEOUT) -> None:
+        super().__init__(max_bytes)
+        self._wait_timeout = float(wait_timeout)
+        self._flights_lock = checked_lock(
+            "serve.coalesce.CoalescingChunkCache._flights_lock")
+        self._flights: dict[CacheKey, _Flight] = {}
+
+    def inflight(self) -> int:
+        """How many decodes are currently claimed (test/metrics hook)."""
+        with self._flights_lock:
+            return len(self._flights)
+
+    def get(self, key: CacheKey) -> Any | None:
+        """LRU hit, coalesced wait, or a claim (``None``).
+
+        ``None`` means *this caller owns the decode* and must follow
+        up with ``put(key, ...)`` on success or ``cancel(key)`` on
+        failure -- the contract ``Store._load_chunk`` already honours.
+        """
+        cached = super().get(key)
+        if cached is not None:
+            return cached
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                self._flights[key] = _Flight()
+                return None  # caller claims the decode
+        counter_inc("serve.coalesce.waits")
+        if not flight.event.wait(self._wait_timeout):
+            # Liveness backstop: the claimer is wedged (or gone without
+            # resolving). Decode ourselves rather than stall forever.
+            return None
+        value = flight.value
+        if value is None:
+            # The claimer cancelled (its decode failed). Retry as our
+            # own claimer -- our failure mode may differ (e.g. a
+            # transient backend fault).
+            return None
+        counter_inc("serve.coalesce.hits")
+        return value
+
+    def put(self, key: CacheKey, chunk: Any) -> Any:
+        """Insert into the LRU and resolve the flight, waking waiters."""
+        arr = super().put(key, chunk)
+        with self._flights_lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.value = arr
+            flight.event.set()
+        return arr
+
+    def cancel(self, key: CacheKey) -> None:
+        """Resolve the flight empty-handed: waiters wake and self-decode."""
+        with self._flights_lock:
+            flight = self._flights.pop(key, None)
+        if flight is not None:
+            flight.event.set()
+
+    def clear(self) -> None:
+        """Drop LRU entries and resolve every flight empty-handed."""
+        super().clear()
+        with self._flights_lock:
+            flights = list(self._flights.values())
+            self._flights.clear()
+        for flight in flights:
+            flight.event.set()

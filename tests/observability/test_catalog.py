@@ -30,6 +30,54 @@ def test_telemetry_plane_families_are_registered():
             "profiler.samples"} <= COUNTERS
 
 
+def test_serve_family_is_registered():
+    assert {"serve.requests", "serve.errors", "serve.shed",
+            "serve.bytes.sent", "serve.coalesce.hits",
+            "serve.coalesce.waits"} <= COUNTERS
+    assert "serve.queue.depth" in GAUGES
+    assert "serve.request.seconds" in HISTOGRAMS
+
+
+def test_serve_runtime_emissions_stay_in_catalog():
+    """A real served request storm only creates cataloged series."""
+    import numpy as np
+
+    from repro.observability import get_registry
+    from repro.observability.catalog import METRIC_PREFIXES
+    from repro.serve import (
+        BackgroundServer,
+        ServeApp,
+        ServeClient,
+        StoreRegistry,
+    )
+    from repro.store import Store
+
+    import tempfile
+    import os
+
+    get_registry().clear()
+    try:
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "cat.dpzs")
+            with Store.create(path) as st:
+                st.add("f", np.arange(64.0, dtype=np.float32)
+                       .reshape(8, 8), codec="raw", chunk_shape=(4, 4))
+            app = ServeApp(
+                StoreRegistry([path], cache_bytes=1 << 20),
+                port=0, workers=1)
+            with BackgroundServer(app), \
+                    ServeClient(app.host, app.port) as c:
+                c.manifest("cat")
+                c.region("cat", "f", (slice(0, 8), slice(0, 8)))
+                c.region("cat", "f", (slice(0, 4), slice(0, 4)))
+                c.healthz()
+        for name in get_registry().names():
+            assert name in METRIC_NAMES or any(
+                name.startswith(p) for p in METRIC_PREFIXES), name
+    finally:
+        get_registry().clear()
+
+
 def test_kind_sets_are_disjoint():
     assert not (COUNTERS & GAUGES)
     assert not (COUNTERS & HISTOGRAMS)

@@ -1,0 +1,191 @@
+"""Shared server-lifecycle plumbing: bind helpers and the Drainer."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.observability.lifecycle import (
+    Drainer,
+    bind_failure,
+    bind_tcp_socket,
+    bind_unix_socket,
+    validate_port,
+)
+
+
+class TestValidatePort:
+    def test_accepts_range(self):
+        assert validate_port(0) == 0
+        assert validate_port(65535) == 65535
+
+    @pytest.mark.parametrize("bad", [-1, 65536, 99999])
+    def test_rejects_out_of_range(self, bad):
+        with pytest.raises(ConfigError):
+            validate_port(bad)
+
+
+class TestBindTcp:
+    def test_binds_and_listens(self):
+        sock = bind_tcp_socket("127.0.0.1", 0, what="test")
+        try:
+            host, port = sock.getsockname()
+            assert port > 0
+            probe = socket.create_connection((host, port), timeout=5)
+            probe.close()
+        finally:
+            sock.close()
+
+    def test_conflict_is_one_line_config_error(self):
+        sock = bind_tcp_socket("127.0.0.1", 0, what="test")
+        try:
+            port = sock.getsockname()[1]
+            with pytest.raises(ConfigError,
+                               match="cannot bind test listener"):
+                bind_tcp_socket("127.0.0.1", port, what="test")
+        finally:
+            sock.close()
+
+    def test_bind_failure_message_shape(self):
+        err = bind_failure("telemetry", "127.0.0.1:9412",
+                           OSError(98, "Address already in use"))
+        assert str(err) == ("cannot bind telemetry listener on "
+                            "127.0.0.1:9412: Address already in use")
+
+
+class TestBindUnix:
+    def test_binds_fresh_path(self, tmp_path):
+        path = str(tmp_path / "fresh.sock")
+        sock = bind_unix_socket(path, what="test")
+        try:
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.connect(path)
+            probe.close()
+        finally:
+            sock.close()
+
+    def test_stale_socket_is_reclaimed(self, tmp_path):
+        path = str(tmp_path / "stale.sock")
+        dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        dead.bind(path)
+        dead.close()  # socket file remains, nobody listening
+        sock = bind_unix_socket(path, what="test")
+        sock.close()
+
+    def test_live_socket_is_refused(self, tmp_path):
+        path = str(tmp_path / "live.sock")
+        live = bind_unix_socket(path, what="test")
+        try:
+            with pytest.raises(ConfigError, match="live process"):
+                bind_unix_socket(path, what="test")
+        finally:
+            live.close()
+
+    def test_regular_file_never_deleted(self, tmp_path):
+        path = tmp_path / "notasocket"
+        path.write_text("precious")
+        with pytest.raises(ConfigError, match="not a socket"):
+            bind_unix_socket(str(path), what="test")
+        assert path.read_text() == "precious"
+
+
+class TestDrainer:
+    def test_track_counts(self):
+        d = Drainer()
+        assert d.active == 0
+        with d.track():
+            assert d.active == 1
+        assert d.active == 0
+
+    def test_closed_refuses_new_entries(self):
+        d = Drainer()
+        d.close()
+        assert d.closed
+        with pytest.raises(ConfigError, match="draining"):
+            d.track().__enter__()
+
+    def test_wait_idle_immediate_when_idle(self):
+        d = Drainer()
+        assert d.wait_idle(timeout=0.1) is True
+
+    def test_wait_idle_blocks_until_exit(self):
+        d = Drainer()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with d.track():
+                entered.set()
+                release.wait(10.0)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        assert entered.wait(10.0)
+        d.close()
+        assert d.wait_idle(timeout=0.05) is False  # still held
+        release.set()
+        assert d.wait_idle(timeout=10.0) is True
+        t.join(timeout=10.0)
+
+    def test_in_flight_request_finishes_before_drain(self):
+        """The ordering the telemetry/serve close() paths rely on."""
+        d = Drainer()
+        order = []
+        started = threading.Event()
+
+        def request():
+            with d.track():
+                started.set()
+                time.sleep(0.1)
+                order.append("request-done")
+
+        t = threading.Thread(target=request)
+        t.start()
+        assert started.wait(10.0)
+        d.close()
+        d.wait_idle(timeout=10.0)
+        order.append("drained")
+        t.join(timeout=10.0)
+        assert order == ["request-done", "drained"]
+
+
+class TestTelemetryServerDrain:
+    """The metrics server now drains in-flight requests on close."""
+
+    def test_close_waits_for_in_flight_request(self):
+        import urllib.request
+
+        from repro.observability.server import start_server
+
+        srv = start_server(0)
+        try:
+            # A request mid-flight holds the drainer; close() must not
+            # kill the socket under it.
+            with urllib.request.urlopen(srv.url + "/metrics",
+                                        timeout=5) as resp:
+                assert resp.status == 200
+        finally:
+            srv.close()
+        assert srv.drainer.closed
+
+    def test_draining_server_returns_503(self):
+        from repro.observability.server import TelemetryServer
+
+        srv = TelemetryServer(0).start()
+        srv.drainer.close()  # simulate shutdown having begun
+        import json
+        import urllib.error
+        import urllib.request
+
+        try:
+            with pytest.raises(urllib.error.HTTPError) as ei:
+                urllib.request.urlopen(srv.url + "/metrics", timeout=5)
+            assert ei.value.code == 503
+            assert json.loads(ei.value.read())["error"] \
+                == "server is draining"
+        finally:
+            srv.close()

@@ -1,0 +1,165 @@
+"""Singleflight semantics of the coalescing chunk cache."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.observability import get_registry
+from repro.serve.coalesce import CoalescingChunkCache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registry():
+    get_registry().clear()
+    yield
+    get_registry().clear()
+
+
+def test_first_miss_claims():
+    cache = CoalescingChunkCache(1 << 20)
+    assert cache.get(("f", 0)) is None
+    assert cache.inflight() == 1
+
+
+def test_put_resolves_and_caches():
+    cache = CoalescingChunkCache(1 << 20)
+    assert cache.get(("f", 0)) is None
+    arr = cache.put(("f", 0), np.arange(4.0))
+    assert cache.inflight() == 0
+    hit = cache.get(("f", 0))
+    assert hit is arr
+    assert not hit.flags.writeable
+
+
+def test_waiter_receives_leaders_decode():
+    cache = CoalescingChunkCache(1 << 20, wait_timeout=10.0)
+    assert cache.get(("f", 0)) is None  # this thread claims
+    results = []
+
+    def waiter():
+        results.append(cache.get(("f", 0)))
+
+    t = threading.Thread(target=waiter)
+    t.start()
+    # Give the waiter time to park on the flight, then resolve it.
+    import time
+    for _ in range(100):
+        if cache.inflight() == 1 and t.is_alive():
+            break
+        time.sleep(0.01)
+    stored = cache.put(("f", 0), np.arange(8.0))
+    t.join(timeout=10.0)
+    assert not t.is_alive()
+    assert results and results[0] is stored
+
+
+def test_waiter_gets_value_even_with_zero_budget():
+    """max_bytes=0 disables the LRU but not the flight handover."""
+    cache = CoalescingChunkCache(0, wait_timeout=10.0)
+    assert cache.get(("f", 0)) is None
+    results = []
+    t = threading.Thread(
+        target=lambda: results.append(cache.get(("f", 0))))
+    t.start()
+    import time
+    time.sleep(0.05)
+    stored = cache.put(("f", 0), np.arange(8.0))
+    t.join(timeout=10.0)
+    assert results and results[0] is stored
+    # The LRU itself kept nothing: a fresh get claims anew.
+    assert cache.get(("f", 0)) is None
+
+
+def test_cancel_wakes_waiter_empty_handed():
+    cache = CoalescingChunkCache(1 << 20, wait_timeout=10.0)
+    assert cache.get(("f", 0)) is None
+    results = []
+    t = threading.Thread(
+        target=lambda: results.append(cache.get(("f", 0))))
+    t.start()
+    import time
+    time.sleep(0.05)
+    cache.cancel(("f", 0))
+    t.join(timeout=10.0)
+    assert not t.is_alive()
+    # Waiter got None: it now owns the retry (and registered a fresh
+    # flight doing so).
+    assert results == [None]
+
+
+def test_cancel_without_claim_is_noop():
+    cache = CoalescingChunkCache(1 << 20)
+    cache.cancel(("f", 99))  # never claimed; must not raise
+
+
+def test_concurrent_misses_coalesce_to_one_decode(rng):
+    """N threads racing a cold key -> far fewer decodes than threads."""
+    cache = CoalescingChunkCache(1 << 20, wait_timeout=10.0)
+    chunk = rng.standard_normal(64)
+    decodes = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(8)
+    results = []
+
+    def reader():
+        barrier.wait()
+        got = cache.get(("f", 0))
+        if got is None:  # we own the decode
+            with lock:
+                decodes.append(1)
+            got = cache.put(("f", 0), chunk)
+        with lock:
+            results.append(got)
+
+    threads = [threading.Thread(target=reader) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert len(results) == 8
+    for got in results:
+        np.testing.assert_array_equal(got, chunk)
+    # With the flight in place the common case is exactly one decode;
+    # a scheduler pathologically serializing threads can still give a
+    # couple, but never one per thread.
+    assert 1 <= len(decodes) < 8
+
+
+def test_clear_wakes_parked_waiters():
+    cache = CoalescingChunkCache(1 << 20, wait_timeout=10.0)
+    assert cache.get(("f", 0)) is None
+    t = threading.Thread(target=lambda: cache.get(("f", 0)))
+    t.start()
+    import time
+    time.sleep(0.05)
+    cache.clear()
+    t.join(timeout=10.0)
+    assert not t.is_alive()
+
+
+def test_coalesce_metrics_flow_under_tracer():
+    from repro.observability import Tracer, use_tracer
+
+    cache = CoalescingChunkCache(1 << 20, wait_timeout=10.0)
+    with use_tracer(Tracer()):
+        assert cache.get(("f", 0)) is None
+        done = threading.Event()
+
+        def waiter():
+            cache.get(("f", 0))
+            done.set()
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        import time
+        time.sleep(0.05)
+        cache.put(("f", 0), np.arange(4.0))
+        assert done.wait(10.0)
+        t.join(timeout=10.0)
+    from repro.observability import metrics_snapshot
+    snap = metrics_snapshot()
+    assert snap["counters"].get("serve.coalesce.waits", 0) >= 1
+    assert snap["counters"].get("serve.coalesce.hits", 0) >= 1
